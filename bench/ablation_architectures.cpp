@@ -1,0 +1,40 @@
+// Experiment A4 — implementation-architecture ablation (paper §2.1 and the
+// §6 outlook): literal counts of the atomic-complex-gate-per-signal
+// implementation versus the standard-C and RS-latch implementations, all
+// derived from the same unfolding approximations.
+#include <cstdio>
+
+#include "src/benchmarks/registry.hpp"
+#include "src/core/synthesis.hpp"
+
+int main() {
+  using punt::core::Architecture;
+  using punt::core::SynthesisOptions;
+  std::printf("Ablation A4 — literal counts per implementation architecture\n\n");
+  std::printf("%-24s %6s | %8s %10s %8s\n", "benchmark", "sigs", "ACG", "standard-C",
+              "RS-latch");
+  std::printf("--------------------------------------------------------------\n");
+  std::size_t total_acg = 0, total_c = 0, total_rs = 0;
+  for (const auto& bench : punt::benchmarks::table1()) {
+    const punt::stg::Stg stg = bench.make();
+    auto lits = [&stg](Architecture arch) {
+      SynthesisOptions options;
+      options.architecture = arch;
+      return punt::core::synthesize(stg, options).literal_count();
+    };
+    const std::size_t acg = lits(Architecture::ComplexGate);
+    const std::size_t sc = lits(Architecture::StandardC);
+    const std::size_t rs = lits(Architecture::RsLatch);
+    total_acg += acg;
+    total_c += sc;
+    total_rs += rs;
+    std::printf("%-24s %6zu | %8zu %10zu %8zu\n", bench.name.c_str(), bench.signals,
+                acg, sc, rs);
+  }
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("%-24s %6s | %8zu %10zu %8zu\n", "Total", "", total_acg, total_c,
+              total_rs);
+  std::printf("\nShape check: the latch architectures split each gate into smaller\n"
+              "set/reset functions (the paper's motivation for them).\n");
+  return 0;
+}

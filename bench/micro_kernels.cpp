@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark) of the four kernels the paper's time
+// columns decompose into: segment construction (UnfTim), state-graph
+// construction (the baselines' dominant cost), cover derivation from slices
+// (SynTim) and two-level minimisation (EspTim).
+#include <benchmark/benchmark.h>
+
+#include "src/benchmarks/registry.hpp"
+#include "src/core/approx.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/logic/espresso.hpp"
+#include "src/sg/analysis.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/stg/generators.hpp"
+#include "src/unfolding/unfolding.hpp"
+
+namespace {
+
+void BM_UnfoldMuller(benchmark::State& state) {
+  const punt::stg::Stg stg =
+      punt::stg::make_muller_pipeline(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(punt::unf::Unfolding::build(stg));
+  }
+  state.SetLabel(std::to_string(stg.signal_count()) + " signals");
+}
+BENCHMARK(BM_UnfoldMuller)->Arg(4)->Arg(9)->Arg(14)->Arg(19);
+
+void BM_StateGraphMuller(benchmark::State& state) {
+  const punt::stg::Stg stg =
+      punt::stg::make_muller_pipeline(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(punt::sg::StateGraph::build(stg));
+  }
+}
+BENCHMARK(BM_StateGraphMuller)->Arg(4)->Arg(9)->Arg(14);
+
+void BM_ApproximateCover(benchmark::State& state) {
+  const punt::stg::Stg stg =
+      punt::stg::make_muller_pipeline(static_cast<std::size_t>(state.range(0)));
+  const auto unf = punt::unf::Unfolding::build(stg);
+  const auto signal = stg.non_input_signals().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(punt::core::approximate_cover(unf, signal, true));
+  }
+}
+BENCHMARK(BM_ApproximateCover)->Arg(9)->Arg(19);
+
+void BM_ExactSliceEnumeration(benchmark::State& state) {
+  const punt::stg::Stg stg =
+      punt::stg::make_muller_pipeline(static_cast<std::size_t>(state.range(0)));
+  const auto unf = punt::unf::Unfolding::build(stg);
+  const auto signal = stg.non_input_signals().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(punt::core::exact_cover(unf, signal, true));
+  }
+}
+BENCHMARK(BM_ExactSliceEnumeration)->Arg(6)->Arg(10);
+
+void BM_EspressoOnSgCovers(benchmark::State& state) {
+  const punt::stg::Stg stg =
+      punt::stg::make_muller_pipeline(static_cast<std::size_t>(state.range(0)));
+  const auto sgraph = punt::sg::StateGraph::build(stg);
+  const auto signal = stg.non_input_signals().front();
+  const auto on = punt::sg::on_cover(sgraph, signal);
+  const auto off = punt::sg::off_cover(sgraph, signal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(punt::logic::espresso(on, off));
+  }
+}
+BENCHMARK(BM_EspressoOnSgCovers)->Arg(6)->Arg(9);
+
+void BM_CoverComplement(benchmark::State& state) {
+  const punt::stg::Stg stg =
+      punt::stg::make_muller_pipeline(static_cast<std::size_t>(state.range(0)));
+  const auto sgraph = punt::sg::StateGraph::build(stg);
+  const auto on = punt::sg::on_cover(sgraph, stg.non_input_signals().front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(on.complement());
+  }
+}
+BENCHMARK(BM_CoverComplement)->Arg(6)->Arg(9);
+
+void BM_SynthesizeRegistryRow(benchmark::State& state) {
+  const auto& bench =
+      punt::benchmarks::table1()[static_cast<std::size_t>(state.range(0))];
+  const punt::stg::Stg stg = bench.make();
+  punt::core::SynthesisOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(punt::core::synthesize(stg, options));
+  }
+  state.SetLabel(bench.name);
+}
+BENCHMARK(BM_SynthesizeRegistryRow)->Arg(0)->Arg(5)->Arg(9)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+#include "src/benchmarks/templates.hpp"
+
+#include "src/util/error.hpp"
+
+namespace punt::benchmarks {
+namespace {
+
+using stg::Polarity;
+using stg::SignalKind;
+using stg::Stg;
+
+pn::PlaceId link(Stg& stg, pn::TransitionId src, pn::TransitionId dst,
+                 const std::string& name, bool marked = false) {
+  const pn::PlaceId p = stg.net().add_place(name);
+  stg.net().add_arc(src, p);
+  stg.net().add_arc(p, dst);
+  if (marked) stg.net().set_initial_tokens(p, 1);
+  return p;
+}
+
+}  // namespace
+
+Stg handshake_chain(const std::string& name, std::size_t signals) {
+  if (signals < 2) throw ValidationError("handshake_chain needs at least 2 signals");
+  Stg stg;
+  stg.set_name(name);
+  std::vector<pn::TransitionId> up(signals), dn(signals);
+  for (std::size_t i = 0; i < signals; ++i) {
+    const stg::SignalId s = stg.add_signal(
+        "x" + std::to_string(i), i % 2 == 0 ? SignalKind::Input : SignalKind::Output);
+    up[i] = stg.add_transition(s, Polarity::Rise);
+    dn[i] = stg.add_transition(s, Polarity::Fall);
+  }
+  for (std::size_t i = 0; i + 1 < signals; ++i) {
+    link(stg, up[i], up[i + 1], "u" + std::to_string(i));
+    link(stg, dn[i], dn[i + 1], "d" + std::to_string(i));
+  }
+  link(stg, up[signals - 1], dn[0], "turn");
+  link(stg, dn[signals - 1], up[0], "home", /*marked=*/true);
+  stg.validate();
+  return stg;
+}
+
+Stg fork_join(const std::string& name, const std::vector<std::size_t>& depths) {
+  if (depths.empty()) throw ValidationError("fork_join needs at least one chain");
+  Stg stg;
+  stg.set_name(name);
+  const stg::SignalId a = stg.add_signal("a", SignalKind::Output);
+  const pn::TransitionId a_up = stg.add_transition(a, Polarity::Rise);
+  const pn::TransitionId a_dn = stg.add_transition(a, Polarity::Fall);
+
+  for (std::size_t j = 0; j < depths.size(); ++j) {
+    if (depths[j] == 0) throw ValidationError("fork_join chains must be nonempty");
+    std::vector<pn::TransitionId> up(depths[j]), dn(depths[j]);
+    for (std::size_t i = 0; i < depths[j]; ++i) {
+      const stg::SignalId s =
+          stg.add_signal("u" + std::to_string(j) + "_" + std::to_string(i),
+                         i % 2 == 0 ? SignalKind::Input : SignalKind::Output);
+      up[i] = stg.add_transition(s, Polarity::Rise);
+      dn[i] = stg.add_transition(s, Polarity::Fall);
+    }
+    const std::string tag = "c" + std::to_string(j) + "_";
+    link(stg, a_up, up[0], tag + "fork");
+    for (std::size_t i = 0; i + 1 < depths[j]; ++i) {
+      link(stg, up[i], up[i + 1], tag + "u" + std::to_string(i));
+      link(stg, dn[i], dn[i + 1], tag + "d" + std::to_string(i));
+    }
+    link(stg, up[depths[j] - 1], a_dn, tag + "join");
+    link(stg, a_dn, dn[0], tag + "unfork");
+    link(stg, dn[depths[j] - 1], a_up, tag + "rejoin", /*marked=*/true);
+  }
+  stg.validate();
+  return stg;
+}
+
+Stg choice_controller(const std::string& name, const std::vector<std::size_t>& lengths) {
+  if (lengths.empty()) throw ValidationError("choice_controller needs branches");
+  Stg stg;
+  stg.set_name(name);
+  const pn::PlaceId idle = stg.net().add_place("idle");
+  stg.net().set_initial_tokens(idle, 1);
+
+  for (std::size_t b = 0; b < lengths.size(); ++b) {
+    if (lengths[b] == 0) throw ValidationError("choice branches must be nonempty");
+    const std::string tag = "b" + std::to_string(b);
+    const stg::SignalId in = stg.add_signal("req" + std::to_string(b), SignalKind::Input);
+    const pn::TransitionId in_up = stg.add_transition(in, Polarity::Rise);
+    const pn::TransitionId in_dn = stg.add_transition(in, Polarity::Fall);
+    stg.net().add_arc(idle, in_up);
+
+    std::vector<pn::TransitionId> up(lengths[b]), dn(lengths[b]);
+    for (std::size_t i = 0; i < lengths[b]; ++i) {
+      const stg::SignalId s = stg.add_signal(
+          "o" + std::to_string(b) + "_" + std::to_string(i), SignalKind::Output);
+      up[i] = stg.add_transition(s, Polarity::Rise);
+      dn[i] = stg.add_transition(s, Polarity::Fall);
+    }
+    // Rise phase: req+ then the output chain; the environment withdraws the
+    // request once the chain has risen; then the chain falls and the branch
+    // merges back into the idle place.
+    link(stg, in_up, up[0], tag + "_start");
+    for (std::size_t i = 0; i + 1 < lengths[b]; ++i) {
+      link(stg, up[i], up[i + 1], tag + "_u" + std::to_string(i));
+      link(stg, dn[i], dn[i + 1], tag + "_d" + std::to_string(i));
+    }
+    link(stg, up[lengths[b] - 1], in_dn, tag + "_ack");
+    link(stg, in_dn, dn[0], tag + "_release");
+    stg.net().add_arc(dn[lengths[b] - 1], idle);  // merge back into the choice
+  }
+  stg.validate();
+  return stg;
+}
+
+}  // namespace punt::benchmarks

@@ -1,0 +1,40 @@
+// Structural templates for the Table-1 benchmark substitutes (DESIGN.md §4).
+//
+// The original 1997 suite circulated with SIS/petrify and is not available
+// offline; each Table-1 row is rebuilt from one of these templates with the
+// row's exact signal count and a comparable structural class (sequential
+// ring / concurrent fork-join / input choice).  All templates produce
+// consistent, safe, output-persistent, CSC-satisfying STGs by construction
+// (Johnson-counter style codes), so every row synthesises cleanly under all
+// methods — which is what the Table-1 experiment needs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/stg/stg.hpp"
+
+namespace punt::benchmarks {
+
+/// Sequential ring of k signals: x0+ .. x(k-1)+ x0- .. x(k-1)- and around.
+/// Codes follow a Johnson counter (all distinct).  Signals alternate
+/// input/output.  Models purely sequential controllers (sendr-done, ...).
+stg::Stg handshake_chain(const std::string& name, std::size_t signals);
+
+/// Fork-join cycle: a+ forks one chain per entry of `depths`; the chains
+/// rise concurrently and join in a-; then they fall concurrently and join
+/// back into a+.  Signal count = 1 + sum(depths).  Models highly concurrent
+/// controllers; the SG grows as the product of chain positions while the
+/// segment stays linear.
+stg::Stg fork_join(const std::string& name, const std::vector<std::size_t>& depths);
+
+/// Environment choice: a free-choice place selects one of several branches;
+/// branch i is an input edge followed by a chain of `lengths[i]` output
+/// edges, rising then falling, then merges back.  Signal count =
+/// branches + sum(lengths).  Models mode-selecting controllers
+/// (read/write cycles).
+stg::Stg choice_controller(const std::string& name,
+                           const std::vector<std::size_t>& lengths);
+
+}  // namespace punt::benchmarks

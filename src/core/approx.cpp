@@ -1,0 +1,341 @@
+#include "src/core/approx.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/error.hpp"
+
+namespace punt::core {
+namespace {
+
+using logic::Cover;
+using logic::Cube;
+using logic::Lit;
+
+/// True when `f` fires strictly after `element` in every run containing both.
+bool after_element(const unf::Unfolding& unf, const SliceElement& element,
+                   unf::EventId f) {
+  if (element.is_event) {
+    return f != element.event && unf.precedes(element.event, f);
+  }
+  const unf::EventId producer = unf.producer(element.condition);
+  return f != producer && unf.precedes(producer, f) && !unf.co(element.condition, f);
+}
+
+/// Cube from `code` with the signals in `dc` dashed out.
+Cube cube_with_dc(const stg::Code& code, const std::set<std::size_t>& dc) {
+  Cube cube = Cube::from_code(code);
+  for (const std::size_t s : dc) cube.set(s, Lit::DC);
+  return cube;
+}
+
+/// Signals owning an instance in `slice_events` that is concurrent with the
+/// given element.
+std::set<std::size_t> concurrent_signals(const unf::Unfolding& unf,
+                                         const SliceElement& element,
+                                         const std::vector<unf::EventId>& slice_events) {
+  std::set<std::size_t> out;
+  for (const unf::EventId f : slice_events) {
+    const stg::Label* label = unf.label(f);
+    if (label == nullptr || label->dummy) continue;
+    const bool concurrent = element.is_event ? unf.co(element.event, f)
+                                             : unf.co(element.condition, f);
+    if (concurrent) out.insert(label->signal.index());
+  }
+  return out;
+}
+
+}  // namespace
+
+logic::Cover ApproxCover::combined(std::size_t variable_count) const {
+  Cover out(variable_count);
+  for (const CoverAtom& atom : atoms) out.add_all(atom.cover);
+  out.make_irredundant_scc();
+  return out;
+}
+
+Cube excitation_cover(const unf::Unfolding& unf, unf::EventId entry) {
+  // Everything concurrent with the entry can fire while it stays excited, so
+  // the ER slice's instances are exactly the events concurrent with it.
+  std::set<std::size_t> dc;
+  for (std::size_t i = 1; i < unf.event_count(); ++i) {
+    const unf::EventId f(static_cast<std::uint32_t>(i));
+    const stg::Label* label = unf.label(f);
+    if (label == nullptr || label->dummy) continue;
+    if (unf.co(entry, f)) dc.insert(label->signal.index());
+  }
+  return cube_with_dc(unf.excitation_code(entry), dc);
+}
+
+Cube mr_cover(const unf::Unfolding& unf, unf::ConditionId c,
+              const std::vector<unf::EventId>& slice_events) {
+  return cube_with_dc(unf.code(unf.producer(c)),
+                      concurrent_signals(unf, SliceElement::of(c), slice_events));
+}
+
+Cover restricted_next_cover(const unf::Unfolding& unf, unf::ConditionId c,
+                            unf::EventId bound,
+                            const std::vector<unf::EventId>& slice_events) {
+  const std::set<std::size_t> plain_dc =
+      concurrent_signals(unf, SliceElement::of(c), slice_events);
+  const stg::Code& base = unf.code(unf.producer(c));
+
+  Cover out(base.size());
+  for (const unf::ConditionId x : unf.preset(bound)) {
+    if (x == c) continue;
+    const unf::EventId trigger = unf.producer(x);
+    const stg::Label* label = unf.label(trigger);
+    if (label == nullptr || label->dummy) continue;  // ⊥ or dummy trigger: skip
+    if (unf.precedes(trigger, unf.producer(c))) {
+      // The trigger fired before `c` came into existence: its signal already
+      // holds the fired value in the base code, so pinning it cannot exclude
+      // the bound's excitation states.  An unusable term.
+      continue;
+    }
+    std::set<std::size_t> dc = plain_dc;
+    dc.erase(label->signal.index());  // pin the trigger's signal to not-yet-fired
+    out.add(cube_with_dc(base, dc));
+  }
+  out.make_irredundant_scc();
+  return out;
+}
+
+std::vector<unf::ConditionId> refining_set(const unf::Unfolding& unf,
+                                           const SliceElement& element,
+                                           const Slice& slice) {
+  std::vector<unf::ConditionId> out;
+  for (const unf::ConditionId c : slice_conditions(unf, slice)) {
+    const bool concurrent = element.is_event ? unf.co(c, element.event)
+                                             : unf.co(c, element.condition);
+    if (concurrent) out.push_back(c);
+  }
+  return out;
+}
+
+Cube refinement_mr_cover(const unf::Unfolding& unf, unf::ConditionId c,
+                         const SliceElement& element,
+                         const std::vector<unf::EventId>& slice_events) {
+  std::set<std::size_t> dc;
+  for (const unf::EventId f : slice_events) {
+    const stg::Label* label = unf.label(f);
+    if (label == nullptr || label->dummy) continue;
+    if (unf.co(c, f) && after_element(unf, element, f)) {
+      dc.insert(label->signal.index());
+    }
+  }
+  return cube_with_dc(unf.code(unf.producer(c)), dc);
+}
+
+bool refine_atom(const unf::Unfolding& unf, const ApproxCover& owner, CoverAtom& atom,
+                 stg::SignalId offending) {
+  const Slice& slice = owner.slices[atom.slice_index];
+  const auto& slice_events = owner.slice_event_sets[atom.slice_index];
+
+  // Only conditions produced by instances of the offending signal (or their
+  // surroundings) can sharpen that signal's literal, but the paper's mask is
+  // the whole refining set — restricted covers pin every non-successor
+  // signal, which includes the offending one whenever possible.
+  const std::vector<unf::ConditionId> refining =
+      refining_set(unf, atom.element, slice);
+  if (refining.empty()) return false;
+
+  Cover mask(unf.stg().signal_count());
+  for (const unf::ConditionId c : refining) {
+    mask.add(refinement_mr_cover(unf, c, atom.element, slice_events));
+  }
+  mask.make_irredundant_scc();
+
+  Cover refined = atom.cover.intersect(mask);
+  refined.normalize();
+  Cover before = atom.cover;
+  before.normalize();
+  if (refined == before) return false;
+
+  // The mask may be unable to sharpen the offending signal (no instance of
+  // it concurrent with the element); accept any strict shrink — progress is
+  // measured by the caller through cover change.
+  (void)offending;
+  atom.cover = std::move(refined);
+  return true;
+}
+
+namespace {
+
+/// PaperChains policy: per bounding instance, choose the deepest input
+/// condition and walk producers back to the entry; add the deadlock frontier
+/// (conditions no slice event consumes) so unbounded runs stay covered.
+std::vector<unf::ConditionId> chain_approximation_set(
+    const unf::Unfolding& unf, const Slice& slice,
+    const std::vector<unf::EventId>& slice_events,
+    const std::vector<unf::ConditionId>& all_conditions) {
+  std::set<unf::ConditionId> chosen;
+  auto deeper = [&unf](unf::ConditionId a, unf::ConditionId b) {
+    const std::size_t da = unf.config_size(unf.producer(a));
+    const std::size_t db = unf.config_size(unf.producer(b));
+    if (da != db) return da > db;
+    return a > b;
+  };
+  const std::set<unf::ConditionId> in_slice(all_conditions.begin(), all_conditions.end());
+
+  // Walk producers back towards the entry, collecting one condition per
+  // level — the branch token always sits on one of them (Fig. 4(b):
+  // {p10, p7, p4}).
+  auto walk_back = [&](unf::ConditionId start) {
+    unf::ConditionId current = start;
+    while (current.valid() && chosen.insert(current).second) {
+      const unf::EventId producer = unf.producer(current);
+      if (producer == slice.entry || unf.is_initial(producer)) break;
+      unf::ConditionId next;
+      for (const unf::ConditionId x : unf.preset(producer)) {
+        if (!in_slice.contains(x)) continue;
+        if (!next.valid() || deeper(x, next)) next = x;
+      }
+      current = next;
+    }
+  };
+
+  // One chain per bounding instance, from its deepest in-slice input.
+  for (const unf::EventId g : slice.bounds) {
+    unf::ConditionId start;
+    for (const unf::ConditionId x : unf.preset(g)) {
+      if (!in_slice.contains(x)) continue;
+      if (!start.valid() || deeper(x, start)) start = x;
+    }
+    if (start.valid()) walk_back(start);
+  }
+
+  // One chain per frontier condition: a condition consumed by no live slice
+  // event (cutoff consumers do not count — their postsets are excluded from
+  // approximation sets, so runs effectively park there).
+  std::set<unf::EventId> live_consumers;
+  for (const unf::EventId f : slice_events) {
+    if (!unf.is_initial(f) && !unf.is_cutoff(f)) live_consumers.insert(f);
+  }
+  for (const unf::EventId g : slice.bounds) {
+    if (!unf.is_cutoff(g)) live_consumers.insert(g);
+  }
+  for (const unf::ConditionId c : all_conditions) {
+    bool consumed = false;
+    for (const unf::EventId f : unf.consumers(c)) {
+      if (live_consumers.contains(f)) {
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) walk_back(c);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace
+
+ApproxCover approximate_cover(const unf::Unfolding& unf, stg::SignalId signal,
+                              bool value, ApproxSetPolicy policy) {
+  ApproxCover out;
+  out.signal = signal;
+  out.value = value;
+  out.slices = signal_slices(unf, signal, value);
+
+  for (std::size_t si = 0; si < out.slices.size(); ++si) {
+    const Slice& slice = out.slices[si];
+    out.slice_event_sets.push_back(slice_events(unf, slice));
+    const auto& events = out.slice_event_sets.back();
+
+    // C*e of the entry (absent for the ⊥ slice, paper §4.2).
+    if (!unf.is_initial(slice.entry)) {
+      CoverAtom atom;
+      atom.element = SliceElement::of(slice.entry);
+      atom.slice_index = si;
+      atom.cover = Cover(unf.stg().signal_count());
+      atom.cover.add(excitation_cover(unf, slice.entry));
+      out.atoms.push_back(std::move(atom));
+    }
+
+    // Approximation set P'a and its MR covers.  Conditions produced by
+    // cutoff events are skipped: their codes belong to states that the
+    // cutoff's image represents with full context (DESIGN.md §5), and an
+    // unrestricted frontier MR cover can poison the opposite set.
+    std::vector<unf::ConditionId> all_conditions;
+    for (const unf::ConditionId c : slice_conditions(unf, slice)) {
+      if (!unf.is_cutoff(unf.producer(c))) all_conditions.push_back(c);
+    }
+    const std::vector<unf::ConditionId> pa =
+        policy == ApproxSetPolicy::Full
+            ? all_conditions
+            : chain_approximation_set(unf, slice, events, all_conditions);
+
+    for (const unf::ConditionId c : pa) {
+      // A bound that can be enabled while c is marked makes every such
+      // marking an opposite-set state; its excitation markings must be
+      // excluded from c's MR cover (paper §4.2, generalised: the bound is
+      // "compatible" when c feeds it or is concurrent with its whole
+      // preset).
+      std::vector<unf::EventId> compatible_bounds;
+      for (const unf::EventId g : slice.bounds) {
+        bool compatible = true;
+        for (const unf::ConditionId x : unf.preset(g)) {
+          if (x != c && !unf.co(c, x)) {
+            compatible = false;
+            break;
+          }
+        }
+        if (compatible) compatible_bounds.push_back(g);
+      }
+      CoverAtom atom;
+      atom.element = SliceElement::of(c);
+      atom.slice_index = si;
+      if (compatible_bounds.empty()) {
+        atom.cover = Cover(unf.stg().signal_count());
+        atom.cover.add(mr_cover(unf, c, events));
+      } else {
+        Cover cover = restricted_next_cover(unf, c, compatible_bounds.front(), events);
+        for (std::size_t k = 1; k < compatible_bounds.size(); ++k) {
+          cover =
+              cover.intersect(restricted_next_cover(unf, c, compatible_bounds[k], events));
+        }
+        if (cover.empty()) continue;  // every marking of c excites some bound
+        atom.cover = std::move(cover);
+      }
+      out.atoms.push_back(std::move(atom));
+    }
+  }
+  return out;
+}
+
+RefineStats refine_until_disjoint(const unf::Unfolding& unf, ApproxCover& on,
+                                  ApproxCover& off, std::size_t max_iterations) {
+  RefineStats stats;
+  std::set<std::pair<std::size_t, std::size_t>> stuck;
+  while (stats.iterations < max_iterations) {
+    // Find an offending (still refinable) pair of atoms.
+    std::size_t oi = 0, oj = 0;
+    bool found = false;
+    bool any_intersecting = false;
+    for (std::size_t i = 0; i < on.atoms.size() && !found; ++i) {
+      for (std::size_t j = 0; j < off.atoms.size(); ++j) {
+        if (!on.atoms[i].cover.intersects(off.atoms[j].cover)) continue;
+        any_intersecting = true;
+        if (stuck.contains({i, j})) continue;
+        oi = i;
+        oj = j;
+        found = true;
+        break;
+      }
+    }
+    if (!any_intersecting) {
+      stats.disjoint = true;
+      return stats;
+    }
+    if (!found) return stats;  // every offending pair is stuck: caller falls back
+
+    ++stats.iterations;
+    const bool a = refine_atom(unf, on, on.atoms[oi], off.signal);
+    const bool b = refine_atom(unf, off, off.atoms[oj], on.signal);
+    if (a) ++stats.refined_atoms;
+    if (b) ++stats.refined_atoms;
+    if (!a && !b) stuck.insert({oi, oj});
+  }
+  return stats;
+}
+
+}  // namespace punt::core

@@ -1,0 +1,110 @@
+#include "src/core/csc_resolve.hpp"
+
+#include <algorithm>
+
+#include "src/stg/g_format.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::core {
+namespace {
+
+/// Splices `edge` directly after `t`: t keeps one fresh output place feeding
+/// `edge`, which inherits t's former postset.
+void splice_after(stg::Stg& stg, pn::TransitionId t, pn::TransitionId edge,
+                  const std::string& place_name) {
+  pn::PetriNet& net = stg.net();
+  const std::vector<pn::PlaceId> old_post = net.post(t);  // copy before surgery
+  const pn::PlaceId p = net.add_place(place_name);
+  for (const pn::PlaceId q : old_post) {
+    net.remove_arc(t, q);
+    net.add_arc(edge, q);
+  }
+  net.add_arc(t, p);
+  net.add_arc(p, edge);
+}
+
+}  // namespace
+
+stg::SignalId insert_state_signal(stg::Stg& stg, const std::string& rise_after,
+                                  const std::string& fall_after,
+                                  const std::string& name) {
+  const auto rise_site = stg.net().find_transition(rise_after);
+  if (!rise_site) throw ValidationError("unknown transition '" + rise_after + "'");
+  const auto fall_site = stg.net().find_transition(fall_after);
+  if (!fall_site) throw ValidationError("unknown transition '" + fall_after + "'");
+  if (*rise_site == *fall_site) {
+    throw ValidationError("rise and fall insertion points must differ");
+  }
+
+  std::string signal_name = name;
+  if (signal_name.empty()) {
+    std::size_t k = 0;
+    while (stg.find_signal("csc" + std::to_string(k)).has_value()) ++k;
+    signal_name = "csc" + std::to_string(k);
+  }
+  const stg::SignalId csc = stg.add_signal(signal_name, stg::SignalKind::Internal);
+  const pn::TransitionId up = stg.add_transition(csc, stg::Polarity::Rise);
+  const pn::TransitionId dn = stg.add_transition(csc, stg::Polarity::Fall);
+  splice_after(stg, *rise_site, up, signal_name + "_r");
+  splice_after(stg, *fall_site, dn, signal_name + "_f");
+
+  // The initial value follows from which edge is reachable first; reuse the
+  // parser's inference, which explores only until every signal is resolved.
+  const stg::Code inferred = stg::infer_initial_code(stg, 200000);
+  stg.set_initial_value(csc, inferred[csc.index()]);
+  stg.validate();
+  return csc;
+}
+
+std::optional<CscResolution> resolve_csc(const stg::Stg& stg,
+                                         const SynthesisOptions& options) {
+  SynthesisOptions probe = options;
+  probe.throw_on_csc = false;
+
+  // Already clean?  Nothing to insert.
+  {
+    const SynthesisResult result = synthesize(stg, probe);
+    const bool conflicted = std::any_of(result.signals.begin(), result.signals.end(),
+                                        [](const auto& s) { return s.csc_conflict; });
+    if (!conflicted) {
+      CscResolution res;
+      res.stg = stg;
+      res.signals_added = 0;
+      return res;
+    }
+  }
+
+  // Candidate splice sites: every transition of the STG, tried pairwise.
+  std::vector<std::string> sites;
+  for (std::size_t i = 0; i < stg.net().transition_count(); ++i) {
+    sites.push_back(stg.net().transition_name(pn::TransitionId(static_cast<std::uint32_t>(i))));
+  }
+  constexpr std::size_t kMaxAttempts = 600;
+  std::size_t attempts = 0;
+  for (const std::string& rise : sites) {
+    for (const std::string& fall : sites) {
+      if (rise == fall) continue;
+      if (++attempts > kMaxAttempts) return std::nullopt;
+      stg::Stg candidate = stg;
+      try {
+        insert_state_signal(candidate, rise, fall);
+        const SynthesisResult result = synthesize(candidate, probe);
+        const bool conflicted =
+            std::any_of(result.signals.begin(), result.signals.end(),
+                        [](const auto& s) { return s.csc_conflict; });
+        if (conflicted) continue;
+      } catch (const Error&) {
+        continue;  // inconsistent / non-persistent / unbounded candidate
+      }
+      CscResolution res;
+      res.stg = std::move(candidate);
+      res.rise_after = rise;
+      res.fall_after = fall;
+      res.signals_added = 1;
+      return res;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace punt::core

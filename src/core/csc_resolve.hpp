@@ -1,0 +1,54 @@
+// CSC conflict resolution by state-signal insertion.
+//
+// When two reachable states share a binary code but imply different output
+// behaviour, the paper prescribes "changing the specification, e.g. by
+// inserting additional signals" (§2.1, §4.3).  This module implements the
+// standard mechanism: a fresh internal signal `cscN` whose rising edge is
+// spliced after one transition and whose falling edge after another, so the
+// two conflicting regions see different values of the new signal.
+//
+// Splicing after transition t: t's postset places are handed to the new
+// edge, and a fresh place connects t to it —
+//     t -> p_new -> csc± -> (former postset of t)
+// This delays t's successors until the state signal has toggled, which is
+// exactly the conservative sequencing a real implementation needs (the new
+// signal must settle before the conflicting continuations diverge).
+//
+// Insertion-point *search* is provided in a simple greedy form: try splice
+// pairs drawn from the conflicting states' enabled/fired transitions until
+// the STG synthesises cleanly.  It solves textbook conflicts (the VME bus);
+// pathological specs may still need a manual choice of insertion points.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/synthesis.hpp"
+#include "src/stg/stg.hpp"
+
+namespace punt::core {
+
+/// Splices a fresh internal signal into `stg`: its rising edge directly
+/// after `rise_after`, its falling edge directly after `fall_after` (both
+/// named by transition, e.g. "lds+", "d-").  Returns the id of the new
+/// signal.  Throws ValidationError for unknown transitions.
+stg::SignalId insert_state_signal(stg::Stg& stg, const std::string& rise_after,
+                                  const std::string& fall_after,
+                                  const std::string& name = "");
+
+struct CscResolution {
+  stg::Stg stg;                  // the modified specification
+  std::string rise_after;        // chosen splice points
+  std::string fall_after;
+  std::size_t signals_added = 1;
+};
+
+/// Attempts to repair all CSC conflicts of `stg` by inserting one state
+/// signal (greedy search over splice-point pairs, verified by re-running
+/// synthesis).  Returns nullopt when no single-signal insertion in the
+/// candidate set works.
+std::optional<CscResolution> resolve_csc(const stg::Stg& stg,
+                                         const SynthesisOptions& options = {});
+
+}  // namespace punt::core

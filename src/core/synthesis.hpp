@@ -1,0 +1,104 @@
+// Synthesis drivers: the complete flow from an STG to per-signal Boolean
+// covers, in three methods and three implementation architectures.
+//
+// Methods:
+//   * UnfoldingApprox — the paper's contribution ("PUNT ACG"): build the
+//     STG-unfolding segment, approximate on/off covers from slices, refine
+//     until disjoint, fall back to exact per-slice enumeration if refinement
+//     stalls;
+//   * UnfoldingExact  — exact covers by slice-cut enumeration (paper §4.1);
+//   * StateGraph      — the conventional SG flow (the SIS / Petrify stand-in
+//     of Table 1 and Fig. 6).
+//
+// Architectures (paper §2):
+//   * ComplexGate — one atomic SOP gate (with internal feedback) per signal;
+//   * StandardC   — set/reset excitation functions driving a Muller
+//     C-element;
+//   * RsLatch     — the same functions driving an RS latch.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/approx.hpp"
+#include "src/logic/cover.hpp"
+#include "src/logic/espresso.hpp"
+#include "src/stg/stg.hpp"
+#include "src/unfolding/unfolding.hpp"
+
+namespace punt::core {
+
+enum class Method { UnfoldingApprox, UnfoldingExact, StateGraph };
+enum class Architecture { ComplexGate, StandardC, RsLatch };
+
+struct SynthesisOptions {
+  Method method = Method::UnfoldingApprox;
+  Architecture architecture = Architecture::ComplexGate;
+  ApproxSetPolicy approx_policy = ApproxSetPolicy::Full;
+  /// Run espresso on the final covers (the paper's EspTim step).
+  bool minimize = true;
+  /// Reject STGs with output-persistency violations up front.
+  bool check_persistency = true;
+  /// Throw CscError on a Complete State Coding conflict; if false the
+  /// conflict is recorded in the result and the signal is skipped.
+  bool throw_on_csc = true;
+  /// Budgets forwarded to the substrates (0 = unlimited where supported).
+  std::size_t state_budget = 2000000;   // StateGraph method
+  std::size_t event_budget = 200000;    // unfolding construction
+  std::size_t cut_budget = 2000000;     // exact slice enumeration
+  unf::UnfoldOptions::CutoffPolicy cutoff = unf::UnfoldOptions::CutoffPolicy::McMillan;
+};
+
+/// The implementation of one output/internal signal.
+struct SignalImplementation {
+  stg::SignalId signal;
+
+  /// Final correct covers (refined/exact); on ∩ off = ∅ unless csc_conflict.
+  logic::Cover on_cover;
+  logic::Cover off_cover;
+
+  /// ComplexGate: the gate function (minimised) and which phase it covers.
+  logic::Cover gate;
+  bool gate_covers_on = true;
+
+  /// StandardC / RsLatch: minimised set and reset excitation functions.
+  logic::Cover set_function;
+  logic::Cover reset_function;
+
+  bool used_exact_fallback = false;  // refinement stalled, exact covers used
+  bool csc_conflict = false;         // exact covers still intersect
+  logic::MinimizeStats min_stats;
+
+  /// Literal count of this signal's logic (gate, or set+reset).
+  std::size_t literal_count(Architecture arch) const;
+};
+
+struct SynthesisResult {
+  Method method = Method::UnfoldingApprox;
+  Architecture architecture = Architecture::ComplexGate;
+  std::vector<SignalImplementation> signals;
+
+  // The paper's Table 1 time breakdown, in seconds.
+  double unfold_seconds = 0;    // UnfTim (SG construction time for StateGraph)
+  double derive_seconds = 0;    // SynTim: cover derivation + refinement
+  double minimize_seconds = 0;  // EspTim
+  double total_seconds = 0;     // TotTim
+
+  unf::UnfoldStats unfold_stats;   // segment size (unfolding methods)
+  std::size_t sg_states = 0;       // SG size (StateGraph method)
+  std::size_t refinement_iterations = 0;
+  std::size_t exact_fallbacks = 0;
+
+  /// Total literal count — the paper's LitCnt column.
+  std::size_t literal_count() const;
+
+  const SignalImplementation& implementation(stg::SignalId signal) const;
+};
+
+/// Synthesises every output/internal signal of `stg`.  Throws
+/// ImplementabilityError for inconsistent/non-persistent STGs, CapacityError
+/// on blown budgets, CscError on coding conflicts (when throw_on_csc).
+SynthesisResult synthesize(const stg::Stg& stg, const SynthesisOptions& options = {});
+
+}  // namespace punt::core

@@ -1,0 +1,125 @@
+#include "src/logic/cube.hpp"
+
+#include "src/util/error.hpp"
+
+namespace punt::logic {
+
+Cube Cube::from_string(std::string_view text) {
+  Cube out(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    switch (text[i]) {
+      case '0': out.set(i, Lit::Zero); break;
+      case '1': out.set(i, Lit::One); break;
+      case '-': out.set(i, Lit::DC); break;
+      default:
+        throw ValidationError(std::string("invalid cube character '") + text[i] + "'");
+    }
+  }
+  return out;
+}
+
+Cube Cube::from_code(const std::vector<std::uint8_t>& code) {
+  Cube out(code.size());
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    out.set(i, code[i] ? Lit::One : Lit::Zero);
+  }
+  return out;
+}
+
+std::size_t Cube::literal_count() const {
+  std::size_t n = 0;
+  for (const std::uint8_t l : lits_) {
+    if (l != static_cast<std::uint8_t>(Lit::DC)) ++n;
+  }
+  return n;
+}
+
+bool Cube::contains(const Cube& other) const {
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    if (lits_[i] != static_cast<std::uint8_t>(Lit::DC) && lits_[i] != other.lits_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cube::intersects(const Cube& other) const {
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    const std::uint8_t a = lits_[i];
+    const std::uint8_t b = other.lits_[i];
+    if (a != static_cast<std::uint8_t>(Lit::DC) &&
+        b != static_cast<std::uint8_t>(Lit::DC) && a != b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Cube> Cube::intersect(const Cube& other) const {
+  Cube out(lits_.size());
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    const std::uint8_t a = lits_[i];
+    const std::uint8_t b = other.lits_[i];
+    if (a == static_cast<std::uint8_t>(Lit::DC)) {
+      out.lits_[i] = b;
+    } else if (b == static_cast<std::uint8_t>(Lit::DC) || a == b) {
+      out.lits_[i] = a;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::size_t Cube::distance(const Cube& other) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    const std::uint8_t a = lits_[i];
+    const std::uint8_t b = other.lits_[i];
+    if (a != static_cast<std::uint8_t>(Lit::DC) &&
+        b != static_cast<std::uint8_t>(Lit::DC) && a != b) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Cube Cube::supercube_with(const Cube& other) const {
+  Cube out(lits_.size());
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    out.lits_[i] = lits_[i] == other.lits_[i] ? lits_[i]
+                                              : static_cast<std::uint8_t>(Lit::DC);
+  }
+  return out;
+}
+
+bool Cube::covers_point(const std::vector<std::uint8_t>& code) const {
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    if (lits_[i] != static_cast<std::uint8_t>(Lit::DC) && lits_[i] != code[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cube::to_string() const {
+  std::string out;
+  out.reserve(lits_.size());
+  for (const std::uint8_t l : lits_) {
+    out += l == 0 ? '0' : (l == 1 ? '1' : '-');
+  }
+  return out;
+}
+
+std::string Cube::to_expr(const std::vector<std::string>& names) const {
+  std::string out;
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    if (lits_[i] == static_cast<std::uint8_t>(Lit::DC)) continue;
+    if (!out.empty()) out += " ";
+    out += names[i];
+    if (lits_[i] == 0) out += "'";
+  }
+  return out.empty() ? "1" : out;
+}
+
+}  // namespace punt::logic

@@ -1,0 +1,74 @@
+// Cubes: products of literals over a fixed variable set.
+//
+// A cube assigns each variable Zero, One or DC (absent from the product).
+// Cubes are the paper's cover terms; a cover (cover.hpp) is a set of cubes
+// interpreted as their union (SOP form).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace punt::logic {
+
+/// Value of one variable inside a cube.
+enum class Lit : std::uint8_t { Zero = 0, One = 1, DC = 2 };
+
+/// A product term over `size()` variables.
+class Cube {
+ public:
+  Cube() = default;
+  /// All variables set to `fill` (default: the universal cube).
+  explicit Cube(std::size_t variable_count, Lit fill = Lit::DC)
+      : lits_(variable_count, static_cast<std::uint8_t>(fill)) {}
+
+  /// Builds a cube from "10-" notation; characters must be 0, 1 or -.
+  static Cube from_string(std::string_view text);
+
+  /// The minterm cube of a binary code (every variable a constant).
+  static Cube from_code(const std::vector<std::uint8_t>& code);
+
+  std::size_t size() const { return lits_.size(); }
+
+  Lit get(std::size_t v) const { return static_cast<Lit>(lits_[v]); }
+  void set(std::size_t v, Lit value) { lits_[v] = static_cast<std::uint8_t>(value); }
+
+  /// Number of non-DC positions (the paper's literal-count metric).
+  std::size_t literal_count() const;
+
+  /// True when this cube's point set includes all of `other`'s.
+  bool contains(const Cube& other) const;
+
+  /// True when the two cubes share at least one minterm (no variable with
+  /// opposite constants).
+  bool intersects(const Cube& other) const;
+
+  /// The product of the two cubes, or nullopt when disjoint.
+  std::optional<Cube> intersect(const Cube& other) const;
+
+  /// Number of variables where the cubes hold opposite constants.
+  std::size_t distance(const Cube& other) const;
+
+  /// Smallest cube containing both inputs.
+  Cube supercube_with(const Cube& other) const;
+
+  /// True when the binary point `code` lies inside the cube.
+  bool covers_point(const std::vector<std::uint8_t>& code) const;
+
+  bool operator==(const Cube& other) const { return lits_ == other.lits_; }
+  bool operator<(const Cube& other) const { return lits_ < other.lits_; }
+
+  /// "10-" notation.
+  std::string to_string() const;
+
+  /// Product-term notation using variable names, e.g. "a b' d"; the
+  /// universal cube renders as "1".
+  std::string to_expr(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<std::uint8_t> lits_;
+};
+
+}  // namespace punt::logic

@@ -1,0 +1,90 @@
+// Gate-level implementation model and writers.
+//
+// A synthesis result maps onto a netlist of:
+//   * atomic complex gates — one SOP function per signal, possibly with
+//     internal feedback (the gate's own output appears as a literal), active
+//     high (function covers the on-set) or active low (covers the off-set,
+//     gate output inverted);
+//   * C-element / RS-latch cells — a memory element per signal driven by
+//     minimised set and reset SOP functions.
+//
+// The module also provides the conformance verifier: replaying every
+// reachable SG state and checking each gate's Boolean behaviour against the
+// signal's implied next value.  The Table-1 harness and the integration
+// tests run it on every synthesised circuit whose SG fits in memory.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/synthesis.hpp"
+#include "src/logic/cover.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/stg/stg.hpp"
+
+namespace punt::net {
+
+/// One gate of the implementation.
+struct Gate {
+  enum class Kind { ComplexGate, CElement, RsLatch };
+  Kind kind = Kind::ComplexGate;
+  stg::SignalId output;
+
+  // ComplexGate: `function` drives the output (inverted when !active_high).
+  logic::Cover function;
+  bool active_high = true;
+
+  // CElement / RsLatch.
+  logic::Cover set_function;
+  logic::Cover reset_function;
+
+  std::size_t literal_count() const;
+};
+
+/// A speed-independent circuit implementation of an STG.
+class Netlist {
+ public:
+  /// Assembles the netlist for a synthesis result.  The STG is copied, so
+  /// the netlist is self-contained.
+  static Netlist from_synthesis(const stg::Stg& stg, const core::SynthesisResult& result);
+
+  const stg::Stg& stg() const { return *stg_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const Gate& gate_for(stg::SignalId signal) const;
+
+  /// Total literal count over all gates (Table 1's LitCnt metric).
+  std::size_t literal_count() const;
+
+  /// Boolean value the gate of `signal` produces in state `code` (for
+  /// memory elements: the value the element would move to / hold).
+  bool next_value(stg::SignalId signal, const stg::Code& code) const;
+
+  /// EQN-style text: one equation (or set/reset pair) per signal.
+  std::string to_eqn() const;
+
+  /// Behavioural Verilog module (complex gates as continuous assignments
+  /// with feedback; memory elements as always-blocks).
+  std::string to_verilog(const std::string& module_name = "circuit") const;
+
+ private:
+  std::shared_ptr<const stg::Stg> stg_;
+  std::vector<Gate> gates_;
+};
+
+/// One state where a gate's behaviour contradicts the specification.
+struct ConformanceViolation {
+  stg::SignalId signal;
+  std::size_t state = 0;
+  std::string detail;
+};
+
+/// Replays every reachable state of the SG against the netlist:
+///   * complex gate — its value must equal the signal's implied value;
+///   * C-element / RS-latch — set must hold through ER(+a) and stay off
+///     throughout the off-set; reset symmetrically.
+/// An empty result means the circuit conforms to the specification.
+std::vector<ConformanceViolation> verify_conformance(const sg::StateGraph& sgraph,
+                                                     const Netlist& netlist);
+
+}  // namespace punt::net

@@ -1,0 +1,49 @@
+// Strongly typed element identifiers.
+//
+// Places, transitions, conditions and events all index into dense vectors;
+// wrapping the index in a tagged struct keeps the four id spaces from being
+// mixed up at compile time while costing nothing at run time.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace punt {
+
+/// Dense index with a phantom tag.  Default-constructed ids are invalid.
+template <typename Tag>
+struct Id {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const {
+    return value != std::numeric_limits<std::uint32_t>::max();
+  }
+  constexpr std::size_t index() const { return value; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+template <typename Tag>
+struct IdHash {
+  std::size_t operator()(Id<Tag> id) const {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+namespace pn {
+using PlaceId = Id<struct PlaceTag>;
+using TransitionId = Id<struct TransitionTag>;
+}  // namespace pn
+
+namespace unf {
+using ConditionId = Id<struct ConditionTag>;
+using EventId = Id<struct EventTag>;
+}  // namespace unf
+
+}  // namespace punt

@@ -1,0 +1,57 @@
+#include "src/pn/marking.hpp"
+
+#include <cassert>
+
+namespace punt::pn {
+
+void Marking::remove_token(PlaceId p) {
+  assert(tokens_[p.index()] > 0 && "removing a token from an empty place");
+  --tokens_[p.index()];
+}
+
+std::uint64_t Marking::total_tokens() const {
+  std::uint64_t n = 0;
+  for (const std::uint32_t t : tokens_) n += t;
+  return n;
+}
+
+std::uint32_t Marking::max_tokens() const {
+  std::uint32_t n = 0;
+  for (const std::uint32_t t : tokens_) {
+    if (t > n) n = t;
+  }
+  return n;
+}
+
+std::vector<PlaceId> Marking::marked_places() const {
+  std::vector<PlaceId> out;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i] > 0) out.push_back(PlaceId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+std::size_t Marking::hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint32_t t : tokens_) {
+    h ^= t;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::string Marking::to_string(const std::vector<std::string>& place_names) const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += i < place_names.size() ? place_names[i] : "p" + std::to_string(i);
+    if (tokens_[i] > 1) out += "=" + std::to_string(tokens_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace punt::pn

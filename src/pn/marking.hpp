@@ -1,0 +1,59 @@
+// Markings of a Petri net: a token count per place.
+//
+// The STG benchmarks are 1-safe, but the kernel keeps full counts so that
+// capacity violations (unbounded behaviour) are *detected* rather than
+// silently wrapped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pn/ids.hpp"
+
+namespace punt::pn {
+
+/// A marking: token count for each place of a fixed net.
+class Marking {
+ public:
+  Marking() = default;
+  explicit Marking(std::size_t place_count) : tokens_(place_count, 0) {}
+
+  std::size_t place_count() const { return tokens_.size(); }
+
+  /// Grows the marking to cover `place_count` places (new places unmarked).
+  void resize(std::size_t place_count) { tokens_.resize(place_count, 0); }
+
+  std::uint32_t tokens(PlaceId p) const { return tokens_[p.index()]; }
+  void set_tokens(PlaceId p, std::uint32_t n) { tokens_[p.index()] = n; }
+  void add_token(PlaceId p) { ++tokens_[p.index()]; }
+
+  /// Removes one token; the caller must have checked tokens(p) > 0.
+  void remove_token(PlaceId p);
+
+  /// Total number of tokens across all places.
+  std::uint64_t total_tokens() const;
+
+  /// Largest per-place token count (1 for a safe marking of a safe run).
+  std::uint32_t max_tokens() const;
+
+  /// Marked places in ascending id order.
+  std::vector<PlaceId> marked_places() const;
+
+  bool operator==(const Marking& other) const { return tokens_ == other.tokens_; }
+
+  /// FNV-1a over the counts; pairs with MarkingHash for unordered maps.
+  std::size_t hash() const;
+
+  /// "{p1, p4=2}" rendering using the supplied place names.
+  std::string to_string(const std::vector<std::string>& place_names) const;
+
+ private:
+  std::vector<std::uint32_t> tokens_;
+};
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const { return m.hash(); }
+};
+
+}  // namespace punt::pn

@@ -1,0 +1,164 @@
+#include "src/pn/petri_net.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace punt::pn {
+
+PlaceId PetriNet::add_place(const std::string& name) {
+  if (place_index_.contains(name)) {
+    throw ValidationError("duplicate place name '" + name + "'");
+  }
+  const PlaceId id(static_cast<std::uint32_t>(place_names_.size()));
+  place_names_.push_back(name);
+  place_index_.emplace(name, id);
+  p_pre_.emplace_back();
+  p_post_.emplace_back();
+  initial_.resize(place_names_.size());
+  return id;
+}
+
+TransitionId PetriNet::add_transition(const std::string& name) {
+  if (transition_index_.contains(name)) {
+    throw ValidationError("duplicate transition name '" + name + "'");
+  }
+  const TransitionId id(static_cast<std::uint32_t>(transition_names_.size()));
+  transition_names_.push_back(name);
+  transition_index_.emplace(name, id);
+  t_pre_.emplace_back();
+  t_post_.emplace_back();
+  return id;
+}
+
+void PetriNet::add_arc(PlaceId p, TransitionId t) {
+  auto& pre = t_pre_[t.index()];
+  if (std::find(pre.begin(), pre.end(), p) != pre.end()) {
+    throw ValidationError("duplicate arc " + place_name(p) + " -> " + transition_name(t));
+  }
+  pre.push_back(p);
+  p_post_[p.index()].push_back(t);
+}
+
+void PetriNet::add_arc(TransitionId t, PlaceId p) {
+  auto& post = t_post_[t.index()];
+  if (std::find(post.begin(), post.end(), p) != post.end()) {
+    throw ValidationError("duplicate arc " + transition_name(t) + " -> " + place_name(p));
+  }
+  post.push_back(p);
+  p_pre_[p.index()].push_back(t);
+}
+
+void PetriNet::remove_arc(TransitionId t, PlaceId p) {
+  auto& post = t_post_[t.index()];
+  const auto it = std::find(post.begin(), post.end(), p);
+  if (it == post.end()) {
+    throw ValidationError("no arc " + transition_name(t) + " -> " + place_name(p) +
+                          " to remove");
+  }
+  post.erase(it);
+  auto& pre = p_pre_[p.index()];
+  pre.erase(std::find(pre.begin(), pre.end(), t));
+}
+
+std::optional<PlaceId> PetriNet::find_place(const std::string& name) const {
+  const auto it = place_index_.find(name);
+  if (it == place_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TransitionId> PetriNet::find_transition(const std::string& name) const {
+  const auto it = transition_index_.find(name);
+  if (it == transition_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PetriNet::set_initial_tokens(PlaceId p, std::uint32_t tokens) {
+  initial_.resize(place_count());
+  initial_.set_tokens(p, tokens);
+}
+
+bool PetriNet::enabled(const Marking& m, TransitionId t) const {
+  for (const PlaceId p : t_pre_[t.index()]) {
+    if (m.tokens(p) == 0) return false;
+  }
+  return true;
+}
+
+std::vector<TransitionId> PetriNet::enabled_transitions(const Marking& m) const {
+  std::vector<TransitionId> out;
+  for (std::size_t i = 0; i < transition_count(); ++i) {
+    const TransitionId t(static_cast<std::uint32_t>(i));
+    if (enabled(m, t)) out.push_back(t);
+  }
+  return out;
+}
+
+Marking PetriNet::fire(const Marking& m, TransitionId t, std::uint32_t capacity) const {
+  if (!enabled(m, t)) {
+    throw ValidationError("transition '" + transition_name(t) +
+                          "' is not enabled in marking " + m.to_string(place_names_));
+  }
+  Marking next = m;
+  for (const PlaceId p : t_pre_[t.index()]) next.remove_token(p);
+  for (const PlaceId p : t_post_[t.index()]) {
+    next.add_token(p);
+    if (capacity != 0 && next.tokens(p) > capacity) {
+      throw CapacityError("place '" + place_name(p) + "' exceeds capacity " +
+                          std::to_string(capacity) + " after firing '" +
+                          transition_name(t) + "' (the net is not " +
+                          std::to_string(capacity) + "-bounded)");
+    }
+  }
+  return next;
+}
+
+std::vector<PlaceId> PetriNet::choice_places() const {
+  std::vector<PlaceId> out;
+  for (std::size_t i = 0; i < place_count(); ++i) {
+    if (p_post_[i].size() >= 2) out.push_back(PlaceId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+bool PetriNet::is_free_choice() const {
+  for (std::size_t i = 0; i < place_count(); ++i) {
+    const auto& consumers = p_post_[i];
+    if (consumers.size() < 2) continue;
+    const auto& first_pre = t_pre_[consumers.front().index()];
+    for (const TransitionId t : consumers) {
+      const auto& pre = t_pre_[t.index()];
+      if (pre.size() != first_pre.size() ||
+          !std::is_permutation(pre.begin(), pre.end(), first_pre.begin())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool PetriNet::is_marked_graph() const {
+  for (std::size_t i = 0; i < place_count(); ++i) {
+    if (p_pre_[i].size() > 1 || p_post_[i].size() > 1) return false;
+  }
+  return true;
+}
+
+void PetriNet::validate() const {
+  for (std::size_t i = 0; i < transition_count(); ++i) {
+    if (t_pre_[i].empty()) {
+      throw ValidationError("transition '" + transition_names_[i] +
+                            "' has an empty preset; it would be permanently "
+                            "enabled and the net unbounded");
+    }
+    if (t_post_[i].empty()) {
+      throw ValidationError("transition '" + transition_names_[i] +
+                            "' has an empty postset");
+    }
+  }
+  if (initial_.place_count() != place_count()) {
+    throw ValidationError("initial marking size does not match the place count");
+  }
+}
+
+}  // namespace punt::pn

@@ -1,0 +1,101 @@
+// Marked Petri net kernel: N = <P, T, F, m0>.
+//
+// The net is *ordinary* (arc weight 1), which covers every STG in the
+// paper's benchmark suite; duplicate arcs are rejected at construction time.
+// Structure is immutable through the query API — mutation happens only via
+// the add_* builders, so derived analyses can cache freely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pn/ids.hpp"
+#include "src/pn/marking.hpp"
+
+namespace punt::pn {
+
+/// A marked Petri net.  Places and transitions are referred to by dense ids;
+/// names are unique within each element class.
+class PetriNet {
+ public:
+  /// Adds a place; `name` must be unique among places.
+  PlaceId add_place(const std::string& name);
+
+  /// Adds a transition; `name` must be unique among transitions.
+  TransitionId add_transition(const std::string& name);
+
+  /// Adds a place -> transition arc (the place joins pre(t)).
+  void add_arc(PlaceId p, TransitionId t);
+  /// Adds a transition -> place arc (the place joins post(t)).
+  void add_arc(TransitionId t, PlaceId p);
+
+  /// Removes an existing transition -> place arc (used by net surgery such
+  /// as state-signal insertion).  Throws ValidationError when absent.
+  void remove_arc(TransitionId t, PlaceId p);
+
+  std::size_t place_count() const { return place_names_.size(); }
+  std::size_t transition_count() const { return transition_names_.size(); }
+
+  const std::string& place_name(PlaceId p) const { return place_names_[p.index()]; }
+  const std::string& transition_name(TransitionId t) const {
+    return transition_names_[t.index()];
+  }
+  const std::vector<std::string>& place_names() const { return place_names_; }
+
+  std::optional<PlaceId> find_place(const std::string& name) const;
+  std::optional<TransitionId> find_transition(const std::string& name) const;
+
+  const std::vector<PlaceId>& pre(TransitionId t) const { return t_pre_[t.index()]; }
+  const std::vector<PlaceId>& post(TransitionId t) const { return t_post_[t.index()]; }
+  const std::vector<TransitionId>& pre(PlaceId p) const { return p_pre_[p.index()]; }
+  const std::vector<TransitionId>& post(PlaceId p) const { return p_post_[p.index()]; }
+
+  /// The initial marking; mutable while the model is being built.
+  const Marking& initial_marking() const { return initial_; }
+  void set_initial_tokens(PlaceId p, std::uint32_t tokens);
+
+  // --- Token game -----------------------------------------------------------
+
+  /// True when every input place of `t` holds a token under `m`.
+  bool enabled(const Marking& m, TransitionId t) const;
+
+  /// All transitions enabled under `m`, in ascending id order.
+  std::vector<TransitionId> enabled_transitions(const Marking& m) const;
+
+  /// Fires `t` from `m`.  Throws ValidationError if `t` is not enabled and
+  /// CapacityError if a place would exceed `capacity` tokens (0 = unchecked).
+  Marking fire(const Marking& m, TransitionId t, std::uint32_t capacity = 0) const;
+
+  // --- Structural queries ---------------------------------------------------
+
+  /// Places with two or more output transitions (choice places).
+  std::vector<PlaceId> choice_places() const;
+
+  /// Extended free choice: any two transitions sharing an input place have
+  /// identical presets.
+  bool is_free_choice() const;
+
+  /// Marked graph: every place has at most one producer and one consumer.
+  bool is_marked_graph() const;
+
+  /// Structural sanity: every transition has a nonempty preset and postset
+  /// (a transition with an empty preset would be always-enabled and the net
+  /// trivially unbounded).  Throws ValidationError describing the offender.
+  void validate() const;
+
+ private:
+  std::vector<std::string> place_names_;
+  std::vector<std::string> transition_names_;
+  std::unordered_map<std::string, PlaceId> place_index_;
+  std::unordered_map<std::string, TransitionId> transition_index_;
+
+  std::vector<std::vector<PlaceId>> t_pre_, t_post_;
+  std::vector<std::vector<TransitionId>> p_pre_, p_post_;
+
+  Marking initial_;
+};
+
+}  // namespace punt::pn

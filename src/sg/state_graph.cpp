@@ -1,0 +1,113 @@
+#include "src/sg/state_graph.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/util/error.hpp"
+
+namespace punt::sg {
+
+StateGraph StateGraph::build(const stg::Stg& stg, const BuildOptions& options) {
+  stg.validate();
+  const pn::PetriNet& net = stg.net();
+
+  StateGraph sg;
+  sg.signal_count_ = stg.signal_count();
+
+  std::unordered_map<std::size_t, std::vector<std::size_t>> index;  // hash -> states
+  std::deque<std::size_t> queue;
+
+  auto intern = [&](pn::Marking m, stg::Code code) -> std::size_t {
+    const std::size_t h = m.hash();
+    for (const std::size_t s : index[h]) {
+      if (sg.markings_[s] == m) {
+        if (sg.codes_[s] != code) {
+          throw ImplementabilityError(
+              "inconsistent state assignment: marking " +
+              m.to_string(stg.net().place_names()) + " is reachable with codes " +
+              stg::code_to_string(sg.codes_[s]) + " and " + stg::code_to_string(code));
+        }
+        return s;
+      }
+    }
+    const std::size_t s = sg.markings_.size();
+    if (options.state_budget != 0 && s >= options.state_budget) {
+      throw CapacityError("state graph exceeds the state budget of " +
+                          std::to_string(options.state_budget) +
+                          " states; the specification is too concurrent for "
+                          "explicit reachability");
+    }
+    index[h].push_back(s);
+    sg.markings_.push_back(std::move(m));
+    sg.codes_.push_back(std::move(code));
+    sg.arcs_.emplace_back();
+    queue.push_back(s);
+    return s;
+  };
+
+  intern(net.initial_marking(), stg.initial_code());
+  while (!queue.empty()) {
+    const std::size_t s = queue.front();
+    queue.pop_front();
+    const pn::Marking marking = sg.markings_[s];  // copy: vectors may reallocate
+    const stg::Code code = sg.codes_[s];
+    for (const pn::TransitionId t : net.enabled_transitions(marking)) {
+      stg::Code next_code = code;
+      stg.apply(t, next_code);  // throws on inconsistency
+      const std::size_t target = intern(net.fire(marking, t, options.capacity),
+                                        std::move(next_code));
+      sg.arcs_[s].push_back(Arc{t, target});
+    }
+  }
+
+  // Excitation table, state-major.
+  sg.excited_.assign(sg.state_count() * sg.signal_count_, 0);
+  for (std::size_t s = 0; s < sg.state_count(); ++s) {
+    for (const Arc& arc : sg.arcs_[s]) {
+      const stg::Label& label = stg.label(arc.transition);
+      if (!label.dummy) {
+        sg.excited_[s * sg.signal_count_ + label.signal.index()] = 1;
+      }
+    }
+  }
+  return sg;
+}
+
+std::size_t StateGraph::arc_count() const {
+  std::size_t n = 0;
+  for (const auto& a : arcs_) n += a.size();
+  return n;
+}
+
+std::vector<std::size_t> StateGraph::on_set(stg::SignalId signal) const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < state_count(); ++s) {
+    if (implied_value(s, signal) == 1) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::size_t> StateGraph::off_set(stg::SignalId signal) const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < state_count(); ++s) {
+    if (implied_value(s, signal) == 0) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::size_t> StateGraph::excitation_region(stg::SignalId signal, bool rising,
+                                                       const stg::Stg& stg) const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < state_count(); ++s) {
+    for (const Arc& arc : arcs_[s]) {
+      const stg::Label& label = stg.label(arc.transition);
+      if (!label.dummy && label.signal == signal && label.rising() == rising) {
+        out.push_back(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace punt::sg

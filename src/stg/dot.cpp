@@ -1,0 +1,63 @@
+#include "src/stg/dot.hpp"
+
+namespace punt::stg {
+namespace {
+
+const char* kind_color(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::Input: return "lightblue";
+    case SignalKind::Output: return "lightpink";
+    case SignalKind::Internal: return "lightyellow";
+    case SignalKind::Dummy: return "lightgray";
+  }
+  return "white";
+}
+
+std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+
+}  // namespace
+
+std::string to_dot(const Stg& stg, const DotOptions& options) {
+  const pn::PetriNet& net = stg.net();
+  std::string out = "digraph " + quoted(stg.name()) + " {\n";
+  out += "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+
+  for (std::size_t i = 0; i < net.transition_count(); ++i) {
+    const pn::TransitionId t(static_cast<std::uint32_t>(i));
+    const Label& label = stg.label(t);
+    out += "  " + quoted(net.transition_name(t)) +
+           " [shape=box, style=filled, fillcolor=" +
+           kind_color(stg.signal_kind(label.signal)) + "];\n";
+  }
+
+  auto is_implicit = [&](pn::PlaceId p) {
+    return options.collapse_implicit_places && net.pre(p).size() == 1 &&
+           net.post(p).size() == 1 && net.initial_marking().tokens(p) == 0;
+  };
+
+  for (std::size_t i = 0; i < net.place_count(); ++i) {
+    const pn::PlaceId p(static_cast<std::uint32_t>(i));
+    if (is_implicit(p)) {
+      out += "  " + quoted(net.transition_name(net.pre(p).front())) + " -> " +
+             quoted(net.transition_name(net.post(p).front())) + ";\n";
+      continue;
+    }
+    const std::uint32_t tokens = net.initial_marking().tokens(p);
+    std::string label = net.place_name(p);
+    if (tokens > 0) label += " (" + std::string(tokens, '*') + ")";
+    out += "  " + quoted(net.place_name(p)) + " [shape=circle, label=" +
+           quoted(label) + (tokens > 0 ? ", penwidth=2" : "") + "];\n";
+    for (const pn::TransitionId t : net.pre(p)) {
+      out += "  " + quoted(net.transition_name(t)) + " -> " + quoted(net.place_name(p)) +
+             ";\n";
+    }
+    for (const pn::TransitionId t : net.post(p)) {
+      out += "  " + quoted(net.place_name(p)) + " -> " + quoted(net.transition_name(t)) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace punt::stg

@@ -1,0 +1,25 @@
+// Graphviz (DOT) export of STGs.
+//
+// Transitions render as boxes labelled with their signal edge (inputs,
+// outputs and internals get distinct colours), places as circles (marked
+// places carry their token count); implicit single-in/single-out places
+// collapse into plain arcs for readability, matching how STGs are drawn in
+// the literature (and in the paper's Fig. 1).
+#pragma once
+
+#include <string>
+
+#include "src/stg/stg.hpp"
+
+namespace punt::stg {
+
+struct DotOptions {
+  /// Collapse places with exactly one producer and one consumer into a
+  /// direct transition->transition arc.
+  bool collapse_implicit_places = true;
+};
+
+/// Renders the STG as a DOT digraph (pipe into `dot -Tsvg`).
+std::string to_dot(const Stg& stg, const DotOptions& options = {});
+
+}  // namespace punt::stg

@@ -1,0 +1,425 @@
+#include "src/stg/g_format.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace punt::stg {
+namespace {
+
+/// A transition token decomposed into signal name, polarity and occurrence.
+struct TransitionToken {
+  std::string signal;
+  std::optional<Polarity> polarity;  // nullopt for dummy tokens
+  std::size_t occurrence = 1;
+};
+
+/// Splits "sig+/2" into its parts; returns nullopt when the token carries no
+/// polarity sign (it is then either a dummy transition or a place name).
+std::optional<TransitionToken> parse_transition_token(std::string_view token) {
+  std::string_view body = token;
+  std::size_t occurrence = 1;
+  if (const std::size_t slash = body.rfind('/'); slash != std::string_view::npos) {
+    const std::string_view suffix = body.substr(slash + 1);
+    if (suffix.empty()) throw ParseError("empty occurrence suffix in '" + std::string(token) + "'");
+    occurrence = 0;
+    for (const char c : suffix) {
+      if (c < '0' || c > '9') return std::nullopt;  // e.g. a name containing '/'
+      occurrence = occurrence * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (occurrence == 0) throw ParseError("occurrence suffix 0 in '" + std::string(token) + "'");
+    body = body.substr(0, slash);
+  }
+  if (body.empty()) return std::nullopt;
+  TransitionToken out;
+  out.occurrence = occurrence;
+  const char last = body.back();
+  if (last == '+' || last == '-') {
+    out.polarity = last == '+' ? Polarity::Rise : Polarity::Fall;
+    body.remove_suffix(1);
+    if (body.empty()) return std::nullopt;
+  }
+  out.signal = std::string(body);
+  return out;
+}
+
+/// Canonical token spelling used as map key ("a+", "a+/2", "dum/3").
+std::string canonical_token(const TransitionToken& t) {
+  std::string out = t.signal;
+  if (t.polarity) out += *t.polarity == Polarity::Rise ? '+' : '-';
+  if (t.occurrence > 1) out += "/" + std::to_string(t.occurrence);
+  return out;
+}
+
+}  // namespace
+
+Code infer_initial_code(const Stg& stg, std::size_t state_budget) {
+  const pn::PetriNet& net = stg.net();
+  const std::size_t n = stg.signal_count();
+  Code initial(n, 0);
+  std::vector<std::uint8_t> resolved(n, 0);
+  std::size_t unresolved = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const SignalId sig(static_cast<std::uint32_t>(s));
+    if (stg.signal_kind(sig) == SignalKind::Dummy || stg.instances_of(sig).empty()) {
+      resolved[s] = 1;  // constants and dummies default to 0
+    } else {
+      ++unresolved;
+    }
+  }
+  if (unresolved == 0) return initial;
+
+  // Parity of signal toggles along the path to each visited marking.  For a
+  // consistent STG the parity is path-independent, so storing one parity per
+  // marking is sound; an actual inconsistency surfaces as a parity conflict.
+  struct State {
+    pn::Marking marking;
+    std::vector<std::uint8_t> parity;
+  };
+  std::unordered_map<std::size_t, std::vector<std::size_t>> seen;  // hash -> state ids
+  std::vector<State> states;
+  std::deque<std::size_t> queue;
+
+  auto intern = [&](pn::Marking m, std::vector<std::uint8_t> parity) {
+    const std::size_t h = m.hash();
+    for (const std::size_t id : seen[h]) {
+      if (states[id].marking == m) {
+        if (states[id].parity != parity) {
+          throw ImplementabilityError(
+              "inconsistent state assignment detected while inferring the "
+              "initial code: a marking is reachable with two different signal "
+              "parities");
+        }
+        return;
+      }
+    }
+    seen[h].push_back(states.size());
+    queue.push_back(states.size());
+    states.push_back(State{std::move(m), std::move(parity)});
+  };
+
+  intern(net.initial_marking(), std::vector<std::uint8_t>(n, 0));
+  while (!queue.empty() && unresolved > 0) {
+    if (states.size() > state_budget) {
+      throw CapacityError(
+          "initial-code inference exceeded the state budget (" +
+          std::to_string(state_budget) +
+          " markings); add an explicit .init_values line to the .g source");
+    }
+    const std::size_t id = queue.front();
+    queue.pop_front();
+    const pn::Marking marking = states[id].marking;           // copy: states may grow
+    const std::vector<std::uint8_t> parity = states[id].parity;
+    for (const pn::TransitionId t : net.enabled_transitions(marking)) {
+      const Label& label = stg.label(t);
+      std::vector<std::uint8_t> next_parity = parity;
+      if (!label.dummy) {
+        const std::size_t s = label.signal.index();
+        // value(marking) = initial ^ parity; firing a+ needs value 0, a- needs 1.
+        const std::uint8_t implied_initial =
+            label.rising() ? parity[s] : static_cast<std::uint8_t>(1 - parity[s]);
+        if (!resolved[s]) {
+          initial[s] = implied_initial;
+          resolved[s] = 1;
+          --unresolved;
+        } else if (initial[s] != implied_initial) {
+          throw ImplementabilityError(
+              "inconsistent state assignment: transition '" + stg.transition_name(t) +
+              "' implies initial value " + std::to_string(int(implied_initial)) +
+              " for signal '" + stg.signal_name(label.signal) +
+              "' but an earlier edge implied " + std::to_string(int(initial[s])));
+        }
+        next_parity[s] ^= 1;
+      }
+      intern(net.fire(marking, t), std::move(next_parity));
+    }
+  }
+  if (unresolved > 0) {
+    std::string names;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!resolved[s]) names += (names.empty() ? "" : ", ") +
+                                 stg.signal_name(SignalId(static_cast<std::uint32_t>(s)));
+    }
+    throw ImplementabilityError(
+        "could not infer initial values for signal(s) " + names +
+        ": none of their transitions is reachable from the initial marking");
+  }
+  return initial;
+}
+
+Stg parse_g(std::string_view text, const ParseOptions& options) {
+  Stg stg;
+  std::map<std::string, SignalKind> declared;       // signal name -> kind
+  std::vector<std::pair<std::string, SignalKind>> declaration_order;
+  std::vector<std::vector<std::string>> graph_lines;
+  std::vector<std::string> marking_tokens;
+  std::map<std::string, std::uint8_t> init_values;
+  bool has_init_values = false;
+  bool in_graph = false;
+  bool saw_end = false;
+
+  auto declare = [&](const std::string& name, SignalKind kind) {
+    if (declared.contains(name)) {
+      throw ParseError("signal '" + name + "' declared twice");
+    }
+    declared.emplace(name, kind);
+    declaration_order.emplace_back(name, kind);
+  };
+
+  for (const std::string& raw : logical_lines(text)) {
+    std::string_view line = trim(raw);
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    if (line.front() == '.') {
+      in_graph = false;
+      const std::vector<std::string> words = split(line);
+      const std::string& directive = words.front();
+      if (directive == ".model" || directive == ".name") {
+        if (words.size() >= 2) stg.set_name(words[1]);
+      } else if (directive == ".inputs") {
+        for (std::size_t i = 1; i < words.size(); ++i) declare(words[i], SignalKind::Input);
+      } else if (directive == ".outputs") {
+        for (std::size_t i = 1; i < words.size(); ++i) declare(words[i], SignalKind::Output);
+      } else if (directive == ".internal") {
+        for (std::size_t i = 1; i < words.size(); ++i) declare(words[i], SignalKind::Internal);
+      } else if (directive == ".dummy") {
+        for (std::size_t i = 1; i < words.size(); ++i) declare(words[i], SignalKind::Dummy);
+      } else if (directive == ".graph") {
+        in_graph = true;
+      } else if (directive == ".marking") {
+        std::string rest(line.substr(directive.size()));
+        std::erase(rest, '{');
+        std::erase(rest, '}');
+        for (std::string& token : split(rest)) marking_tokens.push_back(std::move(token));
+      } else if (directive == ".init_values") {
+        has_init_values = true;
+        for (std::size_t i = 1; i < words.size(); ++i) {
+          const std::size_t eq = words[i].find('=');
+          if (eq == std::string::npos) {
+            throw ParseError(".init_values entries must look like name=0|1, got '" +
+                             words[i] + "'");
+          }
+          const std::string name = words[i].substr(0, eq);
+          const std::string value = words[i].substr(eq + 1);
+          if (value != "0" && value != "1") {
+            throw ParseError("initial value of '" + name + "' must be 0 or 1");
+          }
+          init_values[name] = static_cast<std::uint8_t>(value == "1");
+        }
+      } else if (directive == ".end") {
+        saw_end = true;
+        break;
+      } else if (directive == ".capacity" || directive == ".coords" ||
+                 directive == ".slowenv" || directive == ".level") {
+        // Accepted and ignored: these carry tool-specific hints that do not
+        // affect the synthesis semantics.
+      } else {
+        throw ParseError("unknown directive '" + directive + "'");
+      }
+      continue;
+    }
+
+    if (!in_graph) {
+      throw ParseError("unexpected line outside .graph section: '" + std::string(line) + "'");
+    }
+    graph_lines.push_back(split(line));
+  }
+  if (!saw_end) throw ParseError("missing .end directive");
+  if (graph_lines.empty()) throw ParseError("empty .graph section");
+
+  // Signals in declaration order.
+  std::map<std::string, SignalId> signal_ids;
+  for (const auto& [name, kind] : declaration_order) {
+    signal_ids.emplace(name, stg.add_signal(name, kind));
+  }
+
+  // Pass 1: find every transition token so instances can be created with
+  // their canonical names ("a+" before "a+/2").
+  struct InstanceKey {
+    std::string signal;
+    int polarity;  // 0 rise, 1 fall, 2 dummy
+    bool operator<(const InstanceKey& o) const {
+      return std::tie(signal, polarity) < std::tie(o.signal, o.polarity);
+    }
+  };
+  std::map<InstanceKey, std::set<std::size_t>> occurrences;
+  auto classify = [&](const std::string& token) -> std::optional<TransitionToken> {
+    std::optional<TransitionToken> parsed = parse_transition_token(token);
+    if (!parsed) return std::nullopt;
+    const auto it = declared.find(parsed->signal);
+    if (it == declared.end()) return std::nullopt;  // an undeclared name is a place
+    if (parsed->polarity && it->second == SignalKind::Dummy) {
+      throw ParseError("dummy signal '" + parsed->signal + "' used with a polarity sign");
+    }
+    if (!parsed->polarity && it->second != SignalKind::Dummy) {
+      throw ParseError("signal '" + parsed->signal +
+                       "' used as a transition without +/- (only dummies may be)");
+    }
+    return parsed;
+  };
+  for (const auto& words : graph_lines) {
+    for (const std::string& token : words) {
+      if (const auto parsed = classify(token)) {
+        const int pol = parsed->polarity ? (*parsed->polarity == Polarity::Rise ? 0 : 1) : 2;
+        occurrences[InstanceKey{parsed->signal, pol}].insert(parsed->occurrence);
+      }
+    }
+  }
+  std::unordered_map<std::string, pn::TransitionId> transition_by_name;
+  for (const auto& [key, occs] : occurrences) {
+    std::size_t expected = 1;
+    for (const std::size_t occ : occs) {
+      if (occ != expected) {
+        throw ParseError("occurrences of transition '" + key.signal +
+                         "' are not contiguous: missing /" + std::to_string(expected));
+      }
+      ++expected;
+      const SignalId sig = signal_ids.at(key.signal);
+      const pn::TransitionId t =
+          key.polarity == 2
+              ? stg.add_dummy_transition(sig)
+              : stg.add_transition(sig, key.polarity == 0 ? Polarity::Rise : Polarity::Fall);
+      TransitionToken tok;
+      tok.signal = key.signal;
+      if (key.polarity != 2) tok.polarity = key.polarity == 0 ? Polarity::Rise : Polarity::Fall;
+      tok.occurrence = occ;
+      transition_by_name.emplace(canonical_token(tok), t);
+    }
+  }
+
+  // Pass 2: create places and arcs.
+  std::unordered_map<std::string, pn::PlaceId> place_by_name;
+  auto get_place = [&](const std::string& name) {
+    const auto it = place_by_name.find(name);
+    if (it != place_by_name.end()) return it->second;
+    const pn::PlaceId p = stg.net().add_place(name);
+    place_by_name.emplace(name, p);
+    return p;
+  };
+  auto lookup_transition = [&](const std::string& token) -> std::optional<pn::TransitionId> {
+    const auto it = transition_by_name.find(token);
+    if (it == transition_by_name.end()) return std::nullopt;
+    return it->second;
+  };
+  for (const auto& words : graph_lines) {
+    if (words.size() < 2) {
+      throw ParseError("a .graph line needs a source and at least one target");
+    }
+    const std::optional<pn::TransitionId> src_t = lookup_transition(words.front());
+    for (std::size_t i = 1; i < words.size(); ++i) {
+      const std::optional<pn::TransitionId> dst_t = lookup_transition(words[i]);
+      if (src_t && dst_t) {
+        const pn::PlaceId p = get_place("<" + words.front() + "," + words[i] + ">");
+        stg.net().add_arc(*src_t, p);
+        stg.net().add_arc(p, *dst_t);
+      } else if (src_t && !dst_t) {
+        stg.net().add_arc(*src_t, get_place(words[i]));
+      } else if (!src_t && dst_t) {
+        stg.net().add_arc(get_place(words.front()), *dst_t);
+      } else {
+        throw ParseError("arc between two places: '" + words.front() + "' -> '" +
+                         words[i] + "'");
+      }
+    }
+  }
+
+  // Initial marking.  Tokens: "p", "p=2", "<a+,b->", "<a+,b->=2".
+  for (const std::string& token : marking_tokens) {
+    std::string name = token;
+    std::uint32_t count = 1;
+    if (const std::size_t eq = token.rfind('='); eq != std::string::npos &&
+                                                 token.find('>') < eq) {
+      name = token.substr(0, eq);
+      count = static_cast<std::uint32_t>(std::stoul(token.substr(eq + 1)));
+    } else if (const std::size_t eq2 = token.rfind('=');
+               eq2 != std::string::npos && token.find('<') == std::string::npos) {
+      name = token.substr(0, eq2);
+      count = static_cast<std::uint32_t>(std::stoul(token.substr(eq2 + 1)));
+    }
+    const auto it = place_by_name.find(name);
+    if (it == place_by_name.end()) {
+      throw ParseError("marked place '" + name + "' does not appear in .graph");
+    }
+    stg.net().set_initial_tokens(it->second, count);
+  }
+
+  stg.validate();
+
+  if (has_init_values) {
+    for (const auto& [name, value] : init_values) {
+      const auto sig = stg.find_signal(name);
+      if (!sig) throw ParseError(".init_values mentions unknown signal '" + name + "'");
+      stg.set_initial_value(*sig, value);
+    }
+  } else {
+    const Code inferred = infer_initial_code(stg, options.inference_state_budget);
+    for (std::size_t s = 0; s < inferred.size(); ++s) {
+      stg.set_initial_value(SignalId(static_cast<std::uint32_t>(s)), inferred[s]);
+    }
+  }
+  return stg;
+}
+
+std::string write_g(const Stg& stg) {
+  const pn::PetriNet& net = stg.net();
+  std::string out = ".model " + stg.name() + "\n";
+  auto emit_signals = [&](SignalKind kind, const char* directive) {
+    std::string line;
+    for (std::size_t s = 0; s < stg.signal_count(); ++s) {
+      const SignalId sig(static_cast<std::uint32_t>(s));
+      if (stg.signal_kind(sig) == kind) line += " " + stg.signal_name(sig);
+    }
+    if (!line.empty()) out += directive + line + "\n";
+  };
+  emit_signals(SignalKind::Input, ".inputs");
+  emit_signals(SignalKind::Output, ".outputs");
+  emit_signals(SignalKind::Internal, ".internal");
+  emit_signals(SignalKind::Dummy, ".dummy");
+
+  out += ".graph\n";
+  // Every arc is written through its place; implicit "<x,y>" names from a
+  // previous parse are preserved verbatim, so round-trips are stable.
+  for (std::size_t i = 0; i < net.transition_count(); ++i) {
+    const pn::TransitionId t(static_cast<std::uint32_t>(i));
+    std::string line = net.transition_name(t);
+    for (const pn::PlaceId p : net.post(t)) line += " " + net.place_name(p);
+    out += line + "\n";
+  }
+  for (std::size_t i = 0; i < net.place_count(); ++i) {
+    const pn::PlaceId p(static_cast<std::uint32_t>(i));
+    if (net.post(p).empty()) continue;
+    std::string line = net.place_name(p);
+    for (const pn::TransitionId t : net.post(p)) line += " " + net.transition_name(t);
+    out += line + "\n";
+  }
+
+  out += ".marking {";
+  for (const pn::PlaceId p : net.initial_marking().marked_places()) {
+    out += " " + net.place_name(p);
+    if (net.initial_marking().tokens(p) > 1) {
+      out += "=" + std::to_string(net.initial_marking().tokens(p));
+    }
+  }
+  out += " }\n";
+
+  out += ".init_values";
+  for (std::size_t s = 0; s < stg.signal_count(); ++s) {
+    const SignalId sig(static_cast<std::uint32_t>(s));
+    if (stg.signal_kind(sig) == SignalKind::Dummy) continue;
+    out += " " + stg.signal_name(sig) + "=" + (stg.initial_value(sig) ? "1" : "0");
+  }
+  out += "\n.end\n";
+  return out;
+}
+
+}  // namespace punt::stg

@@ -1,0 +1,43 @@
+// Reader / writer for the astg `.g` interchange format used by SIS and
+// petrify (and by the paper's benchmark suite).
+//
+// Supported directives: .model, .inputs, .outputs, .internal, .dummy,
+// .graph, .marking, .end, plus the punt extension .init_values that pins the
+// initial binary state explicitly.  When .init_values is absent the initial
+// code is inferred by exploring the reachability graph until the first edge
+// of every signal has been seen (the standard trick: if a+ fires first, a
+// started at 0), with a configurable state budget.
+//
+// `.graph` lines are adjacency lists "src dst1 dst2 ..." where each node is
+// a place name or a transition token ("a+", "b-/2", dummy name).  An arc
+// between two transitions introduces an implicit place named "<src,dst>".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/stg/stg.hpp"
+
+namespace punt::stg {
+
+struct ParseOptions {
+  /// Cap on the number of markings visited while inferring the initial
+  /// binary code (only used when the file lacks .init_values).
+  std::size_t inference_state_budget = 500000;
+};
+
+/// Parses `.g` text into an Stg.  Throws ParseError on malformed input and
+/// ImplementabilityError when initial-code inference finds an inconsistency.
+Stg parse_g(std::string_view text, const ParseOptions& options = {});
+
+/// Serialises an Stg to `.g` text (including .init_values, so round-trips
+/// never need inference).
+std::string write_g(const Stg& stg);
+
+/// Infers the initial binary code of a parsed STG whose initial values are
+/// unknown, by bounded reachability exploration.  Exposed for testing.
+Code infer_initial_code(const Stg& stg, std::size_t state_budget);
+
+}  // namespace punt::stg

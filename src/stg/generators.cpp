@@ -1,0 +1,282 @@
+#include "src/stg/generators.hpp"
+
+#include <string>
+
+#include "src/util/error.hpp"
+
+namespace punt::stg {
+namespace {
+
+/// Adds a fresh place `name` with arcs src -> place -> dst.
+pn::PlaceId connect(Stg& stg, pn::TransitionId src, pn::TransitionId dst,
+                    const std::string& name, bool marked = false) {
+  const pn::PlaceId p = stg.net().add_place(name);
+  stg.net().add_arc(src, p);
+  stg.net().add_arc(p, dst);
+  if (marked) stg.net().set_initial_tokens(p, 1);
+  return p;
+}
+
+}  // namespace
+
+Stg make_paper_fig1() {
+  Stg stg;
+  stg.set_name("paper_fig1");
+  // The free choice at p1 is between +a and +c/2, so a and c belong to the
+  // environment; the paper synthesises the output b.
+  const SignalId a = stg.add_signal("a", SignalKind::Input);
+  const SignalId b = stg.add_signal("b", SignalKind::Output);
+  const SignalId c = stg.add_signal("c", SignalKind::Input);
+
+  const pn::TransitionId a_up = stg.add_transition(a, Polarity::Rise);
+  const pn::TransitionId a_dn = stg.add_transition(a, Polarity::Fall);
+  const pn::TransitionId b_up1 = stg.add_transition(b, Polarity::Rise);
+  const pn::TransitionId b_up2 = stg.add_transition(b, Polarity::Rise);  // b+/2
+  const pn::TransitionId b_dn = stg.add_transition(b, Polarity::Fall);
+  const pn::TransitionId c_up1 = stg.add_transition(c, Polarity::Rise);
+  const pn::TransitionId c_up2 = stg.add_transition(c, Polarity::Rise);  // c+/2
+  const pn::TransitionId c_dn = stg.add_transition(c, Polarity::Fall);
+
+  pn::PetriNet& net = stg.net();
+  const pn::PlaceId p1 = net.add_place("p1");
+  const pn::PlaceId p2 = net.add_place("p2");
+  const pn::PlaceId p3 = net.add_place("p3");
+  const pn::PlaceId p4 = net.add_place("p4");
+  const pn::PlaceId p5 = net.add_place("p5");
+  const pn::PlaceId p6 = net.add_place("p6");
+  const pn::PlaceId p7 = net.add_place("p7");
+  const pn::PlaceId p8 = net.add_place("p8");
+  const pn::PlaceId p9 = net.add_place("p9");
+
+  // Branch A: +a forks (p2, p3); +b consumes p2, +c consumes p3; -a joins.
+  net.add_arc(p1, a_up);
+  net.add_arc(a_up, p2);
+  net.add_arc(a_up, p3);
+  net.add_arc(p2, b_up1);
+  net.add_arc(b_up1, p5);
+  net.add_arc(p3, c_up1);
+  net.add_arc(c_up1, p6);
+  net.add_arc(c_up1, p8);
+  net.add_arc(p5, a_dn);
+  net.add_arc(p6, a_dn);
+  net.add_arc(a_dn, p7);
+  // Branch B: +c/2 then +b/2 (the choice at p1).
+  net.add_arc(p1, c_up2);
+  net.add_arc(c_up2, p4);
+  net.add_arc(p4, b_up2);
+  net.add_arc(b_up2, p7);
+  net.add_arc(b_up2, p8);
+  // Common tail: -c then -b back to p1.
+  net.add_arc(p7, c_dn);
+  net.add_arc(p8, c_dn);
+  net.add_arc(c_dn, p9);
+  net.add_arc(p9, b_dn);
+  net.add_arc(b_dn, p1);
+
+  net.set_initial_tokens(p1, 1);
+  stg.validate();
+  return stg;
+}
+
+Stg make_paper_fig4ab() {
+  Stg stg;
+  stg.set_name("paper_fig4ab");
+  const SignalId a = stg.add_signal("a", SignalKind::Output);
+  const SignalId b = stg.add_signal("b", SignalKind::Output);
+  const SignalId c = stg.add_signal("c", SignalKind::Output);
+  const SignalId d = stg.add_signal("d", SignalKind::Output);
+  const SignalId e = stg.add_signal("e", SignalKind::Output);
+  const SignalId f = stg.add_signal("f", SignalKind::Output);
+  const SignalId g = stg.add_signal("g", SignalKind::Output);
+
+  const pn::TransitionId a_up = stg.add_transition(a, Polarity::Rise);
+  const pn::TransitionId a_dn = stg.add_transition(a, Polarity::Fall);
+  const pn::TransitionId b_up = stg.add_transition(b, Polarity::Rise);
+  const pn::TransitionId c_up = stg.add_transition(c, Polarity::Rise);
+  const pn::TransitionId d_up = stg.add_transition(d, Polarity::Rise);
+  const pn::TransitionId e_up = stg.add_transition(e, Polarity::Rise);
+  const pn::TransitionId f_up = stg.add_transition(f, Polarity::Rise);
+  const pn::TransitionId g_up = stg.add_transition(g, Polarity::Rise);
+
+  pn::PetriNet& net = stg.net();
+  const pn::PlaceId p1 = net.add_place("p1");
+  const pn::PlaceId p2 = net.add_place("p2");
+  const pn::PlaceId p3 = net.add_place("p3");
+  const pn::PlaceId p4 = net.add_place("p4");
+  const pn::PlaceId p5 = net.add_place("p5");
+  const pn::PlaceId p6 = net.add_place("p6");
+  const pn::PlaceId p7 = net.add_place("p7");
+  const pn::PlaceId p8 = net.add_place("p8");
+  const pn::PlaceId p9 = net.add_place("p9");
+  const pn::PlaceId p10 = net.add_place("p10");
+  const pn::PlaceId p11 = net.add_place("p11");
+
+  net.add_arc(p1, a_up);
+  net.add_arc(a_up, p2);
+  net.add_arc(a_up, p3);
+  net.add_arc(a_up, p4);
+  net.add_arc(p2, b_up);
+  net.add_arc(b_up, p5);
+  net.add_arc(p5, e_up);
+  net.add_arc(e_up, p8);
+  net.add_arc(p3, c_up);
+  net.add_arc(c_up, p6);
+  net.add_arc(p6, f_up);
+  net.add_arc(f_up, p9);
+  net.add_arc(p4, d_up);
+  net.add_arc(d_up, p7);
+  net.add_arc(p7, g_up);
+  net.add_arc(g_up, p10);
+  net.add_arc(p8, a_dn);
+  net.add_arc(p9, a_dn);
+  net.add_arc(p10, a_dn);
+  net.add_arc(a_dn, p11);
+
+  net.set_initial_tokens(p1, 1);
+  stg.validate();
+  return stg;
+}
+
+Stg make_paper_fig4c() {
+  Stg stg;
+  stg.set_name("paper_fig4c");
+  const SignalId a = stg.add_signal("a", SignalKind::Output);
+  const SignalId b = stg.add_signal("b", SignalKind::Output);
+  const SignalId c = stg.add_signal("c", SignalKind::Output);
+  const SignalId d = stg.add_signal("d", SignalKind::Output);
+  const SignalId e = stg.add_signal("e", SignalKind::Output);
+
+  const pn::TransitionId a_up = stg.add_transition(a, Polarity::Rise);
+  const pn::TransitionId a_dn = stg.add_transition(a, Polarity::Fall);
+  const pn::TransitionId b_up = stg.add_transition(b, Polarity::Rise);
+  const pn::TransitionId c_up = stg.add_transition(c, Polarity::Rise);
+  const pn::TransitionId d_up = stg.add_transition(d, Polarity::Rise);
+  const pn::TransitionId e_up = stg.add_transition(e, Polarity::Rise);
+
+  pn::PetriNet& net = stg.net();
+  const pn::PlaceId p1 = net.add_place("p1");
+  const pn::PlaceId pa = net.add_place("pa");
+  const pn::PlaceId p2 = net.add_place("p2");
+  const pn::PlaceId p4 = net.add_place("p4");
+  const pn::PlaceId p5 = net.add_place("p5");
+  const pn::PlaceId p7 = net.add_place("p7");
+  const pn::PlaceId p8 = net.add_place("p8");
+  const pn::PlaceId p9 = net.add_place("p9");
+
+  net.add_arc(p1, a_up);
+  net.add_arc(a_up, pa);
+  net.add_arc(pa, d_up);
+  net.add_arc(d_up, p2);
+  net.add_arc(d_up, p5);
+  net.add_arc(p2, b_up);
+  net.add_arc(b_up, p4);
+  net.add_arc(p4, c_up);
+  net.add_arc(c_up, p7);
+  net.add_arc(p7, a_dn);
+  net.add_arc(a_dn, p9);
+  net.add_arc(p5, e_up);
+  net.add_arc(e_up, p8);
+
+  net.set_initial_tokens(p1, 1);
+  stg.validate();
+  return stg;
+}
+
+Stg make_muller_pipeline(std::size_t n) {
+  if (n == 0) throw ValidationError("a Muller pipeline needs at least one stage");
+  Stg stg;
+  stg.set_name("muller" + std::to_string(n));
+
+  std::vector<SignalId> sig(n + 1);
+  std::vector<pn::TransitionId> up(n + 1), dn(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    sig[i] = stg.add_signal("a" + std::to_string(i),
+                            i == 0 ? SignalKind::Input : SignalKind::Output);
+    up[i] = stg.add_transition(sig[i], Polarity::Rise);
+    dn[i] = stg.add_transition(sig[i], Polarity::Fall);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    connect(stg, up[i], up[i + 1], "req_up" + s);            // a_i+   -> a_{i+1}+
+    connect(stg, up[i + 1], dn[i], "ack_up" + s);            // a_{i+1}+ -> a_i-
+    connect(stg, dn[i], dn[i + 1], "req_dn" + s);            // a_i-   -> a_{i+1}-
+    connect(stg, dn[i + 1], up[i], "ack_dn" + s, true);      // a_{i+1}- -> a_i+ (marked)
+  }
+  // Boundary: the last stage acknowledges itself (the right environment is
+  // eager), closing each signal's +/- alternation cycle.
+  connect(stg, up[n], dn[n], "tail_up");
+  connect(stg, dn[n], up[n], "tail_dn", true);
+  stg.validate();
+  return stg;
+}
+
+Stg make_counterflow_pipeline(std::size_t stages) {
+  if (stages == 0) throw ValidationError("a counterflow pipeline needs at least one stage");
+  Stg stg;
+  stg.set_name("counterflow" + std::to_string(stages));
+
+  // Forward (data) pipeline f0..fN and backward (results) pipeline b0..bN;
+  // see DESIGN.md §4 for the substitution rationale.
+  auto build_pipe = [&stg](const std::string& prefix, std::size_t n, bool input_head) {
+    std::vector<pn::TransitionId> up(n + 1), dn(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      const SignalId s = stg.add_signal(
+          prefix + std::to_string(i),
+          (i == 0 && input_head) ? SignalKind::Input : SignalKind::Output);
+      up[i] = stg.add_transition(s, Polarity::Rise);
+      dn[i] = stg.add_transition(s, Polarity::Fall);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string tag = prefix + std::to_string(i);
+      connect(stg, up[i], up[i + 1], "ru_" + tag);
+      connect(stg, up[i + 1], dn[i], "au_" + tag);
+      connect(stg, dn[i], dn[i + 1], "rd_" + tag);
+      connect(stg, dn[i + 1], up[i], "ad_" + tag, true);
+    }
+    connect(stg, up[n], dn[n], "tu_" + prefix);
+    connect(stg, dn[n], up[n], "td_" + prefix, true);
+  };
+  build_pipe("f", stages, /*input_head=*/true);
+  build_pipe("b", stages, /*input_head=*/true);
+  stg.validate();
+  return stg;
+}
+
+Stg make_vme_bus() {
+  Stg stg;
+  stg.set_name("vme_read");
+  const SignalId dsr = stg.add_signal("dsr", SignalKind::Input);
+  const SignalId ldtack = stg.add_signal("ldtack", SignalKind::Input);
+  const SignalId d = stg.add_signal("d", SignalKind::Output);
+  const SignalId lds = stg.add_signal("lds", SignalKind::Output);
+  const SignalId dtack = stg.add_signal("dtack", SignalKind::Output);
+
+  const pn::TransitionId dsr_up = stg.add_transition(dsr, Polarity::Rise);
+  const pn::TransitionId dsr_dn = stg.add_transition(dsr, Polarity::Fall);
+  const pn::TransitionId ldtack_up = stg.add_transition(ldtack, Polarity::Rise);
+  const pn::TransitionId ldtack_dn = stg.add_transition(ldtack, Polarity::Fall);
+  const pn::TransitionId d_up = stg.add_transition(d, Polarity::Rise);
+  const pn::TransitionId d_dn = stg.add_transition(d, Polarity::Fall);
+  const pn::TransitionId lds_up = stg.add_transition(lds, Polarity::Rise);
+  const pn::TransitionId lds_dn = stg.add_transition(lds, Polarity::Fall);
+  const pn::TransitionId dtack_up = stg.add_transition(dtack, Polarity::Rise);
+  const pn::TransitionId dtack_dn = stg.add_transition(dtack, Polarity::Fall);
+
+  // Read cycle; the next dsr+ only waits for dtack-, so lds-/ldtack- lag
+  // into the next cycle and create the classic CSC conflict.
+  connect(stg, dsr_up, lds_up, "c1");
+  connect(stg, lds_up, ldtack_up, "c2");
+  connect(stg, ldtack_up, d_up, "c3");
+  connect(stg, d_up, dtack_up, "c4");
+  connect(stg, dtack_up, dsr_dn, "c5");
+  connect(stg, dsr_dn, d_dn, "c6");
+  connect(stg, d_dn, dtack_dn, "c7");
+  connect(stg, d_dn, lds_dn, "c8");
+  connect(stg, lds_dn, ldtack_dn, "c9");
+  connect(stg, dtack_dn, dsr_up, "c10", true);
+  connect(stg, ldtack_dn, lds_up, "c11", true);
+  stg.validate();
+  return stg;
+}
+
+}  // namespace punt::stg

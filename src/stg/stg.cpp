@@ -1,0 +1,127 @@
+#include "src/stg/stg.hpp"
+
+#include "src/util/error.hpp"
+
+namespace punt::stg {
+
+std::string code_to_string(const Code& code) {
+  std::string out;
+  out.reserve(code.size());
+  for (const std::uint8_t v : code) out += v ? '1' : '0';
+  return out;
+}
+
+SignalId Stg::add_signal(const std::string& name, SignalKind kind) {
+  for (const auto& existing : signal_names_) {
+    if (existing == name) throw ValidationError("duplicate signal name '" + name + "'");
+  }
+  const SignalId id(static_cast<std::uint32_t>(signal_names_.size()));
+  signal_names_.push_back(name);
+  signal_kinds_.push_back(kind);
+  instances_.emplace_back();
+  initial_code_.push_back(0);
+  return id;
+}
+
+pn::TransitionId Stg::add_transition(SignalId signal, Polarity polarity) {
+  if (signal_kind(signal) == SignalKind::Dummy) {
+    throw ValidationError("signal '" + signal_name(signal) +
+                          "' is a dummy; use add_dummy_transition");
+  }
+  const char suffix = polarity == Polarity::Rise ? '+' : '-';
+  std::string name = signal_name(signal) + suffix;
+  // Count existing instances with this polarity to pick the "/k" suffix.
+  std::size_t occurrence = 1;
+  for (const pn::TransitionId t : instances_[signal.index()]) {
+    if (labels_[t.index()].polarity == polarity) ++occurrence;
+  }
+  if (occurrence > 1) name += "/" + std::to_string(occurrence);
+  const pn::TransitionId t = net_.add_transition(name);
+  labels_.push_back(Label{signal, polarity, /*dummy=*/false});
+  instances_[signal.index()].push_back(t);
+  return t;
+}
+
+pn::TransitionId Stg::add_dummy_transition(SignalId dummy) {
+  if (signal_kind(dummy) != SignalKind::Dummy) {
+    throw ValidationError("signal '" + signal_name(dummy) + "' is not a dummy");
+  }
+  std::string name = signal_name(dummy);
+  const std::size_t occurrence = instances_[dummy.index()].size() + 1;
+  if (occurrence > 1) name += "/" + std::to_string(occurrence);
+  const pn::TransitionId t = net_.add_transition(name);
+  labels_.push_back(Label{dummy, Polarity::Rise, /*dummy=*/true});
+  instances_[dummy.index()].push_back(t);
+  return t;
+}
+
+std::optional<SignalId> Stg::find_signal(const std::string& name) const {
+  for (std::size_t i = 0; i < signal_names_.size(); ++i) {
+    if (signal_names_[i] == name) return SignalId(static_cast<std::uint32_t>(i));
+  }
+  return std::nullopt;
+}
+
+std::vector<SignalId> Stg::non_input_signals() const {
+  std::vector<SignalId> out;
+  for (std::size_t i = 0; i < signal_kinds_.size(); ++i) {
+    if (signal_kinds_[i] == SignalKind::Output || signal_kinds_[i] == SignalKind::Internal) {
+      out.push_back(SignalId(static_cast<std::uint32_t>(i)));
+    }
+  }
+  return out;
+}
+
+std::vector<SignalId> Stg::real_signals() const {
+  std::vector<SignalId> out;
+  for (std::size_t i = 0; i < signal_kinds_.size(); ++i) {
+    if (signal_kinds_[i] != SignalKind::Dummy) {
+      out.push_back(SignalId(static_cast<std::uint32_t>(i)));
+    }
+  }
+  return out;
+}
+
+bool Stg::has_dummies() const {
+  for (const Label& label : labels_) {
+    if (label.dummy) return true;
+  }
+  return false;
+}
+
+void Stg::set_initial_value(SignalId s, std::uint8_t value) {
+  if (value > 1) throw ValidationError("initial signal values must be 0 or 1");
+  initial_code_[s.index()] = value;
+}
+
+void Stg::apply(pn::TransitionId t, Code& code) const {
+  const Label& label = labels_[t.index()];
+  if (label.dummy) return;
+  std::uint8_t& bit = code[label.signal.index()];
+  const std::uint8_t expected = label.rising() ? 0 : 1;
+  if (bit != expected) {
+    throw ImplementabilityError(
+        "inconsistent state assignment: transition '" + transition_name(t) +
+        "' fires while signal '" + signal_name(label.signal) + "' is already " +
+        std::to_string(static_cast<int>(bit)));
+  }
+  bit ^= 1;
+}
+
+void Stg::validate() const {
+  net_.validate();
+  if (labels_.size() != net_.transition_count()) {
+    throw ValidationError("every transition must carry a label");
+  }
+  if (initial_code_.size() != signal_names_.size()) {
+    throw ValidationError("initial code size does not match the signal count");
+  }
+  for (std::size_t i = 0; i < signal_names_.size(); ++i) {
+    if (signal_kinds_[i] != SignalKind::Dummy && instances_[i].empty()) {
+      // A signal with no transitions is suspicious but legal (a constant);
+      // synthesis treats it as a constant input.  Nothing to throw.
+    }
+  }
+}
+
+}  // namespace punt::stg

@@ -1,0 +1,124 @@
+// Signal Transition Graphs: G = <N, A, L>.
+//
+// An STG is a marked Petri net whose transitions are labelled with signal
+// edges (+a / -a).  This layer adds the signal table (with input / output /
+// internal / dummy kinds), the per-transition labelling, and the initial
+// binary state, on top of the pn kernel.
+//
+// Dummy (unlabelled) transitions are accepted by the model and the parser so
+// that third-party `.g` files load, but the synthesis algorithms of the
+// paper do not handle them and reject such STGs up front.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/pn/ids.hpp"
+#include "src/pn/petri_net.hpp"
+
+namespace punt::stg {
+
+using SignalId = Id<struct SignalTag>;
+
+/// Who drives the signal.  Only Output and Internal signals are synthesised;
+/// Input edges belong to the environment.  Dummy "signals" label silent
+/// transitions.
+enum class SignalKind : std::uint8_t { Input, Output, Internal, Dummy };
+
+/// Direction of a signal edge.
+enum class Polarity : std::uint8_t { Rise, Fall };
+
+/// Label of one STG transition: which signal toggles and in which direction.
+/// For dummy transitions `signal` names the dummy and `polarity` is
+/// meaningless.
+struct Label {
+  SignalId signal;
+  Polarity polarity = Polarity::Rise;
+  bool dummy = false;
+
+  bool rising() const { return !dummy && polarity == Polarity::Rise; }
+  bool falling() const { return !dummy && polarity == Polarity::Fall; }
+};
+
+/// Binary state over the signal alphabet; values are 0 or 1 per signal.
+using Code = std::vector<std::uint8_t>;
+
+/// Renders a code as a bit string, e.g. "101".
+std::string code_to_string(const Code& code);
+
+/// A Signal Transition Graph.
+///
+/// Build order: declare signals, then transitions (instances of signal
+/// edges), then places and arcs through the embedded net, then the initial
+/// marking / initial code, and finally call validate().
+class Stg {
+ public:
+  /// Declares a signal; names must be unique.  The initial value defaults
+  /// to 0 and can be changed with set_initial_value().
+  SignalId add_signal(const std::string& name, SignalKind kind);
+
+  /// Adds a transition instance labelled `signal±`.  The transition name is
+  /// "a+" / "a-" for the first instance and "a+/2", "a+/3", ... for later
+  /// ones, matching the astg convention.
+  pn::TransitionId add_transition(SignalId signal, Polarity polarity);
+
+  /// Adds a dummy (silent) transition for a SignalKind::Dummy signal.
+  pn::TransitionId add_dummy_transition(SignalId dummy);
+
+  std::size_t signal_count() const { return signal_names_.size(); }
+  const std::string& signal_name(SignalId s) const { return signal_names_[s.index()]; }
+  SignalKind signal_kind(SignalId s) const { return signal_kinds_[s.index()]; }
+  std::optional<SignalId> find_signal(const std::string& name) const;
+
+  /// Signals the synthesiser must implement (outputs + internals), ascending.
+  std::vector<SignalId> non_input_signals() const;
+  /// All non-dummy signals, ascending.
+  std::vector<SignalId> real_signals() const;
+
+  bool has_dummies() const;
+
+  const Label& label(pn::TransitionId t) const { return labels_[t.index()]; }
+  /// All transition instances of `signal` (any polarity), ascending.
+  const std::vector<pn::TransitionId>& instances_of(SignalId s) const {
+    return instances_[s.index()];
+  }
+
+  /// Readable transition name, e.g. "b+/2".
+  const std::string& transition_name(pn::TransitionId t) const {
+    return net_.transition_name(t);
+  }
+
+  std::uint8_t initial_value(SignalId s) const { return initial_code_[s.index()]; }
+  void set_initial_value(SignalId s, std::uint8_t value);
+  const Code& initial_code() const { return initial_code_; }
+
+  /// Applies the edge of transition `t` to `code` in place.  Throws
+  /// ImplementabilityError on an inconsistent edge (raising a signal that is
+  /// already 1, or lowering one that is 0); dummy transitions are no-ops.
+  void apply(pn::TransitionId t, Code& code) const;
+
+  pn::PetriNet& net() { return net_; }
+  const pn::PetriNet& net() const { return net_; }
+
+  /// Human-readable name of the model (from `.model`, or set manually).
+  const std::string& name() const { return name_; }
+  void set_name(const std::string& name) { name_ = name; }
+
+  /// Structural sanity of the whole STG (net validity, label coverage,
+  /// initial code size).  Dynamic properties (consistency, boundedness,
+  /// persistency, CSC) are checked by the sg / unfolding layers.
+  void validate() const;
+
+ private:
+  std::string name_ = "stg";
+  pn::PetriNet net_;
+  std::vector<std::string> signal_names_;
+  std::vector<SignalKind> signal_kinds_;
+  std::vector<std::vector<pn::TransitionId>> instances_;
+  std::vector<Label> labels_;
+  Code initial_code_;
+};
+
+}  // namespace punt::stg

@@ -1,0 +1,44 @@
+#include "src/unfolding/dot.hpp"
+
+namespace punt::unf {
+namespace {
+
+std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+
+}  // namespace
+
+std::string to_dot(const Unfolding& unf) {
+  std::string out = "digraph " + quoted(unf.stg().name() + "_unfolding") + " {\n";
+  out += "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+
+  for (std::size_t i = 0; i < unf.event_count(); ++i) {
+    const EventId e(static_cast<std::uint32_t>(i));
+    std::string label = unf.event_name(e) + "\\n" + stg::code_to_string(unf.code(e));
+    out += "  " + quoted(unf.event_name(e)) + " [shape=box, label=" + quoted(label);
+    if (unf.is_cutoff(e)) out += ", style=dashed";
+    out += "];\n";
+  }
+  for (std::size_t i = 0; i < unf.condition_count(); ++i) {
+    const ConditionId c(static_cast<std::uint32_t>(i));
+    out += "  " + quoted(unf.condition_name(c)) + " [shape=circle];\n";
+    out += "  " + quoted(unf.event_name(unf.producer(c))) + " -> " +
+           quoted(unf.condition_name(c)) + ";\n";
+    for (const EventId consumer : unf.consumers(c)) {
+      out += "  " + quoted(unf.condition_name(c)) + " -> " +
+             quoted(unf.event_name(consumer)) + ";\n";
+    }
+  }
+  // Dotted links from cutoffs to their images.
+  for (std::size_t i = 1; i < unf.event_count(); ++i) {
+    const EventId e(static_cast<std::uint32_t>(i));
+    if (unf.is_cutoff(e)) {
+      out += "  " + quoted(unf.event_name(e)) + " -> " +
+             quoted(unf.event_name(unf.cutoff_image(e))) +
+             " [style=dotted, constraint=false];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace punt::unf

@@ -1,0 +1,18 @@
+// Graphviz (DOT) export of STG-unfolding segments.
+//
+// Events render as boxes (cutoffs dashed, with an arrow-free dotted edge to
+// their image), conditions as circles; each event shows the binary code of
+// its local configuration — the same annotations the paper draws in
+// Fig. 2/3.
+#pragma once
+
+#include <string>
+
+#include "src/unfolding/unfolding.hpp"
+
+namespace punt::unf {
+
+/// Renders the segment as a DOT digraph (pipe into `dot -Tsvg`).
+std::string to_dot(const Unfolding& unf);
+
+}  // namespace punt::unf

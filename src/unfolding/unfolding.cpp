@@ -1,0 +1,252 @@
+#include "src/unfolding/unfolding.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "src/util/error.hpp"
+
+namespace punt::unf {
+
+const stg::Label* Unfolding::label(EventId e) const {
+  if (is_initial(e)) return nullptr;
+  return &stg_->label(transitions_[e.index()]);
+}
+
+stg::Code Unfolding::excitation_code(EventId e) const {
+  stg::Code out = codes_[e.index()];
+  if (const stg::Label* l = label(e); l != nullptr && !l->dummy) {
+    out[l->signal.index()] ^= 1;  // undo e's own edge
+  }
+  return out;
+}
+
+std::string Unfolding::event_name(EventId e) const {
+  if (is_initial(e)) return "_|_";
+  return stg_->transition_name(transitions_[e.index()]) + "@" + std::to_string(e.value);
+}
+
+std::string Unfolding::condition_name(ConditionId c) const {
+  return stg_->net().place_name(places_[c.index()]) + "@" + std::to_string(c.value);
+}
+
+bool Unfolding::precedes(EventId e, EventId f) const {
+  if (e == f) return true;
+  const Bitset& config = configs_[f.index()];
+  return e.index() < config.size() && config.test(e.index());
+}
+
+bool Unfolding::co(ConditionId a, ConditionId b) const {
+  if (a == b) return false;
+  const ConditionId lo = a < b ? a : b;
+  const ConditionId hi = a < b ? b : a;
+  return co_[hi.index()].test(lo.index());
+}
+
+bool Unfolding::co(ConditionId c, EventId e) const {
+  const auto& pre = e_pre_[e.index()];
+  if (pre.empty()) return false;  // only ⊥; nothing is concurrent with it
+  for (const ConditionId x : pre) {
+    if (!co(c, x)) return false;
+  }
+  return true;
+}
+
+bool Unfolding::co(EventId e, EventId f) const {
+  if (e == f || precedes(e, f) || precedes(f, e)) return false;
+  const auto& pe = e_pre_[e.index()];
+  const auto& pf = e_pre_[f.index()];
+  if (pe.empty() || pf.empty()) return false;  // ⊥ precedes everything
+  for (const ConditionId x : pe) {
+    for (const ConditionId y : pf) {
+      if (x == y || !co(x, y)) return false;
+    }
+  }
+  return true;
+}
+
+bool Unfolding::in_conflict(EventId e, EventId f) const {
+  return e != f && !precedes(e, f) && !precedes(f, e) && !co(e, f);
+}
+
+std::vector<EventId> Unfolding::instances_of_signal(stg::SignalId signal) const {
+  std::vector<EventId> out;
+  for (std::size_t i = 1; i < event_count(); ++i) {
+    const EventId e(static_cast<std::uint32_t>(i));
+    const stg::Label* l = label(e);
+    if (l != nullptr && !l->dummy && l->signal == signal) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<EventId> Unfolding::next_instances(EventId e) const {
+  const stg::Label* mine = label(e);
+  std::vector<EventId> candidates;
+  if (mine == nullptr) return candidates;  // use first_instances for ⊥
+  for (const EventId f : instances_of_signal(mine->signal)) {
+    if (f != e && precedes(e, f)) candidates.push_back(f);
+  }
+  // Keep the causally minimal ones: no other candidate strictly in between.
+  std::vector<EventId> out;
+  for (const EventId f : candidates) {
+    bool minimal = true;
+    for (const EventId g : candidates) {
+      if (g != f && precedes(g, f)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<EventId> Unfolding::first_instances(stg::SignalId signal) const {
+  const std::vector<EventId> all = instances_of_signal(signal);
+  std::vector<EventId> out;
+  for (const EventId f : all) {
+    bool minimal = true;
+    for (const EventId g : all) {
+      if (g != f && precedes(g, f)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(f);
+  }
+  return out;
+}
+
+Bitset Unfolding::cut_of_config(const Bitset& config_events) const {
+  Bitset cut(condition_count());
+  config_events.for_each([&](std::size_t ev) {
+    for (const ConditionId c : e_post_[ev]) cut.set(c.index());
+  });
+  config_events.for_each([&](std::size_t ev) {
+    for (const ConditionId c : e_pre_[ev]) cut.reset(c.index());
+  });
+  return cut;
+}
+
+pn::Marking Unfolding::marking_of_cut(const Bitset& cut) const {
+  pn::Marking m(stg_->net().place_count());
+  cut.for_each([&](std::size_t c) { m.add_token(places_[c]); });
+  return m;
+}
+
+stg::Code Unfolding::code_of_config(const Bitset& config_events) const {
+  std::vector<EventId> events;
+  config_events.for_each([&](std::size_t ev) {
+    if (ev != 0) events.push_back(EventId(static_cast<std::uint32_t>(ev)));
+  });
+  std::sort(events.begin(), events.end(), [this](EventId a, EventId b) {
+    return config_sizes_[a.index()] < config_sizes_[b.index()];
+  });
+  stg::Code code = stg_->initial_code();
+  for (const EventId e : events) stg_->apply(transitions_[e.index()], code);
+  return code;
+}
+
+Bitset Unfolding::min_excitation_cut(EventId e) const {
+  Bitset config = configs_[e.index()];
+  config.reset(e.index());
+  return cut_of_config(config);
+}
+
+std::string SegmentPersistencyViolation::describe(const Unfolding& unf) const {
+  return "output instance " + unf.event_name(victim) +
+         " can be disabled by firing " + unf.event_name(disabler);
+}
+
+std::vector<SegmentPersistencyViolation> segment_persistency_violations(
+    const Unfolding& unf) {
+  const stg::Stg& stg = unf.stg();
+  std::vector<SegmentPersistencyViolation> out;
+  for (std::size_t ci = 0; ci < unf.condition_count(); ++ci) {
+    const ConditionId c(static_cast<std::uint32_t>(ci));
+    const auto& consumers = unf.consumers(c);
+    if (consumers.size() < 2) continue;
+    for (const EventId e : consumers) {
+      const stg::Label* le = unf.label(e);
+      if (le == nullptr || le->dummy) continue;
+      const stg::SignalKind kind = stg.signal_kind(le->signal);
+      if (kind != stg::SignalKind::Output && kind != stg::SignalKind::Internal) continue;
+      for (const EventId f : consumers) {
+        if (f == e) continue;
+        const stg::Label* lf = unf.label(f);
+        if (lf != nullptr && !lf->dummy && lf->signal == le->signal) continue;
+        // e and f are in direct conflict over c; a hazard exists iff some
+        // reachable cut enables both, i.e. their presets are jointly
+        // consistent (pairwise concurrent apart from the shared conditions).
+        bool coenabled = true;
+        for (const ConditionId x : unf.preset(e)) {
+          for (const ConditionId y : unf.preset(f)) {
+            if (x != y && !unf.co(x, y)) {
+              coenabled = false;
+              break;
+            }
+          }
+          if (!coenabled) break;
+        }
+        if (coenabled) out.push_back(SegmentPersistencyViolation{e, f});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<pn::Marking> reachable_cut_markings(const Unfolding& unf, std::size_t budget) {
+  // BFS over cuts, firing any event whose preset lies inside the cut.
+  std::unordered_map<std::size_t, std::vector<Bitset>> seen_cuts;
+  std::unordered_map<std::size_t, std::vector<pn::Marking>> seen_markings;
+  std::vector<pn::Marking> out;
+  std::deque<Bitset> queue;
+
+  auto push_cut = [&](const Bitset& cut) {
+    auto& bucket = seen_cuts[cut.hash()];
+    for (const Bitset& b : bucket) {
+      if (b == cut) return;
+    }
+    bucket.push_back(cut);
+    queue.push_back(cut);
+    pn::Marking m = unf.marking_of_cut(cut);
+    auto& mbucket = seen_markings[m.hash()];
+    for (const pn::Marking& e : mbucket) {
+      if (e == m) return;
+    }
+    if (budget != 0 && out.size() >= budget) {
+      throw CapacityError("cut enumeration exceeded the budget of " +
+                          std::to_string(budget) + " distinct markings");
+    }
+    mbucket.push_back(m);
+    out.push_back(std::move(m));
+  };
+
+  Bitset initial(unf.condition_count());
+  for (const ConditionId c : unf.postset(Unfolding::initial_event())) {
+    initial.set(c.index());
+  }
+  push_cut(initial);
+  while (!queue.empty()) {
+    const Bitset cut = queue.front();
+    queue.pop_front();
+    for (std::size_t ei = 1; ei < unf.event_count(); ++ei) {
+      const EventId e(static_cast<std::uint32_t>(ei));
+      bool enabled = true;
+      for (const ConditionId c : unf.preset(e)) {
+        if (!cut.test(c.index())) {
+          enabled = false;
+          break;
+        }
+      }
+      if (!enabled) continue;
+      Bitset next = cut;
+      for (const ConditionId c : unf.preset(e)) next.reset(c.index());
+      for (const ConditionId c : unf.postset(e)) next.set(c.index());
+      push_cut(next);
+    }
+  }
+  return out;
+}
+
+}  // namespace punt::unf

@@ -1,0 +1,134 @@
+#include "src/util/bitset.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace punt {
+
+void Bitset::resize(std::size_t size) {
+  size_ = size;
+  words_.resize(word_count(size), 0);
+  mask_tail();
+}
+
+void Bitset::mask_tail() {
+  const std::size_t used = size_ & 63;
+  if (!words_.empty() && used != 0) {
+    words_.back() &= (std::uint64_t{1} << used) - 1;
+  }
+}
+
+void Bitset::clear_all() { std::fill(words_.begin(), words_.end(), 0); }
+
+void Bitset::set_all() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  mask_tail();
+}
+
+std::size_t Bitset::count() const {
+  std::size_t n = 0;
+  for (const std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+bool Bitset::any() const {
+  for (const std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t Bitset::find_first() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) return w * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+  }
+  return npos;
+}
+
+std::size_t Bitset::find_next(std::size_t i) const {
+  ++i;
+  if (i >= size_) return npos;
+  std::size_t w = i >> 6;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (i & 63));
+  while (true) {
+    if (word != 0) return w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+    if (++w >= words_.size()) return npos;
+    word = words_[w];
+  }
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator^=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::subtract(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool Bitset::intersects(const Bitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool Bitset::is_subset_of(const Bitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::operator==(const Bitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::vector<std::size_t> Bitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::string Bitset::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for_each([&](std::size_t i) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(i);
+  });
+  out += "}";
+  return out;
+}
+
+std::size_t Bitset::hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  h ^= size_;
+  h *= 1099511628211ull;
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace punt

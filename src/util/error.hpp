@@ -1,0 +1,57 @@
+// Error hierarchy for the punt library.
+//
+// All library failures are reported through exceptions derived from
+// punt::Error so that callers can catch either the precise category or the
+// whole family.  Error messages are complete sentences and carry enough
+// context (names, counts) to act on without a debugger.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace punt {
+
+/// Base class of every exception thrown by the punt library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input text (e.g. an unreadable `.g` file).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A structurally invalid model (dangling ids, empty presets where they are
+/// required, inconsistent initial state, ...).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
+/// A state-space or segment construction exceeded a configured resource
+/// bound (place capacity, state budget, event budget).
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+/// The specification violates a *general* implementability criterion:
+/// boundedness, consistent state assignment or output persistency
+/// (semi-modularity).
+class ImplementabilityError : public Error {
+ public:
+  explicit ImplementabilityError(const std::string& what) : Error(what) {}
+};
+
+/// The specification has a Complete State Coding conflict: two reachable
+/// states share a binary code but imply different output behaviour.  Per the
+/// paper this is only reported after covers have been fully refined (exact),
+/// so it is a genuine property of the STG, not an approximation artefact.
+class CscError : public Error {
+ public:
+  explicit CscError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace punt

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harnesses to reproduce the
+// paper's UnfTim / SynTim / EspTim / TotTim columns.
+#pragma once
+
+#include <chrono>
+
+namespace punt {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last restart().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace punt

@@ -1,0 +1,56 @@
+#include "src/util/strings.hpp"
+
+namespace punt {
+
+std::vector<std::string> split(std::string_view text, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && delims.find(text[i]) != std::string_view::npos) ++i;
+    std::size_t j = i;
+    while (j < text.size() && delims.find(text[j]) == std::string_view::npos) ++j;
+    if (j > i) out.emplace_back(text.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && (text[b] == ' ' || text[b] == '\t' || text[b] == '\r' || text[b] == '\n')) ++b;
+  while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t' || text[e - 1] == '\r' ||
+                   text[e - 1] == '\n')) {
+    --e;
+  }
+  return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::vector<std::string> logical_lines(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        nl == std::string_view::npos ? text.substr(pos) : text.substr(pos, nl - pos);
+    while (!line.empty() && (line.back() == '\r')) line.remove_suffix(1);
+    if (!line.empty() && line.back() == '\\') {
+      line.remove_suffix(1);
+      current += line;
+    } else {
+      current += line;
+      out.push_back(current);
+      current.clear();
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace punt

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random generator for property tests.
+//
+// The library itself is fully deterministic; tests that sample random nets or
+// random cubes use this seeded generator so failures reproduce exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace punt {
+
+/// xorshift64* generator.  Not cryptographic; stable across platforms.
+class XorShift {
+ public:
+  explicit XorShift(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed != 0 ? seed : 1) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform value in [0, bound); bound must be positive.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Bernoulli draw with probability numerator/denominator.
+  bool chance(std::uint64_t numerator, std::uint64_t denominator) {
+    return below(denominator) < numerator;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace punt

@@ -1,0 +1,118 @@
+// Registry integration sweep: every Table-1 row must load, satisfy the
+// general correctness criteria, synthesise under the unfolding flow, and
+// (when its SG is tractable) produce a conforming circuit.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/benchmarks/registry.hpp"
+#include "src/benchmarks/templates.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/sg/analysis.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/stg/g_format.hpp"
+#include "src/unfolding/unfolding.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::benchmarks {
+namespace {
+
+TEST(Templates, HandshakeChainShape) {
+  const stg::Stg stg = handshake_chain("ring", 5);
+  EXPECT_EQ(stg.signal_count(), 5u);
+  EXPECT_TRUE(stg.net().is_marked_graph());
+  const sg::StateGraph sgraph = sg::StateGraph::build(stg);
+  EXPECT_EQ(sgraph.state_count(), 10u);  // Johnson counter: 2k states
+  EXPECT_TRUE(sg::has_unique_state_coding(sgraph));
+}
+
+TEST(Templates, ForkJoinShape) {
+  const stg::Stg stg = fork_join("fj", {2, 3});
+  EXPECT_EQ(stg.signal_count(), 6u);  // a + 5 chain signals
+  EXPECT_TRUE(stg.net().is_marked_graph());
+  const sg::StateGraph sgraph = sg::StateGraph::build(stg);
+  // Up phase: product of chain positions; plus the down phase.
+  EXPECT_GT(sgraph.state_count(), 12u);
+  EXPECT_TRUE(sg::csc_violations(stg, sgraph).empty());
+}
+
+TEST(Templates, ChoiceControllerShape) {
+  const stg::Stg stg = choice_controller("cc", {2, 3});
+  EXPECT_EQ(stg.signal_count(), 7u);  // 2 requests + 5 outputs
+  EXPECT_FALSE(stg.net().is_marked_graph());
+  EXPECT_TRUE(stg.net().is_free_choice());
+  const sg::StateGraph sgraph = sg::StateGraph::build(stg);
+  EXPECT_TRUE(sg::persistency_violations(stg, sgraph).empty());
+  EXPECT_TRUE(sg::csc_violations(stg, sgraph).empty());
+}
+
+TEST(Registry, HasAll21Table1Rows) {
+  EXPECT_EQ(table1().size(), 21u);
+  std::size_t total_signals = 0;
+  for (const Benchmark& b : table1()) total_signals += b.signals;
+  EXPECT_EQ(total_signals, 228u);  // the paper's "Total 228" row
+}
+
+TEST(Registry, FindByName) {
+  EXPECT_EQ(find("sendr-done").signals, 4u);
+  EXPECT_THROW(find("nope"), Error);
+}
+
+TEST(Registry, SignalCountsMatchPaperColumn) {
+  for (const Benchmark& b : table1()) {
+    const stg::Stg stg = b.make();
+    EXPECT_EQ(stg.signal_count(), b.signals) << b.name;
+  }
+}
+
+TEST(Registry, EveryRowRoundTripsThroughGFormat) {
+  for (const Benchmark& b : table1()) {
+    const stg::Stg original = b.make();
+    const stg::Stg reparsed = stg::parse_g(stg::write_g(original));
+    EXPECT_EQ(reparsed.signal_count(), original.signal_count()) << b.name;
+    EXPECT_EQ(reparsed.net().transition_count(), original.net().transition_count())
+        << b.name;
+  }
+}
+
+/// Each row: general correctness criteria hold on the segment.
+class RegistryRow : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegistryRow, SatisfiesGeneralCorrectnessCriteria) {
+  const Benchmark& b = table1()[static_cast<std::size_t>(GetParam())];
+  const stg::Stg stg = b.make();
+  const unf::Unfolding unfolding = unf::Unfolding::build(stg);  // consistent + safe
+  EXPECT_TRUE(segment_persistency_violations(unfolding).empty()) << b.name;
+}
+
+TEST_P(RegistryRow, SynthesisesUnderTheUnfoldingFlow) {
+  const Benchmark& b = table1()[static_cast<std::size_t>(GetParam())];
+  const stg::Stg stg = b.make();
+  core::SynthesisOptions options;
+  options.method = core::Method::UnfoldingApprox;
+  const core::SynthesisResult result = core::synthesize(stg, options);
+  EXPECT_EQ(result.signals.size(), stg.non_input_signals().size()) << b.name;
+  EXPECT_GT(result.literal_count(), 0u) << b.name;
+  for (const auto& impl : result.signals) {
+    EXPECT_FALSE(impl.csc_conflict) << b.name;
+  }
+}
+
+TEST_P(RegistryRow, CircuitConformsToTheStateGraph) {
+  const Benchmark& b = table1()[static_cast<std::size_t>(GetParam())];
+  const stg::Stg stg = b.make();
+  core::SynthesisOptions options;
+  options.method = core::Method::UnfoldingApprox;
+  const core::SynthesisResult result = core::synthesize(stg, options);
+  const net::Netlist netlist = net::Netlist::from_synthesis(stg, result);
+  const sg::StateGraph sgraph = sg::StateGraph::build(stg);
+  const auto violations = net::verify_conformance(sgraph, netlist);
+  EXPECT_TRUE(violations.empty())
+      << b.name << ": " << (violations.empty() ? "" : violations.front().detail);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, RegistryRow, ::testing::Range(0, 21));
+
+}  // namespace
+}  // namespace punt::benchmarks

@@ -1,0 +1,165 @@
+// Cover refinement (paper §4.3).  Reference: the Fig. 4(c) worked example —
+// refining the MR cover d e' of p5 with P'r = {p2,p4,p7,p9} yields
+// a c' d e' + b c d e' (as a point set).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/approx.hpp"
+#include "src/core/slices.hpp"
+#include "src/logic/espresso.hpp"
+#include "src/stg/generators.hpp"
+#include "src/unfolding/unfolding.hpp"
+
+namespace punt::core {
+namespace {
+
+using stg::SignalId;
+using stg::Stg;
+using unf::ConditionId;
+using unf::EventId;
+using unf::Unfolding;
+
+ConditionId condition_by_place(const Unfolding& unf, const std::string& place) {
+  for (std::size_t i = 0; i < unf.condition_count(); ++i) {
+    const ConditionId c(static_cast<std::uint32_t>(i));
+    if (unf.stg().net().place_name(unf.place(c)) == place) return c;
+  }
+  ADD_FAILURE() << "no condition for place " << place;
+  return ConditionId();
+}
+
+std::set<std::string> cover_cubes(logic::Cover cover) {
+  cover.normalize();
+  std::set<std::string> out;
+  for (const auto& cube : cover.cubes()) out.insert(cube.to_string());
+  return out;
+}
+
+/// The slice hosting the Fig. 4(c) fragment: signal d's on-set slice (entry
+/// +d', unbounded — d never falls), which contains the whole fragment.
+struct Fig4cFixture {
+  Stg stg = stg::make_paper_fig4c();
+  Unfolding unf = Unfolding::build(stg);
+  SignalId d = *stg.find_signal("d");
+  std::vector<Slice> slices = signal_slices(unf, d, true);
+  std::vector<EventId> events;
+
+  Fig4cFixture() {
+    EXPECT_EQ(slices.size(), 1u);
+    EXPECT_TRUE(slices.front().bounds.empty());
+    events = slice_events(unf, slices.front());
+  }
+};
+
+TEST(Refine, Fig4cBaseMrCoverOfP5) {
+  Fig4cFixture fx;
+  const ConditionId p5 = condition_by_place(fx.unf, "p5");
+  // Signals a..e: base code of [+d'] is 10010; a, b, c have concurrent
+  // instances in the slice (+b', +c', -a') -> d e'.
+  EXPECT_EQ(mr_cover(fx.unf, p5, fx.events).to_string(), "---10");
+}
+
+TEST(Refine, Fig4cRefiningSetIsParallelChain) {
+  Fig4cFixture fx;
+  const ConditionId p5 = condition_by_place(fx.unf, "p5");
+  const auto refining = refining_set(fx.unf, SliceElement::of(p5), fx.slices.front());
+  std::set<std::string> places;
+  for (const ConditionId c : refining) {
+    places.insert(fx.stg.net().place_name(fx.unf.place(c)));
+  }
+  EXPECT_EQ(places, (std::set<std::string>{"p2", "p4", "p7", "p9"}));
+}
+
+TEST(Refine, Fig4cRestrictedMrCovers) {
+  Fig4cFixture fx;
+  const ConditionId p5 = condition_by_place(fx.unf, "p5");
+  const SliceElement x = SliceElement::of(p5);
+  // Only +e' (the successor of p5 concurrent with the chain) is dashed; the
+  // a, b, c literals keep their base-code values (paper: {1001-}, {1101-},
+  // {1111-}, {0111-}).
+  EXPECT_EQ(refinement_mr_cover(fx.unf, condition_by_place(fx.unf, "p2"), x, fx.events)
+                .to_string(),
+            "1001-");
+  EXPECT_EQ(refinement_mr_cover(fx.unf, condition_by_place(fx.unf, "p4"), x, fx.events)
+                .to_string(),
+            "1101-");
+  EXPECT_EQ(refinement_mr_cover(fx.unf, condition_by_place(fx.unf, "p7"), x, fx.events)
+                .to_string(),
+            "1111-");
+  EXPECT_EQ(refinement_mr_cover(fx.unf, condition_by_place(fx.unf, "p9"), x, fx.events)
+                .to_string(),
+            "0111-");
+}
+
+TEST(Refine, Fig4cRefineAtomMatchesPaperResult) {
+  Fig4cFixture fx;
+  const ConditionId p5 = condition_by_place(fx.unf, "p5");
+
+  ApproxCover owner;
+  owner.signal = fx.d;
+  owner.value = true;
+  owner.slices = fx.slices;
+  owner.slice_event_sets.push_back(fx.events);
+
+  CoverAtom atom;
+  atom.element = SliceElement::of(p5);
+  atom.slice_index = 0;
+  atom.cover = logic::Cover(fx.stg.signal_count());
+  atom.cover.add(mr_cover(fx.unf, p5, fx.events));  // d e'
+
+  ASSERT_TRUE(refine_atom(fx.unf, owner, atom, *fx.stg.find_signal("a")));
+
+  // Paper: the refined cover is the exact MR of p5 = a c' d e' + b c d e',
+  // i.e. the point set {10010, 11010, 11110, 01110}.
+  EXPECT_EQ(cover_cubes(atom.cover),
+            (std::set<std::string>{"10010", "11010", "11110", "01110"}));
+
+  // Minimising against its exact complement reproduces the paper's two-term
+  // form (4 + 4 literals).
+  const logic::Cover minimized = logic::espresso(atom.cover, atom.cover.complement());
+  EXPECT_EQ(minimized.cube_count(), 2u);
+  EXPECT_EQ(minimized.literal_count(), 8u);
+}
+
+TEST(Refine, RefineAtomIsIdempotentOnExactCover) {
+  Fig4cFixture fx;
+  const ConditionId p5 = condition_by_place(fx.unf, "p5");
+  ApproxCover owner;
+  owner.signal = fx.d;
+  owner.value = true;
+  owner.slices = fx.slices;
+  owner.slice_event_sets.push_back(fx.events);
+  CoverAtom atom;
+  atom.element = SliceElement::of(p5);
+  atom.slice_index = 0;
+  atom.cover = logic::Cover(fx.stg.signal_count());
+  atom.cover.add(mr_cover(fx.unf, p5, fx.events));
+  ASSERT_TRUE(refine_atom(fx.unf, owner, atom, *fx.stg.find_signal("a")));
+  // A second refinement step can tighten no further.
+  EXPECT_FALSE(refine_atom(fx.unf, owner, atom, *fx.stg.find_signal("b")));
+}
+
+TEST(Refine, RefineUntilDisjointSucceedsOnCleanExamples) {
+  for (int which = 0; which < 3; ++which) {
+    Stg stg;
+    switch (which) {
+      case 0: stg = stg::make_paper_fig1(); break;
+      case 1: stg = stg::make_paper_fig4ab(); break;
+      case 2: stg = stg::make_muller_pipeline(3); break;
+    }
+    const Unfolding unf = Unfolding::build(stg);
+    for (const SignalId s : stg.non_input_signals()) {
+      ApproxCover on = approximate_cover(unf, s, true);
+      ApproxCover off = approximate_cover(unf, s, false);
+      const RefineStats stats = refine_until_disjoint(unf, on, off);
+      EXPECT_TRUE(stats.disjoint)
+          << "refinement failed for " << stg.signal_name(s) << " in " << stg.name();
+      EXPECT_FALSE(on.combined(stg.signal_count())
+                       .intersects(off.combined(stg.signal_count())));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace punt::core

@@ -1,0 +1,97 @@
+// State-signal insertion and automatic CSC repair.  The VME bus controller
+// is the reference case: inserting csc0 (rise after lds+, fall after d-)
+// separates the two 10101-coded states and makes the spec synthesisable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/csc_resolve.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/sg/analysis.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/stg/generators.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::core {
+namespace {
+
+using stg::Stg;
+
+TEST(InsertStateSignal, SplicesBothEdges) {
+  Stg stg = stg::make_vme_bus();
+  const std::size_t places_before = stg.net().place_count();
+  const stg::SignalId csc = insert_state_signal(stg, "lds+", "d-");
+  EXPECT_EQ(stg.signal_name(csc), "csc0");
+  EXPECT_EQ(stg.signal_kind(csc), stg::SignalKind::Internal);
+  EXPECT_EQ(stg.net().place_count(), places_before + 2);  // csc0_r and csc0_f
+  ASSERT_TRUE(stg.net().find_transition("csc0+").has_value());
+  ASSERT_TRUE(stg.net().find_transition("csc0-").has_value());
+  // lds+ now feeds only the new place, which feeds csc0+.
+  const auto lds_up = *stg.net().find_transition("lds+");
+  ASSERT_EQ(stg.net().post(lds_up).size(), 1u);
+  EXPECT_EQ(stg.net().place_name(stg.net().post(lds_up).front()), "csc0_r");
+}
+
+TEST(InsertStateSignal, InitialValueInferred) {
+  Stg stg = stg::make_vme_bus();
+  const stg::SignalId csc = insert_state_signal(stg, "lds+", "d-");
+  // csc0+ fires before csc0- in every run, so csc0 starts at 0.
+  EXPECT_EQ(stg.initial_value(csc), 0);
+
+  Stg stg2 = stg::make_vme_bus();
+  const stg::SignalId csc2 = insert_state_signal(stg2, "d-", "lds+");
+  // Reversed: the falling edge comes first, so the signal starts at 1.
+  EXPECT_EQ(stg2.initial_value(csc2), 1);
+}
+
+TEST(InsertStateSignal, RejectsUnknownAndIdenticalSites) {
+  Stg stg = stg::make_vme_bus();
+  EXPECT_THROW(insert_state_signal(stg, "nope+", "d-"), ValidationError);
+  EXPECT_THROW(insert_state_signal(stg, "d-", "d-"), ValidationError);
+}
+
+TEST(InsertStateSignal, VmeBecomesSynthesisable) {
+  Stg stg = stg::make_vme_bus();
+  insert_state_signal(stg, "lds+", "d-");
+  const SynthesisResult result = synthesize(stg);  // must not throw CscError
+  EXPECT_EQ(result.signals.size(), 4u);            // d, lds, dtack + csc0
+  // The repaired circuit conforms to its own state graph.
+  const net::Netlist netlist = net::Netlist::from_synthesis(stg, result);
+  const sg::StateGraph sgraph = sg::StateGraph::build(stg);
+  EXPECT_TRUE(net::verify_conformance(sgraph, netlist).empty());
+  EXPECT_TRUE(sg::csc_violations(stg, sgraph).empty());
+}
+
+TEST(ResolveCsc, CleanSpecReturnsUnchanged) {
+  const auto resolution = resolve_csc(stg::make_paper_fig1());
+  ASSERT_TRUE(resolution.has_value());
+  EXPECT_EQ(resolution->signals_added, 0u);
+  EXPECT_EQ(resolution->stg.signal_count(), 3u);
+}
+
+TEST(ResolveCsc, RepairsTheVmeBus) {
+  const auto resolution = resolve_csc(stg::make_vme_bus());
+  ASSERT_TRUE(resolution.has_value());
+  EXPECT_EQ(resolution->signals_added, 1u);
+  EXPECT_EQ(resolution->stg.signal_count(), 6u);
+  // The repaired spec synthesises under every method.
+  for (const Method m :
+       {Method::UnfoldingApprox, Method::UnfoldingExact, Method::StateGraph}) {
+    SynthesisOptions options;
+    options.method = m;
+    EXPECT_NO_THROW(synthesize(resolution->stg, options));
+  }
+}
+
+TEST(ResolveCsc, RepairedVmeConforms) {
+  const auto resolution = resolve_csc(stg::make_vme_bus());
+  ASSERT_TRUE(resolution.has_value());
+  const SynthesisResult result = synthesize(resolution->stg);
+  const net::Netlist netlist = net::Netlist::from_synthesis(resolution->stg, result);
+  const sg::StateGraph sgraph = sg::StateGraph::build(resolution->stg);
+  EXPECT_TRUE(net::verify_conformance(sgraph, netlist).empty());
+}
+
+}  // namespace
+}  // namespace punt::core

@@ -1,0 +1,52 @@
+// DOT writers: structural checks on the generated graphviz text.
+#include <gtest/gtest.h>
+
+#include "src/stg/dot.hpp"
+#include "src/stg/generators.hpp"
+#include "src/unfolding/dot.hpp"
+#include "src/unfolding/unfolding.hpp"
+
+namespace punt {
+namespace {
+
+TEST(StgDot, MentionsTransitionsAndMarkedPlaces) {
+  const stg::Stg fig1 = stg::make_paper_fig1();
+  const std::string dot = stg::to_dot(fig1);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"a+\""), std::string::npos);
+  EXPECT_NE(dot.find("\"b+/2\""), std::string::npos);
+  // p1 is marked and a choice place -> stays a node with a token marker.
+  EXPECT_NE(dot.find("p1 (*)"), std::string::npos);
+}
+
+TEST(StgDot, CollapsesImplicitPlaces) {
+  const stg::Stg fig1 = stg::make_paper_fig1();
+  const std::string collapsed = stg::to_dot(fig1);
+  // p2 has one producer (a+) and one consumer (b+): collapsed to an arc.
+  EXPECT_EQ(collapsed.find("\"p2\""), std::string::npos);
+  EXPECT_NE(collapsed.find("\"a+\" -> \"b+\""), std::string::npos);
+
+  stg::DotOptions keep;
+  keep.collapse_implicit_places = false;
+  const std::string full = stg::to_dot(fig1, keep);
+  EXPECT_NE(full.find("\"p2\""), std::string::npos);
+}
+
+TEST(StgDot, ColorsSignalKinds) {
+  const std::string dot = stg::to_dot(stg::make_vme_bus());
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);  // inputs
+  EXPECT_NE(dot.find("lightpink"), std::string::npos);  // outputs
+}
+
+TEST(UnfoldingDot, ShowsCutoffsAndCodes) {
+  const auto unf = unf::Unfolding::build(stg::make_paper_fig1());
+  const std::string dot = unf::to_dot(unf);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("_|_"), std::string::npos);         // the initial event
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos); // cutoff events
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos); // image links
+  EXPECT_NE(dot.find("\\n100"), std::string::npos);       // code of +a'
+}
+
+}  // namespace
+}  // namespace punt

@@ -1,0 +1,131 @@
+// Randomised cross-checks of the cover algebra against brute-force
+// pointwise evaluation: every operator used by the synthesis pipeline
+// (intersect, cofactor, containment, tautology, complement, espresso) is
+// compared with its set-theoretic definition on exhaustively enumerated
+// small spaces.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/logic/cover.hpp"
+#include "src/logic/espresso.hpp"
+#include "src/util/xorshift.hpp"
+
+namespace punt::logic {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> all_points(std::size_t n) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::size_t v = 0; v < (std::size_t{1} << n); ++v) {
+    std::vector<std::uint8_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = (v >> i) & 1;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+Cover random_cover(XorShift& rng, std::size_t n, std::size_t max_cubes) {
+  Cover f(n);
+  const std::size_t cubes = rng.below(max_cubes + 1);
+  for (std::size_t i = 0; i < cubes; ++i) {
+    Cube c(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto r = rng.below(4);  // bias towards DC for wider cubes
+      c.set(v, r == 0 ? Lit::Zero : (r == 1 ? Lit::One : Lit::DC));
+    }
+    f.add(c);
+  }
+  return f;
+}
+
+class CoverAlgebra : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    XorShift rng(static_cast<std::uint64_t>(GetParam()) * 0x9E37 + 5);
+    n = 2 + rng.below(4);  // 2..5 variables
+    f = random_cover(rng, n, 5);
+    g = random_cover(rng, n, 5);
+    points = all_points(n);
+    rng_state = rng;
+  }
+  std::size_t n = 0;
+  Cover f{0}, g{0};
+  std::vector<std::vector<std::uint8_t>> points;
+  XorShift rng_state{1};
+};
+
+TEST_P(CoverAlgebra, IntersectIsPointwiseAnd) {
+  const Cover i = f.intersect(g);
+  for (const auto& p : points) {
+    EXPECT_EQ(i.covers_point(p), f.covers_point(p) && g.covers_point(p));
+  }
+}
+
+TEST_P(CoverAlgebra, IntersectsAgreesWithProduct) {
+  EXPECT_EQ(f.intersects(g), !f.intersect(g).empty());
+}
+
+TEST_P(CoverAlgebra, ComplementIsPointwiseNot) {
+  const Cover c = f.complement();
+  for (const auto& p : points) {
+    EXPECT_NE(c.covers_point(p), f.covers_point(p));
+  }
+}
+
+TEST_P(CoverAlgebra, TautologyIffAllPointsCovered) {
+  bool all = true;
+  for (const auto& p : points) all = all && f.covers_point(p);
+  EXPECT_EQ(f.tautology(), all);
+}
+
+TEST_P(CoverAlgebra, ContainsCoverIffPointwiseSubset) {
+  bool subset = true;
+  for (const auto& p : points) {
+    if (g.covers_point(p) && !f.covers_point(p)) subset = false;
+  }
+  EXPECT_EQ(f.contains_cover(g), subset);
+}
+
+TEST_P(CoverAlgebra, SccPreservesSemantics) {
+  Cover reduced = f;
+  reduced.make_irredundant_scc();
+  EXPECT_LE(reduced.cube_count(), f.cube_count());
+  for (const auto& p : points) {
+    EXPECT_EQ(reduced.covers_point(p), f.covers_point(p));
+  }
+}
+
+TEST_P(CoverAlgebra, CofactorSemantics) {
+  // F|c covers p (in the free coordinates) iff F covers the point obtained
+  // by overriding p with c's constants.
+  XorShift rng = rng_state;
+  Cube c(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto r = rng.below(3);
+    c.set(v, r == 0 ? Lit::Zero : (r == 1 ? Lit::One : Lit::DC));
+  }
+  const Cover fc = f.cofactor(c);
+  for (const auto& p : points) {
+    std::vector<std::uint8_t> forced = p;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (c.get(v) != Lit::DC) forced[v] = c.get(v) == Lit::One ? 1 : 0;
+    }
+    EXPECT_EQ(fc.covers_point(p), f.covers_point(forced));
+  }
+}
+
+TEST_P(CoverAlgebra, EspressoSoundOnDisjointPair) {
+  // Blocking = points not in f (exact complement): result must equal f as a
+  // point set and never grow beyond what the DC-freedom (none here) allows.
+  const Cover blocking = f.complement();
+  const Cover min = espresso(f, blocking);
+  for (const auto& p : points) {
+    EXPECT_EQ(min.covers_point(p), f.covers_point(p));
+  }
+  EXPECT_LE(min.literal_count(), f.literal_count() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverAlgebra, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace punt::logic

@@ -1,0 +1,133 @@
+// Netlist assembly, writers and the conformance verifier.
+#include <gtest/gtest.h>
+
+#include "src/core/synthesis.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/stg/generators.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::net {
+namespace {
+
+using core::Architecture;
+using core::Method;
+using core::SynthesisOptions;
+using core::synthesize;
+using stg::Stg;
+
+SynthesisOptions with(Method m, Architecture a = Architecture::ComplexGate) {
+  SynthesisOptions options;
+  options.method = m;
+  options.architecture = a;
+  return options;
+}
+
+TEST(Netlist, Fig1ComplexGateAssembly) {
+  const Stg stg = stg::make_paper_fig1();
+  const auto result = synthesize(stg, with(Method::UnfoldingApprox));
+  const Netlist netlist = Netlist::from_synthesis(stg, result);
+  ASSERT_EQ(netlist.gates().size(), 1u);
+  EXPECT_EQ(netlist.literal_count(), result.literal_count());
+  const Gate& gate = netlist.gate_for(*stg.find_signal("b"));
+  EXPECT_EQ(gate.kind, Gate::Kind::ComplexGate);
+}
+
+TEST(Netlist, Fig1NextValueMatchesGate) {
+  const Stg stg = stg::make_paper_fig1();
+  const auto result = synthesize(stg, with(Method::UnfoldingApprox));
+  const Netlist netlist = Netlist::from_synthesis(stg, result);
+  const stg::SignalId b = *stg.find_signal("b");
+  // On-set state 100 -> gate drives 1; off-set state 000 -> drives 0.
+  EXPECT_TRUE(netlist.next_value(b, {1, 0, 0}));
+  EXPECT_FALSE(netlist.next_value(b, {0, 0, 0}));
+}
+
+TEST(Netlist, EqnWriterMentionsEverySignal) {
+  const Stg stg = stg::make_muller_pipeline(3);
+  const auto result = synthesize(stg, with(Method::UnfoldingApprox));
+  const Netlist netlist = Netlist::from_synthesis(stg, result);
+  const std::string eqn = netlist.to_eqn();
+  for (const stg::SignalId s : stg.non_input_signals()) {
+    EXPECT_NE(eqn.find(stg.signal_name(s) + " ="), std::string::npos) << eqn;
+  }
+}
+
+TEST(Netlist, EqnWriterLatchArchitecture) {
+  const Stg stg = stg::make_paper_fig1();
+  const auto result = synthesize(stg, with(Method::StateGraph, Architecture::StandardC));
+  const Netlist netlist = Netlist::from_synthesis(stg, result);
+  const std::string eqn = netlist.to_eqn();
+  EXPECT_NE(eqn.find("set(b)"), std::string::npos);
+  EXPECT_NE(eqn.find("reset(b)"), std::string::npos);
+  EXPECT_NE(eqn.find("C-element"), std::string::npos);
+}
+
+TEST(Netlist, VerilogWriterProducesModule) {
+  const Stg stg = stg::make_paper_fig1();
+  const auto result = synthesize(stg, with(Method::UnfoldingApprox));
+  const Netlist netlist = Netlist::from_synthesis(stg, result);
+  const std::string verilog = netlist.to_verilog("fig1");
+  EXPECT_NE(verilog.find("module fig1("), std::string::npos);
+  EXPECT_NE(verilog.find("input a, c"), std::string::npos);
+  EXPECT_NE(verilog.find("output b"), std::string::npos);
+  EXPECT_NE(verilog.find("assign b = "), std::string::npos);
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+}
+
+TEST(Netlist, VerilogWriterLatchArchitecture) {
+  const Stg stg = stg::make_paper_fig1();
+  const auto result = synthesize(stg, with(Method::StateGraph, Architecture::RsLatch));
+  const Netlist netlist = Netlist::from_synthesis(stg, result);
+  const std::string verilog = netlist.to_verilog();
+  EXPECT_NE(verilog.find("b_set"), std::string::npos);
+  EXPECT_NE(verilog.find("b_reset"), std::string::npos);
+  EXPECT_NE(verilog.find("always @*"), std::string::npos);
+}
+
+TEST(Netlist, CscConflictBlocksAssembly) {
+  const Stg stg = stg::make_vme_bus();
+  SynthesisOptions options = with(Method::StateGraph);
+  options.throw_on_csc = false;
+  const auto result = synthesize(stg, options);
+  EXPECT_THROW(Netlist::from_synthesis(stg, result), CscError);
+}
+
+class Conformance : public ::testing::TestWithParam<int> {};
+
+TEST_P(Conformance, SynthesisedCircuitsConform) {
+  Stg stg;
+  switch (GetParam() % 3) {
+    case 0: stg = stg::make_paper_fig1(); break;
+    case 1: stg = stg::make_paper_fig4ab(); break;
+    case 2: stg = stg::make_muller_pipeline(4); break;
+  }
+  const Architecture arch = GetParam() < 3 ? Architecture::ComplexGate
+                            : GetParam() < 6 ? Architecture::StandardC
+                                             : Architecture::RsLatch;
+  const auto result = synthesize(stg, with(Method::UnfoldingApprox, arch));
+  const Netlist netlist = Netlist::from_synthesis(stg, result);
+  const sg::StateGraph sgraph = sg::StateGraph::build(stg);
+  const auto violations = verify_conformance(sgraph, netlist);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().detail);
+}
+
+INSTANTIATE_TEST_SUITE_P(MethodsAndArchitectures, Conformance, ::testing::Range(0, 9));
+
+TEST(Conformance, DetectsACorruptedGate) {
+  const Stg stg = stg::make_paper_fig1();
+  const auto result = synthesize(stg, with(Method::UnfoldingApprox));
+  Netlist netlist = Netlist::from_synthesis(stg, result);
+  // Sabotage: replace b's function with constant 1.
+  Netlist broken = netlist;
+  const_cast<Gate&>(broken.gates().front()).function =
+      logic::Cover::one(stg.signal_count());
+  const sg::StateGraph sgraph = sg::StateGraph::build(stg);
+  const auto violations = verify_conformance(sgraph, broken);
+  EXPECT_FALSE(violations.empty());
+  EXPECT_FALSE(violations.front().detail.empty());
+}
+
+}  // namespace
+}  // namespace punt::net

@@ -1,0 +1,184 @@
+// Unit tests for the Petri-net kernel: construction, token game, structure.
+#include <gtest/gtest.h>
+
+#include "src/pn/petri_net.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::pn {
+namespace {
+
+/// p0 -> t0 -> p1 -> t1 -> p0 (a two-phase cycle).
+PetriNet make_cycle() {
+  PetriNet net;
+  const PlaceId p0 = net.add_place("p0");
+  const PlaceId p1 = net.add_place("p1");
+  const TransitionId t0 = net.add_transition("t0");
+  const TransitionId t1 = net.add_transition("t1");
+  net.add_arc(p0, t0);
+  net.add_arc(t0, p1);
+  net.add_arc(p1, t1);
+  net.add_arc(t1, p0);
+  net.set_initial_tokens(p0, 1);
+  return net;
+}
+
+TEST(PetriNet, BuildAndLookup) {
+  PetriNet net = make_cycle();
+  EXPECT_EQ(net.place_count(), 2u);
+  EXPECT_EQ(net.transition_count(), 2u);
+  ASSERT_TRUE(net.find_place("p1").has_value());
+  EXPECT_EQ(net.place_name(*net.find_place("p1")), "p1");
+  EXPECT_FALSE(net.find_place("nope").has_value());
+  ASSERT_TRUE(net.find_transition("t0").has_value());
+  EXPECT_FALSE(net.find_transition("nope").has_value());
+}
+
+TEST(PetriNet, DuplicateNamesRejected) {
+  PetriNet net;
+  net.add_place("p");
+  EXPECT_THROW(net.add_place("p"), ValidationError);
+  net.add_transition("t");
+  EXPECT_THROW(net.add_transition("t"), ValidationError);
+}
+
+TEST(PetriNet, DuplicateArcsRejected) {
+  PetriNet net;
+  const PlaceId p = net.add_place("p");
+  const TransitionId t = net.add_transition("t");
+  net.add_arc(p, t);
+  EXPECT_THROW(net.add_arc(p, t), ValidationError);
+  net.add_arc(t, p);
+  EXPECT_THROW(net.add_arc(t, p), ValidationError);
+}
+
+TEST(PetriNet, EnablingAndFiring) {
+  PetriNet net = make_cycle();
+  const TransitionId t0 = *net.find_transition("t0");
+  const TransitionId t1 = *net.find_transition("t1");
+  const Marking m0 = net.initial_marking();
+  EXPECT_TRUE(net.enabled(m0, t0));
+  EXPECT_FALSE(net.enabled(m0, t1));
+  const Marking m1 = net.fire(m0, t0);
+  EXPECT_EQ(m1.tokens(*net.find_place("p0")), 0u);
+  EXPECT_EQ(m1.tokens(*net.find_place("p1")), 1u);
+  EXPECT_TRUE(net.enabled(m1, t1));
+  const Marking m2 = net.fire(m1, t1);
+  EXPECT_EQ(m2, m0);
+}
+
+TEST(PetriNet, FiringDisabledTransitionThrows) {
+  PetriNet net = make_cycle();
+  const TransitionId t1 = *net.find_transition("t1");
+  EXPECT_THROW(net.fire(net.initial_marking(), t1), ValidationError);
+}
+
+TEST(PetriNet, CapacityViolationDetected) {
+  PetriNet net;
+  const PlaceId src = net.add_place("src");
+  const PlaceId sink = net.add_place("sink");
+  const TransitionId t = net.add_transition("t");
+  net.add_arc(src, t);
+  net.add_arc(t, sink);
+  net.set_initial_tokens(src, 1);
+  net.set_initial_tokens(sink, 1);
+  EXPECT_THROW(net.fire(net.initial_marking(), t, /*capacity=*/1), CapacityError);
+  EXPECT_NO_THROW(net.fire(net.initial_marking(), t, /*capacity=*/2));
+  EXPECT_NO_THROW(net.fire(net.initial_marking(), t, /*capacity=*/0));
+}
+
+TEST(PetriNet, EnabledTransitionsList) {
+  PetriNet net;
+  const PlaceId p = net.add_place("p");
+  const TransitionId a = net.add_transition("a");
+  const TransitionId b = net.add_transition("b");
+  const PlaceId pa = net.add_place("pa");
+  const PlaceId pb = net.add_place("pb");
+  net.add_arc(p, a);
+  net.add_arc(p, b);
+  net.add_arc(a, pa);
+  net.add_arc(b, pb);
+  net.set_initial_tokens(p, 1);
+  const auto enabled = net.enabled_transitions(net.initial_marking());
+  EXPECT_EQ(enabled, (std::vector<TransitionId>{a, b}));
+}
+
+TEST(PetriNet, ChoicePlacesAndFreeChoice) {
+  PetriNet net;
+  const PlaceId p = net.add_place("p");
+  const TransitionId a = net.add_transition("a");
+  const TransitionId b = net.add_transition("b");
+  const PlaceId pa = net.add_place("pa");
+  const PlaceId pb = net.add_place("pb");
+  net.add_arc(p, a);
+  net.add_arc(p, b);
+  net.add_arc(a, pa);
+  net.add_arc(b, pb);
+  EXPECT_EQ(net.choice_places(), (std::vector<PlaceId>{p}));
+  EXPECT_TRUE(net.is_free_choice());
+  // Adding a second input place to only one consumer breaks free choice.
+  const PlaceId extra = net.add_place("extra");
+  net.add_arc(extra, a);
+  EXPECT_FALSE(net.is_free_choice());
+}
+
+TEST(PetriNet, MarkedGraphDetection) {
+  PetriNet cycle = make_cycle();
+  EXPECT_TRUE(cycle.is_marked_graph());
+
+  PetriNet net;
+  const PlaceId p = net.add_place("p");
+  const TransitionId a = net.add_transition("a");
+  const TransitionId b = net.add_transition("b");
+  const PlaceId pa = net.add_place("pa");
+  const PlaceId pb = net.add_place("pb");
+  net.add_arc(p, a);
+  net.add_arc(p, b);
+  net.add_arc(a, pa);
+  net.add_arc(b, pb);
+  EXPECT_FALSE(net.is_marked_graph());
+}
+
+TEST(PetriNet, ValidateCatchesEmptyPresets) {
+  PetriNet net;
+  net.add_place("p");
+  const TransitionId t = net.add_transition("t");
+  net.add_arc(t, *net.find_place("p"));
+  EXPECT_THROW(net.validate(), ValidationError);
+}
+
+TEST(PetriNet, ValidateCatchesEmptyPostsets) {
+  PetriNet net;
+  const PlaceId p = net.add_place("p");
+  const TransitionId t = net.add_transition("t");
+  net.add_arc(p, t);
+  EXPECT_THROW(net.validate(), ValidationError);
+}
+
+TEST(Marking, TotalAndMaxTokens) {
+  Marking m(3);
+  m.set_tokens(PlaceId(0), 2);
+  m.set_tokens(PlaceId(2), 1);
+  EXPECT_EQ(m.total_tokens(), 3u);
+  EXPECT_EQ(m.max_tokens(), 2u);
+  EXPECT_EQ(m.marked_places(), (std::vector<PlaceId>{PlaceId(0), PlaceId(2)}));
+}
+
+TEST(Marking, EqualityAndHash) {
+  Marking a(4), b(4);
+  a.add_token(PlaceId(1));
+  b.add_token(PlaceId(1));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.add_token(PlaceId(2));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Marking, ToStringShowsCounts) {
+  Marking m(2);
+  m.set_tokens(PlaceId(0), 1);
+  m.set_tokens(PlaceId(1), 2);
+  EXPECT_EQ(m.to_string({"x", "y"}), "{x, y=2}");
+}
+
+}  // namespace
+}  // namespace punt::pn

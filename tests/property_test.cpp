@@ -1,0 +1,145 @@
+// Randomised property suite: seeded generators produce families of valid
+// STGs (fork-joins, choice controllers, rings, pipelines with randomly
+// chosen shapes), and the core invariants of the reproduction are checked
+// on every instance:
+//
+//   P1  completeness — cut markings of the segment == SG markings;
+//   P2  exactness    — unfolding exact covers == SG covers (on/off/ER);
+//   P3  soundness    — approximated covers contain the exact sets;
+//   P4  convergence  — refinement reaches disjoint covers, or the exact
+//                      fallback does (these families are CSC-clean);
+//   P5  conformance  — the synthesised circuit matches every SG state.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/benchmarks/templates.hpp"
+#include "src/core/approx.hpp"
+#include "src/core/slices.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/sg/analysis.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/stg/generators.hpp"
+#include "src/unfolding/unfolding.hpp"
+#include "src/util/xorshift.hpp"
+
+namespace punt {
+namespace {
+
+/// Deterministically derives a random-but-valid STG from a seed.
+stg::Stg random_stg(std::uint64_t seed) {
+  XorShift rng(seed * 2654435761u + 17);
+  switch (rng.below(4)) {
+    case 0: {  // fork-join with 2..4 chains of depth 1..3
+      std::vector<std::size_t> depths(2 + rng.below(3));
+      for (auto& d : depths) d = 1 + rng.below(3);
+      return benchmarks::fork_join("rand_fj" + std::to_string(seed), depths);
+    }
+    case 1: {  // choice controller with 2..3 branches of length 1..4
+      std::vector<std::size_t> lengths(2 + rng.below(2));
+      for (auto& l : lengths) l = 1 + rng.below(4);
+      return benchmarks::choice_controller("rand_cc" + std::to_string(seed), lengths);
+    }
+    case 2:  // handshake ring with 3..8 signals
+      return benchmarks::handshake_chain("rand_hs" + std::to_string(seed),
+                                         3 + rng.below(6));
+    default:  // Muller pipeline with 2..5 stages
+      return stg::make_muller_pipeline(2 + rng.below(4));
+  }
+}
+
+std::set<std::string> cover_cubes(logic::Cover cover) {
+  cover.normalize();
+  std::set<std::string> out;
+  for (const auto& cube : cover.cubes()) out.insert(cube.to_string());
+  return out;
+}
+
+class RandomStg : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomStg, P1_SegmentRepresentsExactlyTheReachableMarkings) {
+  const stg::Stg stg = random_stg(static_cast<std::uint64_t>(GetParam()));
+  const auto unf = unf::Unfolding::build(stg);
+  const auto sgraph = sg::StateGraph::build(stg);
+  std::set<std::string> sg_markings, cut_markings;
+  for (std::size_t s = 0; s < sgraph.state_count(); ++s) {
+    sg_markings.insert(sgraph.marking(s).to_string(stg.net().place_names()));
+  }
+  for (const auto& m : unf::reachable_cut_markings(unf)) {
+    cut_markings.insert(m.to_string(stg.net().place_names()));
+  }
+  EXPECT_EQ(cut_markings, sg_markings) << stg.name();
+}
+
+TEST_P(RandomStg, P2_ExactCoversEqualStateGraphCovers) {
+  const stg::Stg stg = random_stg(static_cast<std::uint64_t>(GetParam()));
+  const auto unf = unf::Unfolding::build(stg);
+  const auto sgraph = sg::StateGraph::build(stg);
+  for (std::size_t si = 0; si < stg.signal_count(); ++si) {
+    const stg::SignalId s(static_cast<std::uint32_t>(si));
+    EXPECT_EQ(cover_cubes(core::exact_cover(unf, s, true)),
+              cover_cubes(sg::on_cover(sgraph, s)))
+        << stg.name() << " / " << stg.signal_name(s);
+    EXPECT_EQ(cover_cubes(core::exact_cover(unf, s, false)),
+              cover_cubes(sg::off_cover(sgraph, s)))
+        << stg.name() << " / " << stg.signal_name(s);
+    EXPECT_EQ(cover_cubes(core::exact_er_cover(unf, s, true)),
+              cover_cubes(sg::er_cover(stg, sgraph, s, true)))
+        << stg.name() << " / " << stg.signal_name(s);
+  }
+}
+
+TEST_P(RandomStg, P3_ApproximationsContainTheExactSets) {
+  const stg::Stg stg = random_stg(static_cast<std::uint64_t>(GetParam()));
+  const auto unf = unf::Unfolding::build(stg);
+  const auto sgraph = sg::StateGraph::build(stg);
+  for (const core::ApproxSetPolicy policy :
+       {core::ApproxSetPolicy::Full, core::ApproxSetPolicy::PaperChains}) {
+    for (std::size_t si = 0; si < stg.signal_count(); ++si) {
+      const stg::SignalId s(static_cast<std::uint32_t>(si));
+      for (const bool value : {true, false}) {
+        const logic::Cover approx =
+            core::approximate_cover(unf, s, value, policy).combined(stg.signal_count());
+        const logic::Cover exact =
+            value ? sg::on_cover(sgraph, s) : sg::off_cover(sgraph, s);
+        EXPECT_TRUE(approx.contains_cover(exact))
+            << stg.name() << " / " << stg.signal_name(s) << " value=" << value
+            << " policy=" << int(policy);
+      }
+    }
+  }
+}
+
+TEST_P(RandomStg, P4_RefinementConvergesOrFallsBack) {
+  const stg::Stg stg = random_stg(static_cast<std::uint64_t>(GetParam()));
+  core::SynthesisOptions options;
+  options.method = core::Method::UnfoldingApprox;
+  const auto result = core::synthesize(stg, options);  // throws on CSC: none expected
+  for (const auto& impl : result.signals) {
+    EXPECT_FALSE(impl.csc_conflict) << stg.name();
+    EXPECT_FALSE(impl.on_cover.intersects(impl.off_cover)) << stg.name();
+  }
+}
+
+TEST_P(RandomStg, P5_SynthesisedCircuitConforms) {
+  const stg::Stg stg = random_stg(static_cast<std::uint64_t>(GetParam()));
+  for (const core::Architecture arch :
+       {core::Architecture::ComplexGate, core::Architecture::StandardC}) {
+    core::SynthesisOptions options;
+    options.architecture = arch;
+    const auto result = core::synthesize(stg, options);
+    const net::Netlist netlist = net::Netlist::from_synthesis(stg, result);
+    const auto sgraph = sg::StateGraph::build(stg);
+    const auto violations = net::verify_conformance(sgraph, netlist);
+    EXPECT_TRUE(violations.empty())
+        << stg.name() << ": "
+        << (violations.empty() ? "" : violations.front().detail);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStg, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace punt

@@ -1,0 +1,240 @@
+// Unit tests for the State Graph: reachability, codes, regions, checks.
+// The Fig. 1 example from the paper is the reference: 8 states, known codes,
+// On(b) = {100,110,101,111,011,001}, Off(b) = {010,000}.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/sg/analysis.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/stg/generators.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::sg {
+namespace {
+
+using stg::SignalId;
+using stg::Stg;
+
+std::set<std::string> code_strings(const StateGraph& sg,
+                                   const std::vector<std::size_t>& states) {
+  std::set<std::string> out;
+  for (const std::size_t s : states) out.insert(stg::code_to_string(sg.code(s)));
+  return out;
+}
+
+TEST(StateGraph, PaperFig1HasEightStates) {
+  const Stg stg = stg::make_paper_fig1();
+  const StateGraph sg = StateGraph::build(stg);
+  EXPECT_EQ(sg.state_count(), 8u);
+  std::set<std::string> codes;
+  for (std::size_t s = 0; s < sg.state_count(); ++s) {
+    codes.insert(stg::code_to_string(sg.code(s)));
+  }
+  EXPECT_EQ(codes, (std::set<std::string>{"000", "100", "110", "101", "111", "011",
+                                          "001", "010"}));
+}
+
+TEST(StateGraph, PaperFig1OnOffSetsOfB) {
+  const Stg stg = stg::make_paper_fig1();
+  const StateGraph sg = StateGraph::build(stg);
+  const SignalId b = *stg.find_signal("b");
+  EXPECT_EQ(code_strings(sg, sg.on_set(b)),
+            (std::set<std::string>{"100", "110", "101", "111", "011", "001"}));
+  EXPECT_EQ(code_strings(sg, sg.off_set(b)), (std::set<std::string>{"010", "000"}));
+}
+
+TEST(StateGraph, PaperFig1ExcitationRegions) {
+  const Stg stg = stg::make_paper_fig1();
+  const StateGraph sg = StateGraph::build(stg);
+  const SignalId b = *stg.find_signal("b");
+  // ER(+b): states where some b+ instance is enabled: (p2,p3)=100,
+  // (p2,p6,p8)=101 for b+, and (p4)=001 for b+/2.
+  EXPECT_EQ(code_strings(sg, sg.excitation_region(b, true, stg)),
+            (std::set<std::string>{"100", "101", "001"}));
+  // ER(-b): only (p9)=010.
+  EXPECT_EQ(code_strings(sg, sg.excitation_region(b, false, stg)),
+            (std::set<std::string>{"010"}));
+}
+
+TEST(StateGraph, ImpliedValueFlipsWhenExcited) {
+  const Stg stg = stg::make_paper_fig1();
+  const StateGraph sg = StateGraph::build(stg);
+  const SignalId b = *stg.find_signal("b");
+  // Initial state 000: b=0, b not excited (no b+ enabled at p1).
+  EXPECT_EQ(sg.implied_value(sg.initial_state(), b), 0);
+}
+
+TEST(StateGraph, ArcCountMatchesEdges) {
+  const Stg stg = stg::make_paper_fig1();
+  const StateGraph sg = StateGraph::build(stg);
+  // Paper Fig. 1(c) has 10 SG edges.
+  EXPECT_EQ(sg.arc_count(), 10u);
+}
+
+TEST(StateGraph, StateBudgetEnforced) {
+  const Stg stg = stg::make_muller_pipeline(6);
+  BuildOptions options;
+  options.state_budget = 5;
+  EXPECT_THROW(StateGraph::build(stg, options), CapacityError);
+}
+
+TEST(StateGraph, UnsafeNetDetected) {
+  // Two producers into one place with both sources marked -> 2 tokens.
+  Stg stg;
+  const SignalId a = stg.add_signal("a", stg::SignalKind::Output);
+  const SignalId b = stg.add_signal("b", stg::SignalKind::Output);
+  const auto a_up = stg.add_transition(a, stg::Polarity::Rise);
+  const auto b_up = stg.add_transition(b, stg::Polarity::Rise);
+  const auto a_dn = stg.add_transition(a, stg::Polarity::Fall);
+  const auto b_dn = stg.add_transition(b, stg::Polarity::Fall);
+  auto& net = stg.net();
+  const auto p0 = net.add_place("p0");
+  const auto p1 = net.add_place("p1");
+  const auto shared = net.add_place("shared");
+  const auto sink = net.add_place("sink");
+  const auto sink2 = net.add_place("sink2");
+  net.add_arc(p0, a_up);
+  net.add_arc(p1, b_up);
+  net.add_arc(a_up, shared);
+  net.add_arc(b_up, shared);
+  net.add_arc(shared, a_dn);
+  net.add_arc(a_dn, sink);
+  net.add_arc(shared, b_dn);
+  net.add_arc(b_dn, sink2);
+  net.set_initial_tokens(p0, 1);
+  net.set_initial_tokens(p1, 1);
+  EXPECT_THROW(StateGraph::build(stg), CapacityError);
+}
+
+TEST(StateGraph, MullerPipelineGrowsWithStages) {
+  const std::size_t s2 = StateGraph::build(stg::make_muller_pipeline(2)).state_count();
+  const std::size_t s4 = StateGraph::build(stg::make_muller_pipeline(4)).state_count();
+  const std::size_t s6 = StateGraph::build(stg::make_muller_pipeline(6)).state_count();
+  EXPECT_LT(s2, s4);
+  EXPECT_LT(s4, s6);
+  // Exponential-ish growth: doubling stages should much more than double states.
+  EXPECT_GT(s6, 2 * s4);
+}
+
+TEST(StateGraph, InconsistentStgRejected) {
+  // a+ fires twice along one path with no intervening a-.
+  Stg stg;
+  const SignalId a = stg.add_signal("a", stg::SignalKind::Output);
+  const auto up1 = stg.add_transition(a, stg::Polarity::Rise);
+  const auto up2 = stg.add_transition(a, stg::Polarity::Rise);
+  auto& net = stg.net();
+  const auto p = net.add_place("p");
+  const auto q = net.add_place("q");
+  const auto r = net.add_place("r");
+  net.add_arc(p, up1);
+  net.add_arc(up1, q);
+  net.add_arc(q, up2);
+  net.add_arc(up2, r);
+  net.set_initial_tokens(p, 1);
+  EXPECT_THROW(StateGraph::build(stg), ImplementabilityError);
+}
+
+TEST(Analysis, PaperFig1IsPersistent) {
+  const Stg stg = stg::make_paper_fig1();
+  const StateGraph sg = StateGraph::build(stg);
+  EXPECT_TRUE(persistency_violations(stg, sg).empty());
+}
+
+TEST(Analysis, PaperFig1HasCscAndUsc) {
+  const Stg stg = stg::make_paper_fig1();
+  const StateGraph sg = StateGraph::build(stg);
+  EXPECT_TRUE(csc_violations(stg, sg).empty());
+  EXPECT_TRUE(has_unique_state_coding(sg));
+}
+
+TEST(Analysis, VmeBusHasCscViolation) {
+  const Stg stg = stg::make_vme_bus();
+  const StateGraph sg = StateGraph::build(stg);
+  const auto violations = csc_violations(stg, sg);
+  ASSERT_FALSE(violations.empty());
+  // The classic conflict involves the data-path signal d.
+  bool mentions_d = false;
+  for (const auto& v : violations) {
+    for (const SignalId s : v.conflicting) {
+      if (stg.signal_name(s) == "d") mentions_d = true;
+    }
+  }
+  EXPECT_TRUE(mentions_d);
+  EXPECT_FALSE(violations.front().describe(stg, sg).empty());
+}
+
+TEST(Analysis, VmeBusIsStillPersistent) {
+  // CSC violation does not imply persistency violation.
+  const Stg stg = stg::make_vme_bus();
+  const StateGraph sg = StateGraph::build(stg);
+  EXPECT_TRUE(persistency_violations(stg, sg).empty());
+}
+
+TEST(Analysis, OutputChoiceViolatesPersistency) {
+  // A choice place feeding two *output* transitions: firing one disables
+  // the other -> semi-modularity violation.
+  Stg stg;
+  const SignalId a = stg.add_signal("a", stg::SignalKind::Output);
+  const SignalId b = stg.add_signal("b", stg::SignalKind::Output);
+  const auto a_up = stg.add_transition(a, stg::Polarity::Rise);
+  const auto b_up = stg.add_transition(b, stg::Polarity::Rise);
+  const auto a_dn = stg.add_transition(a, stg::Polarity::Fall);
+  const auto b_dn = stg.add_transition(b, stg::Polarity::Fall);
+  auto& net = stg.net();
+  const auto choice = net.add_place("choice");
+  net.add_arc(choice, a_up);
+  net.add_arc(choice, b_up);
+  const auto pa = net.add_place("pa");
+  const auto pb = net.add_place("pb");
+  net.add_arc(a_up, pa);
+  net.add_arc(pa, a_dn);
+  net.add_arc(b_up, pb);
+  net.add_arc(pb, b_dn);
+  net.add_arc(a_dn, choice);
+  net.add_arc(b_dn, choice);
+  net.set_initial_tokens(choice, 1);
+  const StateGraph sg = StateGraph::build(stg);
+  const auto violations = persistency_violations(stg, sg);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_FALSE(violations.front().describe(stg).empty());
+}
+
+TEST(Analysis, InputChoiceIsAllowed) {
+  // Same shape but with *input* signals choosing: no violation reported.
+  const Stg stg = stg::make_paper_fig1();  // choice between inputs a+ and c+/2
+  const StateGraph sg = StateGraph::build(stg);
+  EXPECT_TRUE(persistency_violations(stg, sg).empty());
+}
+
+TEST(Analysis, OnCoverMatchesPaper) {
+  const Stg stg = stg::make_paper_fig1();
+  const StateGraph sg = StateGraph::build(stg);
+  const SignalId b = *stg.find_signal("b");
+  const logic::Cover on = on_cover(sg, b);
+  EXPECT_EQ(on.cube_count(), 6u);
+  const logic::Cover off = off_cover(sg, b);
+  EXPECT_EQ(off.cube_count(), 2u);
+  EXPECT_FALSE(on.intersects(off));
+}
+
+TEST(Analysis, ErCoverMatchesRegions) {
+  const Stg stg = stg::make_paper_fig1();
+  const StateGraph sg = StateGraph::build(stg);
+  const SignalId b = *stg.find_signal("b");
+  const logic::Cover er_plus = er_cover(stg, sg, b, true);
+  EXPECT_EQ(er_plus.cube_count(), 3u);  // 100, 101, 001
+  const logic::Cover er_minus = er_cover(stg, sg, b, false);
+  EXPECT_EQ(er_minus.cube_count(), 1u);  // 010
+}
+
+TEST(Analysis, MullerPipelineIsCleen) {
+  const Stg stg = stg::make_muller_pipeline(3);
+  const StateGraph sg = StateGraph::build(stg);
+  EXPECT_TRUE(persistency_violations(stg, sg).empty());
+  EXPECT_TRUE(csc_violations(stg, sg).empty());
+}
+
+}  // namespace
+}  // namespace punt::sg

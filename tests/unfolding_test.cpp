@@ -1,0 +1,357 @@
+// Tests for the STG-unfolding segment: construction, cutoffs, relations,
+// codes, completeness.  The Fig. 1 / Fig. 2 example of the paper pins the
+// exact segment shape: 8 instances, 2 cutoffs (-a' and -b'), 12 conditions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/sg/state_graph.hpp"
+#include "src/stg/generators.hpp"
+#include "src/unfolding/unfolding.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::unf {
+namespace {
+
+using stg::SignalId;
+using stg::Stg;
+
+/// Finds the unique non-cutoff event instantiating `name`, or any event if
+/// `allow_cutoff`.
+EventId event_by_name(const Unfolding& unf, const std::string& name,
+                      bool allow_cutoff = true) {
+  for (std::size_t i = 1; i < unf.event_count(); ++i) {
+    const EventId e(static_cast<std::uint32_t>(i));
+    if (unf.stg().transition_name(unf.transition(e)) == name &&
+        (allow_cutoff || !unf.is_cutoff(e))) {
+      return e;
+    }
+  }
+  ADD_FAILURE() << "no instance of " << name;
+  return EventId();
+}
+
+std::set<std::string> marking_strings(const stg::Stg& stg,
+                                      const std::vector<pn::Marking>& markings) {
+  std::set<std::string> out;
+  for (const auto& m : markings) out.insert(m.to_string(stg.net().place_names()));
+  return out;
+}
+
+TEST(Unfolding, PaperFig2SegmentShape) {
+  const Stg stg = stg::make_paper_fig1();
+  const Unfolding unf = Unfolding::build(stg);
+  EXPECT_EQ(unf.stats().events, 8u);      // Fig. 2: 8 instances
+  EXPECT_EQ(unf.stats().conditions, 12u); // p'1..p'9, p''7, p''8, p''1
+  EXPECT_EQ(unf.stats().cutoffs, 2u);     // -a' and -b'
+}
+
+TEST(Unfolding, PaperFig2CutoffsAreMinusAAndMinusB) {
+  const Stg stg = stg::make_paper_fig1();
+  const Unfolding unf = Unfolding::build(stg);
+  std::set<std::string> cutoff_names;
+  for (std::size_t i = 1; i < unf.event_count(); ++i) {
+    const EventId e(static_cast<std::uint32_t>(i));
+    if (unf.is_cutoff(e)) {
+      cutoff_names.insert(stg.transition_name(unf.transition(e)));
+    }
+  }
+  EXPECT_EQ(cutoff_names, (std::set<std::string>{"a-", "b-"}));
+  // -a' is cut off against +b/2 (same final state (p7,p8)/011), and -b'
+  // against the initial transition.
+  const EventId a_dn = event_by_name(unf, "a-");
+  ASSERT_TRUE(unf.is_cutoff(a_dn));
+  const EventId image = unf.cutoff_image(a_dn);
+  EXPECT_EQ(stg.transition_name(unf.transition(image)), "b+/2");
+  const EventId b_dn = event_by_name(unf, "b-");
+  ASSERT_TRUE(unf.is_cutoff(b_dn));
+  EXPECT_TRUE(unf.is_initial(unf.cutoff_image(b_dn)));
+}
+
+TEST(Unfolding, EventCodesMatchPaperFig2) {
+  const Stg stg = stg::make_paper_fig1();
+  const Unfolding unf = Unfolding::build(stg);
+  auto code_of = [&](const std::string& name) {
+    return stg::code_to_string(unf.code(event_by_name(unf, name)));
+  };
+  EXPECT_EQ(code_of("a+"), "100");
+  EXPECT_EQ(code_of("b+"), "110");   // +b'' in the paper's priming
+  EXPECT_EQ(code_of("c+"), "101");
+  EXPECT_EQ(code_of("c+/2"), "001");
+  EXPECT_EQ(code_of("b+/2"), "011");
+  EXPECT_EQ(code_of("c-"), "010");
+  EXPECT_EQ(code_of("a-"), "011");
+  EXPECT_EQ(code_of("b-"), "000");
+}
+
+TEST(Unfolding, ExcitationCodeUndoesOwnEdge) {
+  const Stg stg = stg::make_paper_fig1();
+  const Unfolding unf = Unfolding::build(stg);
+  const EventId a_up = event_by_name(unf, "a+");
+  EXPECT_EQ(stg::code_to_string(unf.excitation_code(a_up)), "000");
+  const EventId c_dn = event_by_name(unf, "c-");
+  EXPECT_EQ(stg::code_to_string(unf.excitation_code(c_dn)), "011");
+}
+
+TEST(Unfolding, InitialEventPostsetIsInitialMarking) {
+  const Stg stg = stg::make_paper_fig1();
+  const Unfolding unf = Unfolding::build(stg);
+  const auto& post = unf.postset(Unfolding::initial_event());
+  ASSERT_EQ(post.size(), 1u);
+  EXPECT_EQ(stg.net().place_name(unf.place(post.front())), "p1");
+  EXPECT_EQ(unf.config_size(Unfolding::initial_event()), 0u);
+}
+
+TEST(Unfolding, CausalityAndConflictRelations) {
+  const Stg stg = stg::make_paper_fig1();
+  const Unfolding unf = Unfolding::build(stg);
+  const EventId a_up = event_by_name(unf, "a+");
+  const EventId b_up_A = event_by_name(unf, "b+");
+  const EventId c_up_A = event_by_name(unf, "c+");
+  const EventId c_up_B = event_by_name(unf, "c+/2");
+  const EventId b_up_B = event_by_name(unf, "b+/2");
+  const EventId a_dn = event_by_name(unf, "a-");
+
+  EXPECT_TRUE(unf.precedes(a_up, b_up_A));
+  EXPECT_TRUE(unf.precedes(a_up, a_dn));
+  EXPECT_FALSE(unf.precedes(b_up_A, a_up));
+  EXPECT_TRUE(unf.precedes(a_up, a_up));  // reflexive
+
+  // The two post-+a branches are concurrent.
+  EXPECT_TRUE(unf.co(b_up_A, c_up_A));
+  EXPECT_FALSE(unf.in_conflict(b_up_A, c_up_A));
+
+  // The choice at p1 puts the two branches in conflict.
+  EXPECT_TRUE(unf.in_conflict(a_up, c_up_B));
+  EXPECT_TRUE(unf.in_conflict(b_up_A, b_up_B));
+  EXPECT_FALSE(unf.co(a_up, c_up_B));
+
+  // ⊥ precedes everything and is concurrent with nothing.
+  EXPECT_TRUE(unf.precedes(Unfolding::initial_event(), a_dn));
+  EXPECT_FALSE(unf.co(Unfolding::initial_event(), a_up));
+}
+
+TEST(Unfolding, ConditionEventConcurrency) {
+  const Stg stg = stg::make_paper_fig4ab();
+  const Unfolding unf = Unfolding::build(stg);
+  const EventId d_up = event_by_name(unf, "d+");
+  const EventId b_up = event_by_name(unf, "b+");
+  // p2 (input of b+) is concurrent with d+ (parallel branches after a+).
+  const ConditionId p2 = unf.preset(b_up).front();
+  EXPECT_TRUE(unf.co(p2, d_up));
+  // p4 (input of d+) is not concurrent with d+ (it is consumed by it).
+  const ConditionId p4 = unf.preset(d_up).front();
+  EXPECT_FALSE(unf.co(p4, d_up));
+}
+
+TEST(Unfolding, NextAndFirstInstances) {
+  const Stg stg = stg::make_paper_fig1();
+  const Unfolding unf = Unfolding::build(stg);
+  const SignalId b = *stg.find_signal("b");
+  const EventId a_up = event_by_name(unf, "a+");
+  const EventId a_dn = event_by_name(unf, "a-");
+
+  const auto next_a = unf.next_instances(a_up);
+  ASSERT_EQ(next_a.size(), 1u);
+  EXPECT_EQ(next_a.front(), a_dn);
+
+  const auto first_b = unf.first_instances(b);
+  std::set<std::string> names;
+  for (const EventId e : first_b) names.insert(stg.transition_name(unf.transition(e)));
+  EXPECT_EQ(names, (std::set<std::string>{"b+", "b+/2"}));
+
+  const EventId b_up_B = event_by_name(unf, "b+/2");
+  const auto next_b = unf.next_instances(b_up_B);
+  ASSERT_EQ(next_b.size(), 1u);
+  EXPECT_EQ(stg.transition_name(unf.transition(next_b.front())), "b-");
+}
+
+TEST(Unfolding, MinCutsOfFig2) {
+  const Stg stg = stg::make_paper_fig1();
+  const Unfolding unf = Unfolding::build(stg);
+  const EventId c_dn = event_by_name(unf, "c-");
+  // c- becomes enabled at (p7, p8) — its minimal excitation cut.
+  const Bitset exc = unf.min_excitation_cut(c_dn);
+  std::multiset<std::string> places;
+  exc.for_each([&](std::size_t c) {
+    places.insert(stg.net().place_name(unf.place(ConditionId(static_cast<std::uint32_t>(c)))));
+  });
+  EXPECT_EQ(places, (std::multiset<std::string>{"p7", "p8"}));
+  // Its minimal stable cut is (p9).
+  const Bitset stable = unf.min_stable_cut(c_dn);
+  EXPECT_EQ(stable.count(), 1u);
+  EXPECT_EQ(stg.net().place_name(unf.place(ConditionId(
+                static_cast<std::uint32_t>(stable.find_first())))),
+            "p9");
+}
+
+TEST(Unfolding, FinalMarkingsMatchCutMarkings) {
+  const Stg stg = stg::make_paper_fig1();
+  const Unfolding unf = Unfolding::build(stg);
+  for (std::size_t i = 0; i < unf.event_count(); ++i) {
+    const EventId e(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(unf.final_marking(e),
+              unf.marking_of_cut(unf.min_stable_cut(e)));
+  }
+}
+
+/// Completeness (McMillan's theorem, lifted to STGs): every SG marking is
+/// the marking of some cut of the segment — and no more.
+class Completeness : public ::testing::TestWithParam<int> {};
+
+TEST_P(Completeness, SegmentRepresentsExactlyTheReachableMarkings) {
+  Stg stg;
+  switch (GetParam()) {
+    case 0: stg = stg::make_paper_fig1(); break;
+    case 1: stg = stg::make_paper_fig4ab(); break;
+    case 2: stg = stg::make_paper_fig4c(); break;
+    case 3: stg = stg::make_muller_pipeline(3); break;
+    case 4: stg = stg::make_muller_pipeline(5); break;
+    case 5: stg = stg::make_vme_bus(); break;
+  }
+  const Unfolding unf = Unfolding::build(stg);
+  const sg::StateGraph sgraph = sg::StateGraph::build(stg);
+  std::set<std::string> sg_markings;
+  for (std::size_t s = 0; s < sgraph.state_count(); ++s) {
+    sg_markings.insert(sgraph.marking(s).to_string(stg.net().place_names()));
+  }
+  EXPECT_EQ(marking_strings(stg, reachable_cut_markings(unf)), sg_markings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, Completeness, ::testing::Range(0, 6));
+
+TEST(Unfolding, TotalOrderCutoffNeverLarger) {
+  for (const auto& stg : {stg::make_paper_fig1(), stg::make_vme_bus(),
+                          stg::make_muller_pipeline(4)}) {
+    UnfoldOptions mcmillan;
+    mcmillan.cutoff = UnfoldOptions::CutoffPolicy::McMillan;
+    UnfoldOptions total;
+    total.cutoff = UnfoldOptions::CutoffPolicy::TotalOrder;
+    const auto a = Unfolding::build(stg, mcmillan);
+    const auto b = Unfolding::build(stg, total);
+    EXPECT_LE(b.stats().events, a.stats().events);
+  }
+}
+
+TEST(Unfolding, MullerSegmentGrowsLinearly) {
+  const Unfolding u4 = Unfolding::build(stg::make_muller_pipeline(4));
+  const Unfolding u8 = Unfolding::build(stg::make_muller_pipeline(8));
+  const Unfolding u16 = Unfolding::build(stg::make_muller_pipeline(16));
+  // Roughly linear growth: doubling stages should not quadruple events.
+  EXPECT_LT(u8.stats().events, 4 * u4.stats().events);
+  EXPECT_LT(u16.stats().events, 4 * u8.stats().events);
+  // ... while the SG grows exponentially (see sg_test); the segment for 16
+  // stages stays small.
+  EXPECT_LT(u16.stats().events, 500u);
+}
+
+TEST(Unfolding, EventBudgetEnforced) {
+  UnfoldOptions options;
+  options.event_budget = 3;
+  EXPECT_THROW(Unfolding::build(stg::make_muller_pipeline(6), options), CapacityError);
+}
+
+TEST(Unfolding, UnsafeStgDetected) {
+  // Unsafe net whose fork/join feeds a shared place twice.  Note this net is
+  // *also* inconsistent (a- can fire after just b+), and the unfolder may
+  // legitimately report either defect — both are rejections.
+  Stg stg;
+  const SignalId a = stg.add_signal("a", stg::SignalKind::Output);
+  const SignalId b = stg.add_signal("b", stg::SignalKind::Output);
+  const auto a_up = stg.add_transition(a, stg::Polarity::Rise);
+  const auto b_up = stg.add_transition(b, stg::Polarity::Rise);
+  const auto a_dn = stg.add_transition(a, stg::Polarity::Fall);
+  const auto b_dn = stg.add_transition(b, stg::Polarity::Fall);
+  auto& net = stg.net();
+  const auto p0 = net.add_place("p0");
+  const auto p1 = net.add_place("p1");
+  const auto shared = net.add_place("shared");
+  const auto sink = net.add_place("sink");
+  const auto sink2 = net.add_place("sink2");
+  net.add_arc(p0, a_up);
+  net.add_arc(p1, b_up);
+  net.add_arc(a_up, shared);
+  net.add_arc(b_up, shared);
+  net.add_arc(shared, a_dn);
+  net.add_arc(a_dn, sink);
+  net.add_arc(shared, b_dn);
+  net.add_arc(b_dn, sink2);
+  net.set_initial_tokens(p0, 1);
+  net.set_initial_tokens(p1, 1);
+  EXPECT_THROW(Unfolding::build(stg), Error);
+}
+
+TEST(Unfolding, UnsafeInitialMarkingDetected) {
+  Stg stg;
+  const SignalId a = stg.add_signal("a", stg::SignalKind::Output);
+  const auto a_up = stg.add_transition(a, stg::Polarity::Rise);
+  auto& net = stg.net();
+  const auto p = net.add_place("p");
+  const auto q = net.add_place("q");
+  net.add_arc(p, a_up);
+  net.add_arc(a_up, q);
+  net.set_initial_tokens(p, 2);
+  EXPECT_THROW(Unfolding::build(stg), CapacityError);
+}
+
+TEST(Unfolding, InconsistentStgDetected) {
+  Stg stg;
+  const SignalId a = stg.add_signal("a", stg::SignalKind::Output);
+  const auto up1 = stg.add_transition(a, stg::Polarity::Rise);
+  const auto up2 = stg.add_transition(a, stg::Polarity::Rise);
+  auto& net = stg.net();
+  const auto p = net.add_place("p");
+  const auto q = net.add_place("q");
+  const auto r = net.add_place("r");
+  net.add_arc(p, up1);
+  net.add_arc(up1, q);
+  net.add_arc(q, up2);
+  net.add_arc(up2, r);
+  net.set_initial_tokens(p, 1);
+  EXPECT_THROW(Unfolding::build(stg), ImplementabilityError);
+}
+
+TEST(Unfolding, SegmentPersistencyCleanOnFig1) {
+  const Unfolding unf = Unfolding::build(stg::make_paper_fig1());
+  EXPECT_TRUE(segment_persistency_violations(unf).empty());
+}
+
+TEST(Unfolding, SegmentPersistencyDetectsOutputChoice) {
+  Stg stg;
+  const SignalId a = stg.add_signal("a", stg::SignalKind::Output);
+  const SignalId b = stg.add_signal("b", stg::SignalKind::Output);
+  const auto a_up = stg.add_transition(a, stg::Polarity::Rise);
+  const auto b_up = stg.add_transition(b, stg::Polarity::Rise);
+  const auto a_dn = stg.add_transition(a, stg::Polarity::Fall);
+  const auto b_dn = stg.add_transition(b, stg::Polarity::Fall);
+  auto& net = stg.net();
+  const auto choice = net.add_place("choice");
+  const auto pa = net.add_place("pa");
+  const auto pb = net.add_place("pb");
+  net.add_arc(choice, a_up);
+  net.add_arc(choice, b_up);
+  net.add_arc(a_up, pa);
+  net.add_arc(pa, a_dn);
+  net.add_arc(b_up, pb);
+  net.add_arc(pb, b_dn);
+  net.add_arc(a_dn, choice);
+  net.add_arc(b_dn, choice);
+  net.set_initial_tokens(choice, 1);
+  const Unfolding unf = Unfolding::build(stg);
+  const auto violations = segment_persistency_violations(unf);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_FALSE(violations.front().describe(unf).empty());
+}
+
+TEST(Unfolding, EventNamesReadable) {
+  const Unfolding unf = Unfolding::build(stg::make_paper_fig1());
+  EXPECT_EQ(unf.event_name(Unfolding::initial_event()), "_|_");
+  const EventId a_up = event_by_name(unf, "a+");
+  EXPECT_NE(unf.event_name(a_up).find("a+@"), std::string::npos);
+  const ConditionId c0(0);
+  EXPECT_NE(unf.condition_name(c0).find("@0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace punt::unf

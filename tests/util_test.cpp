@@ -1,0 +1,151 @@
+// Unit tests for the util substrate: Bitset, strings, xorshift.
+#include <gtest/gtest.h>
+
+#include "src/util/bitset.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/xorshift.hpp"
+
+namespace punt {
+namespace {
+
+TEST(Bitset, StartsEmpty) {
+  Bitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.find_first(), Bitset::npos);
+}
+
+TEST(Bitset, SetTestReset) {
+  Bitset b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, FindFirstAndNext) {
+  Bitset b(200);
+  b.set(3);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 3u);
+  EXPECT_EQ(b.find_next(3), 64u);
+  EXPECT_EQ(b.find_next(64), 199u);
+  EXPECT_EQ(b.find_next(199), Bitset::npos);
+}
+
+TEST(Bitset, ForEachAscending) {
+  Bitset b(70);
+  b.set(69);
+  b.set(0);
+  b.set(33);
+  EXPECT_EQ(b.to_indices(), (std::vector<std::size_t>{0, 33, 69}));
+}
+
+TEST(Bitset, BooleanOperators) {
+  Bitset a(66), b(66);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  b.set(2);
+  Bitset i = a & b;
+  EXPECT_EQ(i.to_indices(), (std::vector<std::size_t>{65}));
+  Bitset u = a | b;
+  EXPECT_EQ(u.to_indices(), (std::vector<std::size_t>{1, 2, 65}));
+  Bitset d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.to_indices(), (std::vector<std::size_t>{1}));
+}
+
+TEST(Bitset, SubsetAndIntersects) {
+  Bitset a(10), b(10);
+  a.set(3);
+  b.set(3);
+  b.set(7);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  Bitset c(10);
+  c.set(1);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Bitset, ResizePreservesAndMasksTail) {
+  Bitset b(64);
+  b.set(63);
+  b.resize(70);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_EQ(b.count(), 1u);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+  b.resize(3);
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset, EqualityAndHash) {
+  Bitset a(50), b(50);
+  a.set(10);
+  b.set(10);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(11);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Bitset, ToString) {
+  Bitset b(8);
+  b.set(1);
+  b.set(4);
+  EXPECT_EQ(b.to_string(), "{1, 4}");
+}
+
+TEST(Strings, SplitDropsEmptyTokens) {
+  EXPECT_EQ(split("  a  bb\tc "), (std::vector<std::string>{"a", "bb", "c"}));
+  EXPECT_TRUE(split("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with(".inputs a b", ".inputs"));
+  EXPECT_FALSE(starts_with(".in", ".inputs"));
+}
+
+TEST(Strings, LogicalLinesJoinsContinuations) {
+  const auto lines = logical_lines("a b \\\nc d\ne");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a b c d");
+  EXPECT_EQ(lines[1], "e");
+}
+
+TEST(Strings, LogicalLinesStripsCarriageReturn) {
+  const auto lines = logical_lines("a\r\nb\r");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(XorShift, DeterministicForFixedSeed) {
+  XorShift a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XorShift, BelowStaysInRange) {
+  XorShift rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+}  // namespace
+}  // namespace punt

@@ -1,0 +1,184 @@
+// punt — command-line synthesis of speed-independent circuits from STGs.
+//
+//   punt synth <file.g> [--method=approx|exact|sg] [--arch=acg|c|rs]
+//              [--eqn] [--verilog] [--dot] [--unfolding-dot] [--no-minimize]
+//   punt check <file.g>            verify the general correctness criteria
+//   punt resolve <file.g>          repair CSC conflicts by signal insertion
+//   punt bench list                list the Table-1 registry
+//   punt bench dump <name>         print a registry entry as .g text
+//
+// Exit status: 0 on success, 1 on usage errors, 2 when the specification is
+// not implementable (with a diagnostic on stderr).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/benchmarks/registry.hpp"
+#include "src/core/csc_resolve.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/sg/analysis.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/stg/dot.hpp"
+#include "src/stg/g_format.hpp"
+#include "src/unfolding/dot.hpp"
+#include "src/unfolding/unfolding.hpp"
+#include "src/util/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  punt synth <file.g> [--method=approx|exact|sg] [--arch=acg|c|rs]\n"
+               "             [--eqn] [--verilog] [--dot] [--unfolding-dot]\n"
+               "             [--no-minimize]\n"
+               "  punt check <file.g>\n"
+               "  punt resolve <file.g>\n"
+               "  punt bench list | punt bench dump <name>\n");
+  return 1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw punt::Error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+punt::core::SynthesisOptions parse_options(const std::vector<std::string>& args) {
+  punt::core::SynthesisOptions options;
+  for (const std::string& arg : args) {
+    if (arg == "--method=approx") {
+      options.method = punt::core::Method::UnfoldingApprox;
+    } else if (arg == "--method=exact") {
+      options.method = punt::core::Method::UnfoldingExact;
+    } else if (arg == "--method=sg") {
+      options.method = punt::core::Method::StateGraph;
+    } else if (arg == "--arch=acg") {
+      options.architecture = punt::core::Architecture::ComplexGate;
+    } else if (arg == "--arch=c") {
+      options.architecture = punt::core::Architecture::StandardC;
+    } else if (arg == "--arch=rs") {
+      options.architecture = punt::core::Architecture::RsLatch;
+    } else if (arg == "--no-minimize") {
+      options.minimize = false;
+    }
+  }
+  return options;
+}
+
+bool has_flag(const std::vector<std::string>& args, const char* flag) {
+  for (const std::string& arg : args) {
+    if (arg == flag) return true;
+  }
+  return false;
+}
+
+int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
+  const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
+  const punt::core::SynthesisOptions options = parse_options(args);
+  const punt::core::SynthesisResult result = punt::core::synthesize(stg, options);
+  const punt::net::Netlist netlist = punt::net::Netlist::from_synthesis(stg, result);
+
+  std::printf("# %s: %zu signals, %zu literals\n", stg.name().c_str(),
+              stg.signal_count(), netlist.literal_count());
+  std::printf("# unfold %.4fs derive %.4fs minimise %.4fs total %.4fs\n",
+              result.unfold_seconds, result.derive_seconds, result.minimize_seconds,
+              result.total_seconds);
+  const bool any_writer = has_flag(args, "--eqn") || has_flag(args, "--verilog") ||
+                          has_flag(args, "--dot") || has_flag(args, "--unfolding-dot");
+  if (has_flag(args, "--eqn") || !any_writer) std::printf("%s", netlist.to_eqn().c_str());
+  if (has_flag(args, "--verilog")) {
+    std::printf("%s", netlist.to_verilog(stg.name()).c_str());
+  }
+  if (has_flag(args, "--dot")) std::printf("%s", punt::stg::to_dot(stg).c_str());
+  if (has_flag(args, "--unfolding-dot")) {
+    std::printf("%s", punt::unf::to_dot(punt::unf::Unfolding::build(stg)).c_str());
+  }
+  return 0;
+}
+
+int cmd_check(const std::string& path) {
+  const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
+  const punt::unf::Unfolding unfolding = punt::unf::Unfolding::build(stg);
+  std::printf("consistent state assignment : yes (segment built)\n");
+  std::printf("bounded / safe              : yes (%zu events, %zu conditions)\n",
+              unfolding.stats().events, unfolding.stats().conditions);
+  const auto persistency = punt::unf::segment_persistency_violations(unfolding);
+  std::printf("output persistency          : %s\n",
+              persistency.empty() ? "yes" : persistency.front().describe(unfolding).c_str());
+  punt::core::SynthesisOptions options;
+  options.throw_on_csc = false;
+  const auto result = punt::core::synthesize(stg, options);
+  bool csc_ok = true;
+  for (const auto& impl : result.signals) {
+    if (impl.csc_conflict) {
+      csc_ok = false;
+      std::printf("complete state coding       : conflict on '%s'\n",
+                  stg.signal_name(impl.signal).c_str());
+    }
+  }
+  if (csc_ok) std::printf("complete state coding       : yes\n");
+  return csc_ok && persistency.empty() ? 0 : 2;
+}
+
+int cmd_resolve(const std::string& path) {
+  const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
+  const auto resolution = punt::core::resolve_csc(stg);
+  if (!resolution) {
+    std::fprintf(stderr, "no single-signal insertion repairs this STG\n");
+    return 2;
+  }
+  if (resolution->signals_added == 0) {
+    std::fprintf(stderr, "# specification already satisfies CSC; unchanged\n");
+  } else {
+    std::fprintf(stderr, "# inserted state signal: rise after %s, fall after %s\n",
+                 resolution->rise_after.c_str(), resolution->fall_after.c_str());
+  }
+  std::printf("%s", punt::stg::write_g(resolution->stg).c_str());
+  return 0;
+}
+
+int cmd_bench(const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "list") {
+    for (const auto& bench : punt::benchmarks::table1()) {
+      std::printf("%-24s %3zu signals  # %s\n", bench.name.c_str(), bench.signals,
+                  bench.note.c_str());
+    }
+    return 0;
+  }
+  if (args.size() >= 2 && args[0] == "dump") {
+    std::printf("%s", punt::stg::write_g(punt::benchmarks::find(args[1]).make()).c_str());
+    return 0;
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  try {
+    const std::string& command = args[0];
+    if (command == "synth" && args.size() >= 2) {
+      return cmd_synth(args[1], {args.begin() + 2, args.end()});
+    }
+    if (command == "check" && args.size() >= 2) return cmd_check(args[1]);
+    if (command == "resolve" && args.size() >= 2) return cmd_resolve(args[1]);
+    if (command == "bench") return cmd_bench({args.begin() + 1, args.end()});
+    return usage();
+  } catch (const punt::CscError& e) {
+    std::fprintf(stderr, "CSC conflict: %s\n(try `punt resolve`)\n", e.what());
+    return 2;
+  } catch (const punt::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
