@@ -1,39 +1,60 @@
 // Experiment A4 — implementation-architecture ablation (paper §2.1 and the
 // §6 outlook): literal counts of the atomic-complex-gate-per-signal
 // implementation versus the standard-C and RS-latch implementations, all
-// derived from the same unfolding approximations.
+// derived from the same unfolding approximations.  Each architecture's
+// registry sweep goes through the batch pipeline (jobs = 0 → one worker per
+// hardware thread); the batch determinism guarantee makes the counts
+// independent of the worker count.
 #include <cstdio>
+#include <vector>
 
 #include "src/benchmarks/registry.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
 
 int main() {
   using punt::core::Architecture;
-  using punt::core::SynthesisOptions;
+  using punt::core::BatchOptions;
+  using punt::core::BatchResult;
+
+  const auto& registry = punt::benchmarks::table1();
+  std::vector<punt::stg::Stg> stgs;
+  stgs.reserve(registry.size());
+  for (const auto& bench : registry) stgs.push_back(bench.make());
+
+  auto sweep = [&stgs](Architecture arch) {
+    BatchOptions options;
+    options.synthesis.architecture = arch;
+    options.jobs = 0;  // one worker per hardware thread
+    return punt::core::synthesize_batch(stgs, options);
+  };
+  const BatchResult acg = sweep(Architecture::ComplexGate);
+  const BatchResult sc = sweep(Architecture::StandardC);
+  const BatchResult rs = sweep(Architecture::RsLatch);
+  for (const BatchResult* batch : {&acg, &sc, &rs}) {
+    for (std::size_t i = 0; i < batch->entries.size(); ++i) {
+      if (!batch->entries[i].ok) {
+        // A zero in the table would be read as a literal count; fail loudly.
+        std::printf("ERROR: %s failed: %s\n", registry[i].name.c_str(),
+                    batch->entries[i].error.c_str());
+        return 1;
+      }
+    }
+  }
+
   std::printf("Ablation A4 — literal counts per implementation architecture\n\n");
   std::printf("%-24s %6s | %8s %10s %8s\n", "benchmark", "sigs", "ACG", "standard-C",
               "RS-latch");
   std::printf("--------------------------------------------------------------\n");
-  std::size_t total_acg = 0, total_c = 0, total_rs = 0;
-  for (const auto& bench : punt::benchmarks::table1()) {
-    const punt::stg::Stg stg = bench.make();
-    auto lits = [&stg](Architecture arch) {
-      SynthesisOptions options;
-      options.architecture = arch;
-      return punt::core::synthesize(stg, options).literal_count();
-    };
-    const std::size_t acg = lits(Architecture::ComplexGate);
-    const std::size_t sc = lits(Architecture::StandardC);
-    const std::size_t rs = lits(Architecture::RsLatch);
-    total_acg += acg;
-    total_c += sc;
-    total_rs += rs;
-    std::printf("%-24s %6zu | %8zu %10zu %8zu\n", bench.name.c_str(), bench.signals,
-                acg, sc, rs);
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    std::printf("%-24s %6zu | %8zu %10zu %8zu\n", registry[i].name.c_str(),
+                registry[i].signals, acg.entries[i].result.literal_count(),
+                sc.entries[i].result.literal_count(),
+                rs.entries[i].result.literal_count());
   }
   std::printf("--------------------------------------------------------------\n");
-  std::printf("%-24s %6s | %8zu %10zu %8zu\n", "Total", "", total_acg, total_c,
-              total_rs);
+  std::printf("%-24s %6s | %8zu %10zu %8zu\n", "Total", "", acg.literal_count(),
+              sc.literal_count(), rs.literal_count());
   std::printf("\nShape check: the latch architectures split each gate into smaller\n"
               "set/reset functions (the paper's motivation for them).\n");
   return 0;

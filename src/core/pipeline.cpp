@@ -1,0 +1,324 @@
+#include "src/core/pipeline.hpp"
+
+#include <atomic>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "src/core/approx.hpp"
+#include "src/core/slices.hpp"
+#include "src/sg/analysis.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::core {
+namespace {
+
+using logic::Cover;
+
+/// Raw (unminimised) single-cube-containment cleanup used when the caller
+/// disables espresso.
+Cover tidy(Cover cover) {
+  cover.make_irredundant_scc();
+  return cover;
+}
+
+}  // namespace
+
+// --- Stage 1: shared semantic model ------------------------------------------
+
+PipelineContext PipelineContext::build(const stg::Stg& stg,
+                                       const SynthesisOptions& options) {
+  PipelineContext context;
+  context.stg = &stg;
+  context.options = options;
+
+  stg.validate();
+  if (stg.has_dummies()) {
+    throw ImplementabilityError(
+        "the STG contains dummy transitions; the synthesis method of the "
+        "paper requires every transition to carry a signal edge");
+  }
+  context.targets = stg.non_input_signals();
+
+  Stopwatch phase;
+  if (options.method == Method::StateGraph) {
+    sg::BuildOptions build;
+    build.state_budget = options.state_budget;
+    context.sgraph = std::make_unique<sg::StateGraph>(sg::StateGraph::build(stg, build));
+    context.sg_states = context.sgraph->state_count();
+    if (options.check_persistency) {
+      const auto violations = sg::persistency_violations(stg, *context.sgraph);
+      if (!violations.empty()) {
+        throw ImplementabilityError("the STG is not semi-modular: " +
+                                    violations.front().describe(stg));
+      }
+    }
+  } else {
+    unf::UnfoldOptions build;
+    build.event_budget = options.event_budget;
+    build.cutoff = options.cutoff;
+    context.unfolding =
+        std::make_unique<unf::Unfolding>(unf::Unfolding::build(stg, build));
+    context.unfold_stats = context.unfolding->stats();
+    if (options.check_persistency) {
+      const auto violations = segment_persistency_violations(*context.unfolding);
+      if (!violations.empty()) {
+        throw ImplementabilityError("the STG is not semi-modular: " +
+                                    violations.front().describe(*context.unfolding));
+      }
+    }
+  }
+  context.unfold_seconds = phase.seconds();
+  return context;
+}
+
+// --- Stage 2: one signal through phases 2–3 ----------------------------------
+
+void DerivationTask::run(const PipelineContext& context) {
+  const stg::Stg& stg = *context.stg;
+  const SynthesisOptions& options = context.options;
+  const std::size_t n = stg.signal_count();
+  const bool need_er = options.architecture != Architecture::ComplexGate;
+  const stg::SignalId s = signal;
+
+  impl.signal = s;
+  impl.name = stg.signal_name(s);
+
+  // Phase 2: derive correct on/off covers (this signal's share of SynTim).
+  // CPU time, not wall time: summed task times must measure work even when
+  // the scheduler oversubscribes the machine.
+  ThreadCpuStopwatch phase;
+  Cover er_on{0};   // excitation-region covers for the latch architectures
+  Cover er_off{0};
+  switch (options.method) {
+    case Method::StateGraph: {
+      impl.on_cover = sg::on_cover(*context.sgraph, s);
+      impl.off_cover = sg::off_cover(*context.sgraph, s);
+      if (need_er) {
+        er_on = sg::er_cover(stg, *context.sgraph, s, true);
+        er_off = sg::er_cover(stg, *context.sgraph, s, false);
+      }
+      break;
+    }
+    case Method::UnfoldingExact: {
+      const unf::Unfolding& unf = *context.unfolding;
+      impl.on_cover = exact_cover(unf, s, true, options.cut_budget);
+      impl.off_cover = exact_cover(unf, s, false, options.cut_budget);
+      if (need_er) {
+        er_on = exact_er_cover(unf, s, true, options.cut_budget);
+        er_off = exact_er_cover(unf, s, false, options.cut_budget);
+      }
+      break;
+    }
+    case Method::UnfoldingApprox: {
+      const unf::Unfolding& unf = *context.unfolding;
+      ApproxCover on = approximate_cover(unf, s, true, options.approx_policy);
+      ApproxCover off = approximate_cover(unf, s, false, options.approx_policy);
+      const RefineStats stats = refine_until_disjoint(unf, on, off);
+      refinement_iterations += stats.iterations;
+      if (stats.disjoint) {
+        impl.on_cover = on.combined(n);
+        impl.off_cover = off.combined(n);
+        if (need_er) {
+          // The refined excitation atoms are the approximated ER covers.
+          er_on = Cover(n);
+          for (const CoverAtom& atom : on.atoms) {
+            if (atom.element.is_event) er_on.add_all(atom.cover);
+          }
+          er_off = Cover(n);
+          for (const CoverAtom& atom : off.atoms) {
+            if (atom.element.is_event) er_off.add_all(atom.cover);
+          }
+          er_on.make_irredundant_scc();
+          er_off.make_irredundant_scc();
+        }
+      } else {
+        // Refinement stalled: restore exactness per slice (DESIGN.md §5).
+        ++exact_fallbacks;
+        impl.used_exact_fallback = true;
+        impl.on_cover = exact_cover(unf, s, true, options.cut_budget);
+        impl.off_cover = exact_cover(unf, s, false, options.cut_budget);
+        if (need_er) {
+          er_on = exact_er_cover(unf, s, true, options.cut_budget);
+          er_off = exact_er_cover(unf, s, false, options.cut_budget);
+        }
+      }
+      break;
+    }
+  }
+  if (impl.on_cover.intersects(impl.off_cover)) {
+    // With exact covers a residual intersection is a genuine CSC conflict.
+    const bool covers_exact =
+        options.method != Method::UnfoldingApprox || impl.used_exact_fallback;
+    if (!covers_exact) {
+      // Defensive: approximate covers reported disjoint cannot intersect;
+      // reaching this line is a bug, not a property of the STG.
+      throw ValidationError("internal error: refined covers intersect");
+    }
+    impl.csc_conflict = true;
+    if (options.throw_on_csc) {
+      const Cover overlap = impl.on_cover.intersect(impl.off_cover);
+      throw CscError("signal '" + impl.name +
+                     "' has a Complete State Coding conflict: on- and "
+                     "off-set share code(s) such as " +
+                     (overlap.empty() ? "?" : overlap.cube(0).to_string()) +
+                     "; insert a state signal and re-synthesise");
+    }
+  }
+  derive_seconds = phase.seconds();
+  if (impl.csc_conflict) return;  // no correct gate exists; covers reported
+
+  // Phase 3: minimise and assemble the architecture (this signal's EspTim).
+  phase.restart();
+  if (options.architecture == Architecture::ComplexGate) {
+    if (options.minimize) {
+      logic::MinimizeStats stats_on;
+      const Cover gate_on = logic::espresso(impl.on_cover, impl.off_cover, &stats_on);
+      logic::MinimizeStats stats_off;
+      const Cover gate_off = logic::espresso(impl.off_cover, impl.on_cover, &stats_off);
+      // The paper implements whichever phase yields the simpler gate.
+      if (gate_off.literal_count() < gate_on.literal_count()) {
+        impl.gate = gate_off;
+        impl.gate_covers_on = false;
+        impl.min_stats = stats_off;
+      } else {
+        impl.gate = gate_on;
+        impl.gate_covers_on = true;
+        impl.min_stats = stats_on;
+      }
+    } else {
+      impl.gate = tidy(impl.on_cover);
+      impl.gate_covers_on = true;
+    }
+  } else {
+    if (options.minimize) {
+      logic::MinimizeStats stats_set;
+      impl.set_function = logic::espresso(er_on, impl.off_cover, &stats_set);
+      logic::MinimizeStats stats_reset;
+      impl.reset_function = logic::espresso(er_off, impl.on_cover, &stats_reset);
+      // Aggregate *every* field across the set and reset runs; the seed
+      // summed only the literal counts and silently kept set-phase values
+      // for the rest.
+      impl.min_stats = stats_set;
+      impl.min_stats.initial_cubes += stats_reset.initial_cubes;
+      impl.min_stats.initial_literals += stats_reset.initial_literals;
+      impl.min_stats.final_cubes += stats_reset.final_cubes;
+      impl.min_stats.final_literals += stats_reset.final_literals;
+      impl.min_stats.iterations += stats_reset.iterations;
+    } else {
+      impl.set_function = tidy(er_on);
+      impl.reset_function = tidy(er_off);
+    }
+  }
+  minimize_seconds = phase.seconds();
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+Scheduler::Scheduler(std::size_t jobs)
+    : jobs_(jobs == 0 ? util::ThreadPool::hardware_default() : jobs) {}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::run(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (jobs_ <= 1 || count <= 1) {
+    // In-order execution: the first exception IS the lowest-index one, so
+    // fail fast instead of paying for the remaining tasks.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Every slot is written by exactly one task; exceptions are collected and
+  // the lowest-index one rethrown so the parallel run reports the same
+  // failure the sequential loop above would.
+  std::vector<std::exception_ptr> errors(count);
+  {
+    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+    std::atomic<std::size_t> next{0};
+    const std::size_t lanes = std::min(jobs_, count);
+    std::vector<std::future<void>> futures;
+    futures.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      futures.push_back(pool_->submit([&] {
+        for (std::size_t i; (i = next.fetch_add(1)) < count;) {
+          try {
+            fn(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      }));
+    }
+    for (std::future<void>& future : futures) future.get();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+// --- Stage 3: fan-out + deterministic assembly -------------------------------
+
+SynthesisResult run_pipeline(const PipelineContext& context, Scheduler& scheduler) {
+  std::vector<DerivationTask> tasks(context.targets.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) tasks[i].signal = context.targets[i];
+  scheduler.run(tasks.size(), [&](std::size_t i) { tasks[i].run(context); });
+
+  SynthesisResult result;
+  result.method = context.options.method;
+  result.architecture = context.options.architecture;
+  result.unfold_seconds = context.unfold_seconds;
+  result.unfold_stats = context.unfold_stats;
+  result.sg_states = context.sg_states;
+  result.signals.reserve(tasks.size());
+  for (DerivationTask& task : tasks) {
+    result.refinement_iterations += task.refinement_iterations;
+    result.exact_fallbacks += task.exact_fallbacks;
+    result.derive_seconds += task.derive_seconds;
+    result.minimize_seconds += task.minimize_seconds;
+    result.signals.push_back(std::move(task.impl));
+  }
+  result.rebuild_signal_index();
+  result.total_seconds = context.total.seconds();
+  return result;
+}
+
+// --- Batch front end ---------------------------------------------------------
+
+std::size_t BatchResult::literal_count() const {
+  std::size_t n = 0;
+  for (const BatchEntry& entry : entries) {
+    if (entry.ok) n += entry.result.literal_count();
+  }
+  return n;
+}
+
+BatchResult synthesize_batch(std::span<const stg::Stg> stgs,
+                             const BatchOptions& options) {
+  Stopwatch wall;
+  Scheduler scheduler(options.jobs);
+  BatchResult batch;
+  batch.jobs = scheduler.jobs();
+  batch.entries.resize(stgs.size());
+
+  SynthesisOptions per_entry = options.synthesis;
+  per_entry.jobs = 1;  // entry-level parallelism only; see BatchOptions
+
+  scheduler.run(stgs.size(), [&](std::size_t i) {
+    BatchEntry& entry = batch.entries[i];
+    try {
+      PipelineContext context = PipelineContext::build(stgs[i], per_entry);
+      Scheduler inline_scheduler(1);
+      entry.result = run_pipeline(context, inline_scheduler);
+      entry.ok = true;
+    } catch (const std::exception& e) {
+      entry.error = e.what();
+    }
+  });
+
+  for (const BatchEntry& entry : batch.entries) {
+    if (!entry.ok) ++batch.failures;
+  }
+  batch.wall_seconds = wall.seconds();
+  return batch;
+}
+
+}  // namespace punt::core

@@ -1,0 +1,140 @@
+// The staged synthesis pipeline.
+//
+// The monolithic synthesize() of the seed is decomposed into three explicit
+// stages (DESIGN.md §7):
+//
+//   1. PipelineContext::build — the shared semantic model: STG validation,
+//      unfolding segment or state graph, general implementability checks.
+//      Built once, then only read.
+//   2. DerivationTask::run — everything one signal needs (cover derivation,
+//      refinement, exact fallback, CSC check, espresso, architecture
+//      assembly).  Tasks touch only the immutable context and their own
+//      slot, so the Scheduler may run any number of them concurrently.
+//   3. Assembly — results are collected *in target-signal order* and the
+//      per-task timings are summed, so output and reported work are
+//      bit-identical whatever the job count.
+//
+// synthesize() (synthesis.hpp) is now a thin wrapper over these stages;
+// synthesize_batch() pushes whole workloads (e.g. the Table-1 registry)
+// through the same Scheduler, parallelising across STGs instead of across
+// signals.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/synthesis.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/unfolding/unfolding.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace punt::core {
+
+/// Stage 1 output: the semantic model shared (read-only) by every
+/// DerivationTask of one synthesis run.
+struct PipelineContext {
+  const stg::Stg* stg = nullptr;
+  SynthesisOptions options;
+  std::vector<stg::SignalId> targets;  // outputs + internals, ascending
+
+  // Exactly one of the two models is set, per options.method.
+  std::unique_ptr<unf::Unfolding> unfolding;
+  std::unique_ptr<sg::StateGraph> sgraph;
+
+  Stopwatch total;                 // runs from the start of build()
+  double unfold_seconds = 0;       // wall-clock model-construction time
+  unf::UnfoldStats unfold_stats;   // segment size (unfolding methods)
+  std::size_t sg_states = 0;       // SG size (StateGraph method)
+
+  /// Builds the model and runs the general checks (validation, dummy
+  /// rejection, persistency).  Throws like the seed's synthesize() phase 1.
+  static PipelineContext build(const stg::Stg& stg, const SynthesisOptions& options);
+};
+
+/// Stage 2: one signal's derivation through phases 2–3.  The task reads the
+/// shared context and writes only its own members, making tasks trivially
+/// safe to run concurrently.
+struct DerivationTask {
+  stg::SignalId signal;  // input; everything below is output of run()
+
+  SignalImplementation impl;
+  std::size_t refinement_iterations = 0;
+  std::size_t exact_fallbacks = 0;
+  double derive_seconds = 0;    // this task's share of SynTim
+  double minimize_seconds = 0;  // this task's share of EspTim
+
+  /// Throws CscError (when options.throw_on_csc) or ValidationError exactly
+  /// as the seed's sequential loop did for this signal.
+  void run(const PipelineContext& context);
+};
+
+/// Runs indexed tasks across a worker pool with deterministic failure
+/// semantics: the exception of the *lowest* failing index is the one that
+/// propagates, so callers observe the same error a sequential left-to-right
+/// loop would, at any job count.  Inline runs (jobs == 1) fail fast on the
+/// first error; pool runs let every index finish, then rethrow.
+class Scheduler {
+ public:
+  /// `jobs`: 1 = inline on the calling thread (no pool); 0 = one worker per
+  /// hardware thread; otherwise that many workers.
+  explicit Scheduler(std::size_t jobs = 1);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Invokes fn(0) … fn(count-1), inline or across the pool.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  std::size_t jobs_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;  // created on first parallel run
+};
+
+/// Stages 2–3 for every target signal of `context`, then assembly.  The
+/// result (covers, literal counts, signal order, flags) is bit-identical for
+/// every scheduler width; only wall-clock time varies.
+SynthesisResult run_pipeline(const PipelineContext& context, Scheduler& scheduler);
+
+// --- Batch front end ---------------------------------------------------------
+
+struct BatchOptions {
+  /// Per-entry synthesis configuration.  Its `jobs` field is ignored: the
+  /// batch parallelises across STGs (one task per entry, signals inline),
+  /// which avoids nested blocking on one pool and keeps every entry's
+  /// timing breakdown sequential-comparable.
+  SynthesisOptions synthesis;
+  /// Worker threads across entries; 1 = inline, 0 = hardware default.
+  std::size_t jobs = 1;
+};
+
+/// One input STG's outcome.  Failures (CSC conflicts, capacity blowups, …)
+/// are captured per entry so one bad benchmark cannot sink a whole workload.
+struct BatchEntry {
+  bool ok = false;
+  SynthesisResult result;  // meaningful only when ok
+  std::string error;       // exception text when !ok
+};
+
+struct BatchResult {
+  std::vector<BatchEntry> entries;  // same order as the input span
+  std::size_t jobs = 1;             // resolved worker count actually used
+  double wall_seconds = 0;          // whole-batch wall-clock time
+  std::size_t failures = 0;
+
+  /// Sum of literal counts over the successful entries.
+  std::size_t literal_count() const;
+};
+
+/// Synthesises every STG of `stgs` through one shared Scheduler.
+BatchResult synthesize_batch(std::span<const stg::Stg> stgs,
+                             const BatchOptions& options = {});
+
+}  // namespace punt::core

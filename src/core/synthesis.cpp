@@ -1,29 +1,23 @@
 #include "src/core/synthesis.hpp"
 
-#include <algorithm>
-
-#include "src/sg/analysis.hpp"
-#include "src/sg/state_graph.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/util/error.hpp"
-#include "src/util/stopwatch.hpp"
 
 namespace punt::core {
-namespace {
-
-using logic::Cover;
-
-/// Raw (unminimised) single-cube-containment cleanup used when the caller
-/// disables espresso.
-Cover tidy(Cover cover) {
-  cover.make_irredundant_scc();
-  return cover;
-}
-
-}  // namespace
 
 std::size_t SignalImplementation::literal_count(Architecture arch) const {
   if (arch == Architecture::ComplexGate) return gate.literal_count();
   return set_function.literal_count() + reset_function.literal_count();
+}
+
+bool SignalImplementation::same_logic(const SignalImplementation& other) const {
+  return signal == other.signal && name == other.name &&
+         on_cover == other.on_cover && off_cover == other.off_cover &&
+         gate == other.gate && gate_covers_on == other.gate_covers_on &&
+         set_function == other.set_function &&
+         reset_function == other.reset_function &&
+         used_exact_fallback == other.used_exact_fallback &&
+         csc_conflict == other.csc_conflict;
 }
 
 std::size_t SynthesisResult::literal_count() const {
@@ -32,207 +26,41 @@ std::size_t SynthesisResult::literal_count() const {
   return n;
 }
 
+void SynthesisResult::rebuild_signal_index() {
+  signal_index_.clear();
+  signal_index_.reserve(signals.size());
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    signal_index_.emplace(signals[i].signal.value, i);
+  }
+}
+
 const SignalImplementation& SynthesisResult::implementation(stg::SignalId signal) const {
+  const auto it = signal_index_.find(signal.value);
+  if (it != signal_index_.end() && it->second < signals.size() &&
+      signals[it->second].signal == signal) {
+    return signals[it->second];
+  }
+  // Stale or absent index (a hand-edited result that skipped
+  // rebuild_signal_index()): fall back to the linear scan rather than give
+  // a wrong hit or a wrong miss.
   for (const SignalImplementation& impl : signals) {
     if (impl.signal == signal) return impl;
   }
-  throw ValidationError("no implementation for the requested signal (is it an input?)");
+  std::string known;
+  for (const SignalImplementation& impl : signals) {
+    if (!known.empty()) known += ", ";
+    known += impl.name.empty() ? "#" + std::to_string(impl.signal.index()) : impl.name;
+  }
+  throw ValidationError(
+      "no implementation for signal #" + std::to_string(signal.index()) +
+      " (is it an input?); implementations exist for: " +
+      (known.empty() ? "none" : known));
 }
 
 SynthesisResult synthesize(const stg::Stg& stg, const SynthesisOptions& options) {
-  stg.validate();
-  if (stg.has_dummies()) {
-    throw ImplementabilityError(
-        "the STG contains dummy transitions; the synthesis method of the "
-        "paper requires every transition to carry a signal edge");
-  }
-
-  SynthesisResult result;
-  result.method = options.method;
-  result.architecture = options.architecture;
-  const std::vector<stg::SignalId> targets = stg.non_input_signals();
-  const std::size_t n = stg.signal_count();
-
-  Stopwatch total;
-
-  // Phase 1: build the semantic model (segment or SG) + general checks.
-  Stopwatch phase;
-  std::unique_ptr<unf::Unfolding> unfolding;
-  std::unique_ptr<sg::StateGraph> sgraph;
-  if (options.method == Method::StateGraph) {
-    sg::BuildOptions build;
-    build.state_budget = options.state_budget;
-    sgraph = std::make_unique<sg::StateGraph>(sg::StateGraph::build(stg, build));
-    result.sg_states = sgraph->state_count();
-    if (options.check_persistency) {
-      const auto violations = sg::persistency_violations(stg, *sgraph);
-      if (!violations.empty()) {
-        throw ImplementabilityError("the STG is not semi-modular: " +
-                                    violations.front().describe(stg));
-      }
-    }
-  } else {
-    unf::UnfoldOptions build;
-    build.event_budget = options.event_budget;
-    build.cutoff = options.cutoff;
-    unfolding = std::make_unique<unf::Unfolding>(unf::Unfolding::build(stg, build));
-    result.unfold_stats = unfolding->stats();
-    if (options.check_persistency) {
-      const auto violations = segment_persistency_violations(*unfolding);
-      if (!violations.empty()) {
-        throw ImplementabilityError("the STG is not semi-modular: " +
-                                    violations.front().describe(*unfolding));
-      }
-    }
-  }
-  result.unfold_seconds = phase.seconds();
-
-  // Phase 2: derive correct on/off covers per signal (SynTim).
-  phase.restart();
-  struct Derived {
-    Cover on{0};
-    Cover off{0};
-    Cover er_on{0};   // excitation-region covers for the latch architectures
-    Cover er_off{0};
-    bool exact_fallback = false;
-    bool csc = false;
-  };
-  std::vector<Derived> derived;
-  const bool need_er = options.architecture != Architecture::ComplexGate;
-
-  for (const stg::SignalId s : targets) {
-    Derived d;
-    switch (options.method) {
-      case Method::StateGraph: {
-        d.on = sg::on_cover(*sgraph, s);
-        d.off = sg::off_cover(*sgraph, s);
-        if (need_er) {
-          d.er_on = sg::er_cover(stg, *sgraph, s, true);
-          d.er_off = sg::er_cover(stg, *sgraph, s, false);
-        }
-        break;
-      }
-      case Method::UnfoldingExact: {
-        d.on = exact_cover(*unfolding, s, true, options.cut_budget);
-        d.off = exact_cover(*unfolding, s, false, options.cut_budget);
-        if (need_er) {
-          d.er_on = exact_er_cover(*unfolding, s, true, options.cut_budget);
-          d.er_off = exact_er_cover(*unfolding, s, false, options.cut_budget);
-        }
-        break;
-      }
-      case Method::UnfoldingApprox: {
-        ApproxCover on = approximate_cover(*unfolding, s, true, options.approx_policy);
-        ApproxCover off = approximate_cover(*unfolding, s, false, options.approx_policy);
-        const RefineStats stats = refine_until_disjoint(*unfolding, on, off);
-        result.refinement_iterations += stats.iterations;
-        if (stats.disjoint) {
-          d.on = on.combined(n);
-          d.off = off.combined(n);
-          if (need_er) {
-            // The refined excitation atoms are the approximated ER covers.
-            d.er_on = Cover(n);
-            for (const CoverAtom& atom : on.atoms) {
-              if (atom.element.is_event) d.er_on.add_all(atom.cover);
-            }
-            d.er_off = Cover(n);
-            for (const CoverAtom& atom : off.atoms) {
-              if (atom.element.is_event) d.er_off.add_all(atom.cover);
-            }
-            d.er_on.make_irredundant_scc();
-            d.er_off.make_irredundant_scc();
-          }
-        } else {
-          // Refinement stalled: restore exactness per slice (DESIGN.md §5).
-          ++result.exact_fallbacks;
-          d.exact_fallback = true;
-          d.on = exact_cover(*unfolding, s, true, options.cut_budget);
-          d.off = exact_cover(*unfolding, s, false, options.cut_budget);
-          if (need_er) {
-            d.er_on = exact_er_cover(*unfolding, s, true, options.cut_budget);
-            d.er_off = exact_er_cover(*unfolding, s, false, options.cut_budget);
-          }
-        }
-        break;
-      }
-    }
-    if (d.on.intersects(d.off)) {
-      // With exact covers a residual intersection is a genuine CSC conflict.
-      const bool covers_exact =
-          options.method != Method::UnfoldingApprox || d.exact_fallback;
-      if (!covers_exact) {
-        // Defensive: approximate covers reported disjoint cannot intersect;
-        // reaching this line is a bug, not a property of the STG.
-        throw ValidationError("internal error: refined covers intersect");
-      }
-      d.csc = true;
-      if (options.throw_on_csc) {
-        const Cover overlap = d.on.intersect(d.off);
-        throw CscError("signal '" + stg.signal_name(s) +
-                       "' has a Complete State Coding conflict: on- and "
-                       "off-set share code(s) such as " +
-                       (overlap.empty() ? "?" : overlap.cube(0).to_string()) +
-                       "; insert a state signal and re-synthesise");
-      }
-    }
-    derived.push_back(std::move(d));
-  }
-  result.derive_seconds = phase.seconds();
-
-  // Phase 3: minimise and assemble per-architecture functions (EspTim).
-  phase.restart();
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    SignalImplementation impl;
-    impl.signal = targets[i];
-    impl.on_cover = std::move(derived[i].on);
-    impl.off_cover = std::move(derived[i].off);
-    impl.used_exact_fallback = derived[i].exact_fallback;
-    impl.csc_conflict = derived[i].csc;
-    if (impl.csc_conflict) {
-      result.signals.push_back(std::move(impl));
-      continue;  // no correct gate exists; covers are still reported
-    }
-    if (options.architecture == Architecture::ComplexGate) {
-      if (options.minimize) {
-        logic::MinimizeStats stats_on;
-        const Cover gate_on = logic::espresso(impl.on_cover, impl.off_cover, &stats_on);
-        logic::MinimizeStats stats_off;
-        const Cover gate_off = logic::espresso(impl.off_cover, impl.on_cover, &stats_off);
-        // The paper implements whichever phase yields the simpler gate.
-        if (gate_off.literal_count() < gate_on.literal_count()) {
-          impl.gate = gate_off;
-          impl.gate_covers_on = false;
-          impl.min_stats = stats_off;
-        } else {
-          impl.gate = gate_on;
-          impl.gate_covers_on = true;
-          impl.min_stats = stats_on;
-        }
-      } else {
-        impl.gate = tidy(impl.on_cover);
-        impl.gate_covers_on = true;
-      }
-    } else {
-      const Cover& er_on = derived[i].er_on;
-      const Cover& er_off = derived[i].er_off;
-      if (options.minimize) {
-        logic::MinimizeStats stats_set;
-        impl.set_function = logic::espresso(er_on, impl.off_cover, &stats_set);
-        logic::MinimizeStats stats_reset;
-        impl.reset_function = logic::espresso(er_off, impl.on_cover, &stats_reset);
-        impl.min_stats = stats_set;
-        impl.min_stats.final_literals += stats_reset.final_literals;
-        impl.min_stats.initial_literals += stats_reset.initial_literals;
-      } else {
-        impl.set_function = tidy(er_on);
-        impl.reset_function = tidy(er_off);
-      }
-    }
-    result.signals.push_back(std::move(impl));
-  }
-  result.minimize_seconds = phase.seconds();
-  result.total_seconds = total.seconds();
-  return result;
+  PipelineContext context = PipelineContext::build(stg, options);
+  Scheduler scheduler(options.jobs);
+  return run_pipeline(context, scheduler);
 }
 
 }  // namespace punt::core

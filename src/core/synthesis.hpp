@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/approx.hpp"
@@ -43,6 +45,10 @@ struct SynthesisOptions {
   /// Throw CscError on a Complete State Coding conflict; if false the
   /// conflict is recorded in the result and the signal is skipped.
   bool throw_on_csc = true;
+  /// Worker threads for the per-signal derivation pipeline (phases 2–3).
+  /// 1 = run inline (no threads); 0 = one worker per hardware thread.
+  /// Results are bit-identical for every value (see DESIGN.md §7).
+  std::size_t jobs = 1;
   /// Budgets forwarded to the substrates (0 = unlimited where supported).
   std::size_t state_budget = 2000000;   // StateGraph method
   std::size_t event_budget = 200000;    // unfolding construction
@@ -53,6 +59,7 @@ struct SynthesisOptions {
 /// The implementation of one output/internal signal.
 struct SignalImplementation {
   stg::SignalId signal;
+  std::string name;  // the signal's STG name, for reports and diagnostics
 
   /// Final correct covers (refined/exact); on ∩ off = ∅ unless csc_conflict.
   logic::Cover on_cover;
@@ -72,6 +79,12 @@ struct SignalImplementation {
 
   /// Literal count of this signal's logic (gate, or set+reset).
   std::size_t literal_count(Architecture arch) const;
+
+  /// True when both implementations describe the same circuit: identity,
+  /// covers, gate/set/reset functions and derivation flags all match.
+  /// MinimizeStats bookkeeping is excluded.  This is the comparison the
+  /// pipeline's determinism guarantee is stated in terms of.
+  bool same_logic(const SignalImplementation& other) const;
 };
 
 struct SynthesisResult {
@@ -79,7 +92,12 @@ struct SynthesisResult {
   Architecture architecture = Architecture::ComplexGate;
   std::vector<SignalImplementation> signals;
 
-  // The paper's Table 1 time breakdown, in seconds.
+  // The paper's Table 1 time breakdown, in seconds.  unfold_seconds and
+  // total_seconds are wall-clock; derive_seconds and minimize_seconds are the
+  // *sum of per-signal task CPU times*, so they measure aggregate work and
+  // stay meaningful when the pipeline runs with jobs > 1 (preemption under
+  // oversubscription is not counted).  With jobs = 1 the two views coincide,
+  // matching the paper's sequential SynTim / EspTim columns.
   double unfold_seconds = 0;    // UnfTim (SG construction time for StateGraph)
   double derive_seconds = 0;    // SynTim: cover derivation + refinement
   double minimize_seconds = 0;  // EspTim
@@ -93,7 +111,16 @@ struct SynthesisResult {
   /// Total literal count — the paper's LitCnt column.
   std::size_t literal_count() const;
 
+  /// O(1) lookup via the signal index; throws ValidationError naming the
+  /// known signals when `signal` has no implementation (e.g. an input).
   const SignalImplementation& implementation(stg::SignalId signal) const;
+
+  /// Rebuilds the signal → position index after `signals` was edited by
+  /// hand (the pipeline maintains it for results it produces).
+  void rebuild_signal_index();
+
+ private:
+  std::unordered_map<std::uint32_t, std::size_t> signal_index_;
 };
 
 /// Synthesises every output/internal signal of `stg`.  Throws

@@ -1,0 +1,53 @@
+// A fixed-size worker pool over std::thread.
+//
+// The pool exists to run the synthesis pipeline's per-signal and per-STG
+// derivation tasks (src/core/pipeline.hpp); it is deliberately minimal:
+// submit() hands back a std::future<void> whose get() rethrows anything the
+// task threw, and the destructor drains the queue before joining.  Tasks
+// must not submit further tasks into the same pool and then block on them —
+// the pipeline avoids nesting for exactly that reason.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace punt::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers; at least one worker is always created.
+  explicit ThreadPool(std::size_t thread_count);
+
+  /// Joins the workers after finishing every task already submitted.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues `task`; the returned future completes when the task ran and
+  /// rethrows from get() whatever the task threw.
+  std::future<void> submit(std::function<void()> task);
+
+  /// The concurrency to use when the caller asked for "auto" (jobs = 0):
+  /// std::thread::hardware_concurrency(), or 1 when that is unknown.
+  static std::size_t hardware_default();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace punt::util

@@ -1,0 +1,217 @@
+// Tests for the staged synthesis pipeline: determinism across job counts,
+// the batch front end, the Scheduler's error semantics, the signal index,
+// and the set/reset MinimizeStats aggregation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/benchmarks/registry.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/stg/generators.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::core {
+namespace {
+
+using stg::Stg;
+
+/// Everything except the timing fields must match bit-for-bit.
+void expect_identical(const SynthesisResult& a, const SynthesisResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.signals.size(), b.signals.size()) << label;
+  EXPECT_EQ(a.literal_count(), b.literal_count()) << label;
+  EXPECT_EQ(a.refinement_iterations, b.refinement_iterations) << label;
+  EXPECT_EQ(a.exact_fallbacks, b.exact_fallbacks) << label;
+  for (std::size_t i = 0; i < a.signals.size(); ++i) {
+    const SignalImplementation& sa = a.signals[i];
+    const SignalImplementation& sb = b.signals[i];
+    EXPECT_EQ(sa.signal, sb.signal) << label << " slot " << i;
+    EXPECT_EQ(sa.name, sb.name) << label << " slot " << i;
+    EXPECT_TRUE(sa.on_cover == sb.on_cover) << label << " on_cover of " << sa.name;
+    EXPECT_TRUE(sa.off_cover == sb.off_cover) << label << " off_cover of " << sa.name;
+    EXPECT_TRUE(sa.gate == sb.gate) << label << " gate of " << sa.name;
+    EXPECT_EQ(sa.gate_covers_on, sb.gate_covers_on) << label << " " << sa.name;
+    EXPECT_TRUE(sa.set_function == sb.set_function) << label << " set of " << sa.name;
+    EXPECT_TRUE(sa.reset_function == sb.reset_function)
+        << label << " reset of " << sa.name;
+    EXPECT_EQ(sa.used_exact_fallback, sb.used_exact_fallback) << label << " " << sa.name;
+    EXPECT_EQ(sa.csc_conflict, sb.csc_conflict) << label << " " << sa.name;
+    EXPECT_EQ(sa.min_stats.final_literals, sb.min_stats.final_literals)
+        << label << " " << sa.name;
+    EXPECT_EQ(sa.min_stats.final_cubes, sb.min_stats.final_cubes)
+        << label << " " << sa.name;
+    // The aggregate predicate the benches use must agree with the
+    // field-by-field checks above.
+    EXPECT_TRUE(sa.same_logic(sb)) << label << " same_logic of " << sa.name;
+  }
+}
+
+TEST(Pipeline, EveryRegistryEntryIsDeterministicAcrossJobCounts) {
+  for (const auto& bench : benchmarks::table1()) {
+    const Stg stg = bench.make();
+    SynthesisOptions serial;
+    serial.jobs = 1;
+    SynthesisOptions parallel;
+    parallel.jobs = 8;
+    const SynthesisResult a = synthesize(stg, serial);
+    const SynthesisResult b = synthesize(stg, parallel);
+    expect_identical(a, b, bench.name);
+  }
+}
+
+TEST(Pipeline, BatchMatchesPerStgSynthesisAtEveryJobCount) {
+  const auto& registry = benchmarks::table1();
+  std::vector<Stg> stgs;
+  for (const auto& bench : registry) stgs.push_back(bench.make());
+
+  BatchOptions serial;
+  serial.jobs = 1;
+  BatchOptions parallel;
+  parallel.jobs = 8;
+  const BatchResult batch1 = synthesize_batch(stgs, serial);
+  const BatchResult batch8 = synthesize_batch(stgs, parallel);
+  ASSERT_EQ(batch1.entries.size(), registry.size());
+  ASSERT_EQ(batch8.entries.size(), registry.size());
+  EXPECT_EQ(batch1.failures, 0u);
+  EXPECT_EQ(batch8.failures, 0u);
+  EXPECT_EQ(batch8.jobs, 8u);
+
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    ASSERT_TRUE(batch1.entries[i].ok) << batch1.entries[i].error;
+    ASSERT_TRUE(batch8.entries[i].ok) << batch8.entries[i].error;
+    expect_identical(batch1.entries[i].result, batch8.entries[i].result,
+                     registry[i].name + " (batch1 vs batch8)");
+    const SynthesisResult direct = synthesize(stgs[i]);
+    expect_identical(direct, batch8.entries[i].result,
+                     registry[i].name + " (direct vs batch)");
+  }
+}
+
+TEST(Pipeline, ParallelCscFailureMatchesSequentialDiagnostic) {
+  const Stg stg = stg::make_vme_bus();  // known CSC conflict
+  std::string sequential_message;
+  try {
+    SynthesisOptions serial;
+    serial.jobs = 1;
+    synthesize(stg, serial);
+    FAIL() << "expected CscError";
+  } catch (const CscError& e) {
+    sequential_message = e.what();
+  }
+  try {
+    SynthesisOptions parallel;
+    parallel.jobs = 8;
+    synthesize(stg, parallel);
+    FAIL() << "expected CscError";
+  } catch (const CscError& e) {
+    // The lowest-index failure is rethrown, so the parallel run reports the
+    // same signal as the sequential left-to-right loop.
+    EXPECT_EQ(sequential_message, std::string(e.what()));
+  }
+}
+
+TEST(Scheduler, RunsEveryIndexAndRethrowsLowestFailure) {
+  Scheduler scheduler(4);
+  EXPECT_EQ(scheduler.jobs(), 4u);
+  std::atomic<int> ran{0};
+  try {
+    scheduler.run(20, [&ran](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 7 || i == 13) {
+        throw std::runtime_error("task " + std::to_string(i) + " failed");
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7 failed");
+  }
+  EXPECT_EQ(ran.load(), 20);  // failures do not cancel the remaining tasks
+}
+
+TEST(Scheduler, InlineModeMatchesPoolSemantics) {
+  Scheduler scheduler(1);
+  std::vector<int> order;
+  scheduler.run(5, [&order](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  try {
+    scheduler.run(3, [](std::size_t i) {
+      if (i != 1) throw std::runtime_error("task " + std::to_string(i) + " failed");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 0 failed");
+  }
+}
+
+TEST(Pipeline, ImplementationLookupIsIndexedAndDiagnosesMisses) {
+  const Stg stg = stg::make_paper_fig1();
+  const SynthesisResult result = synthesize(stg);
+  for (const SignalImplementation& impl : result.signals) {
+    EXPECT_EQ(&result.implementation(impl.signal), &impl);
+    EXPECT_EQ(impl.name, stg.signal_name(impl.signal));
+  }
+  // An input signal has no implementation; the error must name the known
+  // signals so the caller can see what *is* available.
+  const std::vector<stg::SignalId> targets = stg.non_input_signals();
+  for (std::size_t v = 0; v < stg.signal_count(); ++v) {
+    const stg::SignalId id{static_cast<std::uint32_t>(v)};
+    if (std::find(targets.begin(), targets.end(), id) != targets.end()) continue;
+    try {
+      result.implementation(id);
+      FAIL() << "expected ValidationError for input signal " << v;
+    } catch (const ValidationError& e) {
+      const std::string message = e.what();
+      for (const SignalImplementation& impl : result.signals) {
+        EXPECT_NE(message.find(impl.name), std::string::npos)
+            << "miss diagnostic should list known signal " << impl.name;
+      }
+    }
+  }
+}
+
+TEST(Pipeline, LatchMinStatsAggregateSetAndReset) {
+  // On a latch architecture the reported stats must cover both espresso
+  // runs: final cubes/literals equal the set+reset function sizes.
+  const Stg stg = stg::make_muller_pipeline(3);
+  SynthesisOptions options;
+  options.architecture = Architecture::StandardC;
+  const SynthesisResult result = synthesize(stg, options);
+  ASSERT_FALSE(result.signals.empty());
+  for (const SignalImplementation& impl : result.signals) {
+    EXPECT_EQ(impl.min_stats.final_cubes,
+              impl.set_function.cube_count() + impl.reset_function.cube_count())
+        << impl.name;
+    EXPECT_EQ(impl.min_stats.final_literals,
+              impl.set_function.literal_count() + impl.reset_function.literal_count())
+        << impl.name;
+    EXPECT_GT(impl.min_stats.initial_cubes, 0u) << impl.name;
+  }
+}
+
+TEST(Pipeline, BatchCapturesPerEntryFailures) {
+  std::vector<Stg> stgs;
+  stgs.push_back(stg::make_paper_fig1());
+  stgs.push_back(stg::make_vme_bus());  // CSC conflict → entry-level failure
+  stgs.push_back(stg::make_muller_pipeline(2));
+
+  BatchOptions options;
+  options.jobs = 4;
+  const BatchResult batch = synthesize_batch(stgs, options);
+  ASSERT_EQ(batch.entries.size(), 3u);
+  EXPECT_TRUE(batch.entries[0].ok);
+  EXPECT_FALSE(batch.entries[1].ok);
+  EXPECT_NE(batch.entries[1].error.find("Complete State Coding"), std::string::npos);
+  EXPECT_TRUE(batch.entries[2].ok);
+  EXPECT_EQ(batch.failures, 1u);
+  EXPECT_EQ(batch.literal_count(), batch.entries[0].result.literal_count() +
+                                       batch.entries[2].result.literal_count());
+}
+
+}  // namespace
+}  // namespace punt::core

@@ -1,0 +1,75 @@
+// Unit tests for the worker pool under the synthesis pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/thread_pool.hpp"
+
+namespace punt::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, AtLeastOneWorkerEvenWhenAskedForZero) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, FutureRethrowsTaskException) {
+  ThreadPool pool(2);
+  std::future<void> future =
+      pool.submit([] { throw std::runtime_error("task exploded"); });
+  EXPECT_THROW(
+      {
+        try {
+          future.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionDoesNotKillTheWorker) {
+  ThreadPool pool(1);
+  auto boom = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The single worker must still be alive to run this.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&completed] { completed.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after finishing the queue
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(ThreadPool, HardwareDefaultIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_default(), 1u);
+}
+
+}  // namespace
+}  // namespace punt::util

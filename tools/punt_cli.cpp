@@ -2,14 +2,19 @@
 //
 //   punt synth <file.g> [--method=approx|exact|sg] [--arch=acg|c|rs]
 //              [--eqn] [--verilog] [--dot] [--unfolding-dot] [--no-minimize]
+//              [--jobs=N]
 //   punt check <file.g>            verify the general correctness criteria
 //   punt resolve <file.g>          repair CSC conflicts by signal insertion
 //   punt bench list                list the Table-1 registry
 //   punt bench dump <name>         print a registry entry as .g text
+//   punt bench run [--jobs=N] [--method=...] [--arch=...]
+//                                  synthesise the whole registry through the
+//                                  batch pipeline, Table-1-style report
 //
 // Exit status: 0 on success, 1 on usage errors, 2 when the specification is
 // not implementable (with a diagnostic on stderr).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -19,6 +24,7 @@
 
 #include "src/benchmarks/registry.hpp"
 #include "src/core/csc_resolve.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/sg/analysis.hpp"
@@ -36,10 +42,12 @@ int usage() {
                "usage:\n"
                "  punt synth <file.g> [--method=approx|exact|sg] [--arch=acg|c|rs]\n"
                "             [--eqn] [--verilog] [--dot] [--unfolding-dot]\n"
-               "             [--no-minimize]\n"
+               "             [--no-minimize] [--jobs=N]\n"
                "  punt check <file.g>\n"
                "  punt resolve <file.g>\n"
-               "  punt bench list | punt bench dump <name>\n");
+               "  punt bench list | punt bench dump <name>\n"
+               "  punt bench run [--jobs=N] [--method=...] [--arch=...]\n"
+               "(--jobs: worker threads; 0 = one per hardware thread)\n");
   return 1;
 }
 
@@ -49,6 +57,21 @@ std::string read_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+std::size_t parse_jobs(const std::string& value) {
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    throw punt::Error("invalid --jobs value '" + value +
+                      "'; expected a non-negative integer (0 = one worker per "
+                      "hardware thread)");
+  }
+  const unsigned long jobs = std::strtoul(value.c_str(), nullptr, 10);
+  constexpr unsigned long kMaxJobs = 256;
+  if (jobs > kMaxJobs) {
+    throw punt::Error("--jobs=" + value + " exceeds the maximum of " +
+                      std::to_string(kMaxJobs));
+  }
+  return static_cast<std::size_t>(jobs);
 }
 
 punt::core::SynthesisOptions parse_options(const std::vector<std::string>& args) {
@@ -68,6 +91,8 @@ punt::core::SynthesisOptions parse_options(const std::vector<std::string>& args)
       options.architecture = punt::core::Architecture::RsLatch;
     } else if (arg == "--no-minimize") {
       options.minimize = false;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = parse_jobs(arg.substr(7));
     }
   }
   return options;
@@ -145,7 +170,53 @@ int cmd_resolve(const std::string& path) {
   return 0;
 }
 
+int cmd_bench_run(const std::vector<std::string>& args) {
+  punt::core::BatchOptions batch_options;
+  batch_options.synthesis = parse_options(args);
+  batch_options.jobs = batch_options.synthesis.jobs;
+  // Benchmarks with genuine CSC conflicts should report, not abort the run.
+  batch_options.synthesis.throw_on_csc = false;
+
+  const auto& registry = punt::benchmarks::table1();
+  std::vector<punt::stg::Stg> stgs;
+  stgs.reserve(registry.size());
+  for (const auto& bench : registry) stgs.push_back(bench.make());
+
+  const punt::core::BatchResult batch = punt::core::synthesize_batch(stgs, batch_options);
+
+  std::printf("# Table-1 registry through the batch pipeline, %zu job(s)\n\n",
+              batch.jobs);
+  std::printf("%-24s %4s | %8s %8s %8s %8s %6s | %s\n", "benchmark", "sigs",
+              "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt", "status");
+  std::printf("%.*s\n", 96,
+              "-----------------------------------------------------------------"
+              "-------------------------------");
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const auto& entry = batch.entries[i];
+    if (!entry.ok) {
+      std::printf("%-24s %4zu | %s\n", registry[i].name.c_str(), registry[i].signals,
+                  entry.error.c_str());
+      continue;
+    }
+    const auto& result = entry.result;
+    std::printf("%-24s %4zu | %8.3f %8.3f %8.3f %8.3f %6zu | %s\n",
+                registry[i].name.c_str(), registry[i].signals, result.unfold_seconds,
+                result.derive_seconds, result.minimize_seconds, result.total_seconds,
+                result.literal_count(),
+                result.exact_fallbacks > 0 ? "ok (exact fallback)" : "ok");
+  }
+  std::printf("%.*s\n", 96,
+              "-----------------------------------------------------------------"
+              "-------------------------------");
+  std::printf("%-24s %4s | total literals %zu, failures %zu, wall %.3fs\n", "Total",
+              "", batch.literal_count(), batch.failures, batch.wall_seconds);
+  return batch.failures == 0 ? 0 : 2;
+}
+
 int cmd_bench(const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "run") {
+    return cmd_bench_run({args.begin() + 1, args.end()});
+  }
   if (!args.empty() && args[0] == "list") {
     for (const auto& bench : punt::benchmarks::table1()) {
       std::printf("%-24s %3zu signals  # %s\n", bench.name.c_str(), bench.signals,
