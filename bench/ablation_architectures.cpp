@@ -5,10 +5,17 @@
 // registry sweep goes through the batch pipeline (jobs = 0 → one worker per
 // hardware thread); the batch determinism guarantee makes the counts
 // independent of the worker count.
+//
+// The three sweeps share one ModelCache: the architecture is a
+// derivation-only option, so the ACG sweep builds each STG's unfolding
+// segment and the standard-C and RS sweeps reuse it — exactly one semantic
+// model per STG for the whole experiment (asserted below, together with
+// byte-identical results against a cache-less run).
 #include <cstdio>
 #include <vector>
 
 #include "src/benchmarks/registry.hpp"
+#include "src/core/model_cache.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
 
@@ -16,21 +23,24 @@ int main() {
   using punt::core::Architecture;
   using punt::core::BatchOptions;
   using punt::core::BatchResult;
+  using punt::core::ModelCache;
 
   const auto& registry = punt::benchmarks::table1();
   std::vector<punt::stg::Stg> stgs;
   stgs.reserve(registry.size());
   for (const auto& bench : registry) stgs.push_back(bench.make());
 
-  auto sweep = [&stgs](Architecture arch) {
+  ModelCache cache;
+  auto sweep = [&stgs, &cache](Architecture arch, bool use_cache) {
     BatchOptions options;
     options.synthesis.architecture = arch;
     options.jobs = 0;  // one worker per hardware thread
+    options.cache = use_cache ? &cache : nullptr;
     return punt::core::synthesize_batch(stgs, options);
   };
-  const BatchResult acg = sweep(Architecture::ComplexGate);
-  const BatchResult sc = sweep(Architecture::StandardC);
-  const BatchResult rs = sweep(Architecture::RsLatch);
+  const BatchResult acg = sweep(Architecture::ComplexGate, true);
+  const BatchResult sc = sweep(Architecture::StandardC, true);
+  const BatchResult rs = sweep(Architecture::RsLatch, true);
   for (const BatchResult* batch : {&acg, &sc, &rs}) {
     for (std::size_t i = 0; i < batch->entries.size(); ++i) {
       if (!batch->entries[i].ok) {
@@ -40,6 +50,33 @@ int main() {
         return 1;
       }
     }
+  }
+
+  // Cache correctness guard: a cache-less ACG sweep must produce the same
+  // circuits bit for bit — sharing the model may only save time.
+  const BatchResult acg_fresh = sweep(Architecture::ComplexGate, false);
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const auto& cached = acg.entries[i].result.signals;
+    const auto& fresh = acg_fresh.entries[i].result.signals;
+    bool same = acg_fresh.entries[i].ok && cached.size() == fresh.size();
+    for (std::size_t s = 0; same && s < cached.size(); ++s) {
+      same = cached[s].same_logic(fresh[s]);
+    }
+    if (!same) {
+      std::printf("ERROR: %s synthesises differently with the model cache on\n",
+                  registry[i].name.c_str());
+      return 1;
+    }
+  }
+
+  // One model per STG across the whole experiment: the first sweep misses
+  // once per benchmark, the other two hit — a 2/3 hit rate exactly.
+  const punt::core::ModelCacheStats stats = cache.stats();
+  if (stats.misses != registry.size() || stats.hits != 2 * registry.size()) {
+    std::printf("ERROR: expected %zu model builds and %zu reuses, measured "
+                "%zu misses / %zu hits\n",
+                registry.size(), 2 * registry.size(), stats.misses, stats.hits);
+    return 1;
   }
 
   std::printf("Ablation A4 — literal counts per implementation architecture\n\n");
@@ -55,6 +92,9 @@ int main() {
   std::printf("--------------------------------------------------------------\n");
   std::printf("%-24s %6s | %8zu %10zu %8zu\n", "Total", "", acg.literal_count(),
               sc.literal_count(), rs.literal_count());
+  std::printf("\nModelCache: %zu models built, %zu reused (%.1f%% hit rate), "
+              "%.3fs of model construction saved\n",
+              stats.misses, stats.hits, stats.hit_rate() * 100.0, stats.saved_seconds);
   std::printf("\nShape check: the latch architectures split each gate into smaller\n"
               "set/reset functions (the paper's motivation for them).\n");
   return 0;

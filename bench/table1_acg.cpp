@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/benchmarks/registry.hpp"
+#include "src/benchmarks/report.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
 #include "src/netlist/netlist.hpp"
@@ -118,17 +119,23 @@ int main() {
     }
   }
 
-  std::printf(
-      "%-22s %4s | %8s %8s %8s %8s %6s | %9s %9s %6s | %8s %6s | %s\n",
-      "benchmark", "sigs", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt",
-      "PetrifyT", "SIST", "SGLit", "paperTot", "papLit", "ok");
-  std::printf("%.*s\n", 140,
-              "-----------------------------------------------------------------"
+  // The Table-1 core columns (with the paper's 1997 reference values) come
+  // from the shared report helper — the same table `punt bench run` and
+  // `punt bench merge` print.
+  const punt::benchmarks::Table1Report report =
+      punt::benchmarks::make_report(punt::benchmarks::Shard{0, 1}, batch1);
+  std::printf("%s", punt::benchmarks::format_table1(report).c_str());
+  std::printf("(paperTot/papLit: the 1997 paper's TotTim and literal count)\n");
+
+  // SG-based baselines and conformance verification, per benchmark.
+  std::printf("\n%-22s %4s | %9s %9s %6s | %s\n", "benchmark", "sigs", "PetrifyT",
+              "SIST", "SGLit", "conforms");
+  std::printf("%.*s\n", 70,
               "-----------------------------------------------------------------"
               "----------");
-
   double total_punt = 0, total_petrify = 0, total_sis = 0;
-  std::size_t total_lits = 0, total_sg_lits = 0, total_paper_lits = 0;
+  std::size_t total_lits = 0, total_sg_lits = 0;
+  bool all_conform = true;
   for (std::size_t i = 0; i < registry.size(); ++i) {
     const auto& bench = registry[i];
     const SynthesisResult& punt_result = batch1.entries[i].result;
@@ -138,28 +145,22 @@ int main() {
         punt::net::Netlist::from_synthesis(stgs[i], punt_result);
     const punt::sg::StateGraph sgraph = punt::sg::StateGraph::build(stgs[i]);
     const bool conforms = punt::net::verify_conformance(sgraph, netlist).empty();
+    all_conform = all_conform && conforms;
 
     total_punt += punt_result.total_seconds;
     total_petrify += baselines.petrify_like;
     total_sis += baselines.sis_like;
     total_lits += punt_result.literal_count();
     total_sg_lits += baselines.sg_literals;
-    total_paper_lits += bench.paper_literals;
-    std::printf(
-        "%-22s %4zu | %8.3f %8.3f %8.3f %8.3f %6zu | %9.3f %9.3f %6zu | %8.2f %6zu | %s\n",
-        bench.name.c_str(), bench.signals, punt_result.unfold_seconds,
-        punt_result.derive_seconds, punt_result.minimize_seconds,
-        punt_result.total_seconds, punt_result.literal_count(),
-        baselines.petrify_like, baselines.sis_like, baselines.sg_literals,
-        bench.paper_total_time, bench.paper_literals, conforms ? "yes" : "NO");
+    std::printf("%-22s %4zu | %9.3f %9.3f %6zu | %s\n", bench.name.c_str(),
+                bench.signals, baselines.petrify_like, baselines.sis_like,
+                baselines.sg_literals, conforms ? "yes" : "NO");
   }
-  std::printf("%.*s\n", 140,
-              "-----------------------------------------------------------------"
+  std::printf("%.*s\n", 70,
               "-----------------------------------------------------------------"
               "----------");
-  std::printf("%-22s %4d | %8s %8s %8s %8.3f %6zu | %9.3f %9.3f %6zu | %8.2f %6zu |\n",
-              "Total", 228, "", "", "", total_punt, total_lits, total_petrify,
-              total_sis, total_sg_lits, 146.78, total_paper_lits);
+  std::printf("%-22s %4d | %9.3f %9.3f %6zu | PUNT %.3fs\n", "Total", 228,
+              total_petrify, total_sis, total_sg_lits, total_punt);
   std::printf(
       "\nShape checks (paper claims): literal parity between the unfolding flow\n"
       "and the SG flow (%zu vs %zu here; 592 vs 580 in the paper), and the\n"
@@ -171,5 +172,9 @@ int main() {
       batch1.wall_seconds, batch8.wall_seconds,
       batch8.wall_seconds > 0 ? batch1.wall_seconds / batch8.wall_seconds : 0.0,
       std::thread::hardware_concurrency());
+  if (!all_conform) {
+    std::printf("\nERROR: a synthesised circuit failed conformance (see 'NO' above)\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,563 @@
+#include "src/benchmarks/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "src/benchmarks/registry.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::benchmarks {
+namespace {
+
+std::string printf_string(const char* format, ...) __attribute__((format(printf, 1, 2)));
+std::string printf_string(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buffer[512];
+  const int n = std::vsnprintf(buffer, sizeof buffer, format, args);
+  va_end(args);
+  if (n < 0) return std::string();
+  if (static_cast<std::size_t>(n) < sizeof buffer) return std::string(buffer, n);
+  // Too long for the stack buffer (e.g. a JSON row embedding a long error
+  // message): size exactly and format again — truncation here would emit
+  // malformed JSON.
+  std::string out(static_cast<std::size_t>(n), '\0');
+  va_start(args, format);
+  std::vsnprintf(out.data(), out.size() + 1, format, args);
+  va_end(args);
+  return out;
+}
+
+// --- Minimal JSON layer -------------------------------------------------------
+//
+// The report schema needs objects, arrays, strings, numbers and booleans —
+// nothing else — so a ~100-line recursive-descent parser keeps the repo free
+// of a JSON dependency.  Errors carry the byte offset for diagnosis.
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += printf_string("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after the JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("malformed report JSON at byte " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue value;
+      value.type = JsonValue::Type::String;
+      value.string = parse_string();
+      return value;
+    }
+    if (c == 't' || c == 'f') return parse_keyword(c == 't' ? "true" : "false");
+    if (c == 'n') return parse_keyword("null");
+    return parse_number();
+  }
+
+  JsonValue parse_keyword(std::string_view keyword) {
+    if (text_.substr(pos_, keyword.size()) != keyword) {
+      fail("unrecognised literal");
+    }
+    pos_ += keyword.size();
+    JsonValue value;
+    if (keyword == "true" || keyword == "false") {
+      value.type = JsonValue::Type::Bool;
+      value.boolean = keyword == "true";
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue value;
+    value.type = JsonValue::Type::Number;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    value.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("invalid number '" + token + "'");
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // BMP-only UTF-8 encoding; the report never emits surrogates.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.type = JsonValue::Type::Array;
+    if (try_consume(']')) return value;
+    while (true) {
+      value.array.push_back(parse_value());
+      if (try_consume(']')) return value;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.type = JsonValue::Type::Object;
+    if (try_consume('}')) return value;
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      value.object.emplace_back(std::move(key), parse_value());
+      if (try_consume('}')) return value;
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Field accessors that fail with the *path* of the missing/mistyped field.
+const JsonValue& require(const JsonValue& object, const std::string& key,
+                         JsonValue::Type type, const char* what) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type != type) {
+    throw ParseError("report JSON is missing " + std::string(what) + " field '" + key +
+                     "' (is this a punt-table1-report?)");
+  }
+  return *value;
+}
+
+double number_field(const JsonValue& object, const std::string& key) {
+  return require(object, key, JsonValue::Type::Number, "numeric").number;
+}
+
+std::size_t count_field(const JsonValue& object, const std::string& key) {
+  const double n = number_field(object, key);
+  if (n < 0) throw ParseError("report JSON field '" + key + "' is negative");
+  return static_cast<std::size_t>(n);
+}
+
+std::string string_field(const JsonValue& object, const std::string& key) {
+  return require(object, key, JsonValue::Type::String, "string").string;
+}
+
+bool bool_field(const JsonValue& object, const std::string& key) {
+  return require(object, key, JsonValue::Type::Bool, "boolean").boolean;
+}
+
+}  // namespace
+
+// --- Shards -------------------------------------------------------------------
+
+Shard parse_shard(const std::string& value) {
+  const std::size_t slash = value.find('/');
+  const std::string index_text = value.substr(0, slash);
+  const std::string count_text = slash == std::string::npos ? "" : value.substr(slash + 1);
+  const auto numeric = [](const std::string& text) {
+    return !text.empty() && text.find_first_not_of("0123456789") == std::string::npos;
+  };
+  if (slash == std::string::npos || !numeric(index_text) || !numeric(count_text)) {
+    throw Error("invalid --shard value '" + value +
+                "'; expected <index>/<count> with non-negative integers "
+                "(e.g. --shard=0/4 for the first of four shards)");
+  }
+  Shard shard;
+  shard.index = std::strtoul(index_text.c_str(), nullptr, 10);
+  shard.count = std::strtoul(count_text.c_str(), nullptr, 10);
+  if (shard.count == 0) {
+    throw Error("invalid --shard value '" + value +
+                "'; the shard count must be at least 1");
+  }
+  if (shard.index >= shard.count) {
+    throw Error("invalid --shard value '" + value + "'; the shard index must be below " +
+                "the count (valid indices: 0.." + std::to_string(shard.count - 1) + ")");
+  }
+  return shard;
+}
+
+bool shard_contains(const Shard& shard, std::size_t position) {
+  return position % shard.count == shard.index;
+}
+
+std::vector<std::size_t> shard_positions(const Shard& shard, std::size_t registry_size) {
+  std::vector<std::size_t> positions;
+  for (std::size_t p = shard.index; p < registry_size; p += shard.count) {
+    positions.push_back(p);
+  }
+  return positions;
+}
+
+// --- Report construction ------------------------------------------------------
+
+std::size_t Table1Report::failures() const {
+  std::size_t n = 0;
+  for (const Table1Row& row : rows) {
+    if (!row.ok) ++n;
+  }
+  return n;
+}
+
+std::size_t Table1Report::literal_count() const {
+  std::size_t n = 0;
+  for (const Table1Row& row : rows) {
+    if (row.ok) n += row.literals;
+  }
+  return n;
+}
+
+Table1Report make_report(const Shard& shard, const core::BatchResult& batch) {
+  const auto& registry = table1();
+  const std::vector<std::size_t> positions = shard_positions(shard, registry.size());
+  if (batch.entries.size() != positions.size()) {
+    throw ValidationError("make_report: batch has " + std::to_string(batch.entries.size()) +
+                          " entries but shard " + std::to_string(shard.index) + "/" +
+                          std::to_string(shard.count) + " selects " +
+                          std::to_string(positions.size()) + " registry entries");
+  }
+
+  Table1Report report;
+  report.shard = shard;
+  report.registry_size = registry.size();
+  report.jobs = batch.jobs;
+  report.wall_seconds = batch.wall_seconds;
+  report.rows.reserve(positions.size());
+  for (std::size_t k = 0; k < positions.size(); ++k) {
+    const Benchmark& bench = registry[positions[k]];
+    const core::BatchEntry& entry = batch.entries[k];
+    Table1Row row;
+    row.name = bench.name;
+    row.signals = bench.signals;
+    row.paper_total_seconds = bench.paper_total_time;
+    row.paper_literals = bench.paper_literals;
+    row.ok = entry.ok;
+    if (entry.ok) {
+      row.unfold_seconds = entry.result.unfold_seconds;
+      row.derive_seconds = entry.result.derive_seconds;
+      row.minimize_seconds = entry.result.minimize_seconds;
+      row.total_seconds = entry.result.total_seconds;
+      row.literals = entry.result.literal_count();
+      row.exact_fallbacks = entry.result.exact_fallbacks;
+    } else {
+      row.error = entry.error;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+// --- Formatting ---------------------------------------------------------------
+
+std::string format_table1(const Table1Report& report) {
+  const char* rule =
+      "-----------------------------------------------------------------"
+      "-----------------------------------------";
+  std::string out;
+  out += printf_string("%-24s %4s | %8s %8s %8s %8s %6s | %8s %6s | %s\n", "benchmark",
+                       "sigs", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt",
+                       "paperTot", "papLit", "status");
+  out += printf_string("%.*s\n", 106, rule);
+
+  std::size_t total_signals = 0, total_literals = 0, total_paper_literals = 0;
+  double total_seconds = 0, total_paper_seconds = 0;
+  for (const Table1Row& row : report.rows) {
+    total_signals += row.signals;
+    total_paper_seconds += row.paper_total_seconds;
+    total_paper_literals += row.paper_literals;
+    if (!row.ok) {
+      out += printf_string("%-24s %4zu | %s\n", row.name.c_str(), row.signals,
+                           row.error.c_str());
+      continue;
+    }
+    total_seconds += row.total_seconds;
+    total_literals += row.literals;
+    out += printf_string(
+        "%-24s %4zu | %8.3f %8.3f %8.3f %8.3f %6zu | %8.2f %6zu | %s\n", row.name.c_str(),
+        row.signals, row.unfold_seconds, row.derive_seconds, row.minimize_seconds,
+        row.total_seconds, row.literals, row.paper_total_seconds, row.paper_literals,
+        row.exact_fallbacks > 0 ? "ok (exact fallback)" : "ok");
+  }
+  out += printf_string("%.*s\n", 106, rule);
+  out += printf_string("%-24s %4zu | %8s %8s %8s %8.3f %6zu | %8.2f %6zu | failures %zu\n",
+                       "Total", total_signals, "", "", "", total_seconds, total_literals,
+                       total_paper_seconds, total_paper_literals, report.failures());
+  return out;
+}
+
+// --- JSON ---------------------------------------------------------------------
+
+std::string to_json(const Table1Report& report) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"punt-table1-report\",\n";
+  out += "  \"version\": 1,\n";
+  out += printf_string("  \"shard\": {\"index\": %zu, \"count\": %zu},\n",
+                       report.shard.index, report.shard.count);
+  out += printf_string("  \"registry_size\": %zu,\n", report.registry_size);
+  out += printf_string("  \"jobs\": %zu,\n", report.jobs);
+  out += printf_string("  \"wall_seconds\": %.17g,\n", report.wall_seconds);
+  out += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const Table1Row& row = report.rows[i];
+    out += printf_string(
+        "    {\"name\": \"%s\", \"signals\": %zu, \"ok\": %s, \"error\": \"%s\", "
+        "\"unfold_seconds\": %.17g, \"derive_seconds\": %.17g, "
+        "\"minimize_seconds\": %.17g, \"total_seconds\": %.17g, \"literals\": %zu, "
+        "\"exact_fallbacks\": %zu, \"paper_total_seconds\": %.17g, "
+        "\"paper_literals\": %zu}%s\n",
+        json_escape(row.name).c_str(), row.signals, row.ok ? "true" : "false",
+        json_escape(row.error).c_str(), row.unfold_seconds, row.derive_seconds,
+        row.minimize_seconds, row.total_seconds, row.literals, row.exact_fallbacks,
+        row.paper_total_seconds, row.paper_literals,
+        i + 1 < report.rows.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+Table1Report report_from_json(std::string_view text) {
+  const JsonValue root = JsonParser(text).parse();
+  if (root.type != JsonValue::Type::Object) {
+    throw ParseError("report JSON must be an object");
+  }
+  if (string_field(root, "schema") != "punt-table1-report") {
+    throw ParseError("report JSON has schema '" + string_field(root, "schema") +
+                     "'; expected 'punt-table1-report'");
+  }
+  if (count_field(root, "version") != 1) {
+    throw ParseError("unsupported punt-table1-report version " +
+                     std::to_string(count_field(root, "version")) +
+                     "; this build reads version 1");
+  }
+
+  Table1Report report;
+  const JsonValue& shard = require(root, "shard", JsonValue::Type::Object, "object");
+  report.shard.index = count_field(shard, "index");
+  report.shard.count = count_field(shard, "count");
+  if (report.shard.count == 0 || report.shard.index >= report.shard.count) {
+    throw ParseError("report JSON has an invalid shard " +
+                     std::to_string(report.shard.index) + "/" +
+                     std::to_string(report.shard.count));
+  }
+  report.registry_size = count_field(root, "registry_size");
+  report.jobs = count_field(root, "jobs");
+  report.wall_seconds = number_field(root, "wall_seconds");
+
+  const JsonValue& rows = require(root, "rows", JsonValue::Type::Array, "array");
+  report.rows.reserve(rows.array.size());
+  for (const JsonValue& entry : rows.array) {
+    if (entry.type != JsonValue::Type::Object) {
+      throw ParseError("report JSON rows must be objects");
+    }
+    Table1Row row;
+    row.name = string_field(entry, "name");
+    row.signals = count_field(entry, "signals");
+    row.ok = bool_field(entry, "ok");
+    row.error = string_field(entry, "error");
+    row.unfold_seconds = number_field(entry, "unfold_seconds");
+    row.derive_seconds = number_field(entry, "derive_seconds");
+    row.minimize_seconds = number_field(entry, "minimize_seconds");
+    row.total_seconds = number_field(entry, "total_seconds");
+    row.literals = count_field(entry, "literals");
+    row.exact_fallbacks = count_field(entry, "exact_fallbacks");
+    row.paper_total_seconds = number_field(entry, "paper_total_seconds");
+    row.paper_literals = count_field(entry, "paper_literals");
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+// --- Merge --------------------------------------------------------------------
+
+Table1Report merge_reports(const std::vector<Table1Report>& reports) {
+  if (reports.empty()) {
+    throw ValidationError("merge_reports: no shard reports given");
+  }
+  const auto& registry = table1();
+
+  Table1Report merged;
+  merged.registry_size = registry.size();
+  merged.shard = Shard{0, 1};
+
+  // Index the incoming rows by benchmark name, diagnosing overlaps and rows
+  // this registry does not know (e.g. a report from a different build).
+  std::vector<const Table1Row*> by_position(registry.size(), nullptr);
+  std::vector<std::size_t> owner(registry.size(), 0);
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    const Table1Report& report = reports[r];
+    if (report.registry_size != registry.size()) {
+      throw ValidationError(
+          "merge_reports: shard report " + std::to_string(r) + " covers a registry of " +
+          std::to_string(report.registry_size) + " entries but this build has " +
+          std::to_string(registry.size()) + "; regenerate the shard reports");
+    }
+    merged.jobs = std::max(merged.jobs, report.jobs);
+    merged.wall_seconds = std::max(merged.wall_seconds, report.wall_seconds);
+    for (const Table1Row& row : report.rows) {
+      std::size_t position = registry.size();
+      for (std::size_t p = 0; p < registry.size(); ++p) {
+        if (registry[p].name == row.name) {
+          position = p;
+          break;
+        }
+      }
+      if (position == registry.size()) {
+        throw ValidationError("merge_reports: shard report " + std::to_string(r) +
+                              " names unknown benchmark '" + row.name + "'");
+      }
+      if (by_position[position] != nullptr) {
+        throw ValidationError("merge_reports: benchmark '" + row.name +
+                              "' appears in shard reports " + std::to_string(owner[position]) +
+                              " and " + std::to_string(r) + "; shards must not overlap");
+      }
+      by_position[position] = &row;
+      owner[position] = r;
+    }
+  }
+
+  std::string missing;
+  for (std::size_t p = 0; p < registry.size(); ++p) {
+    if (by_position[p] == nullptr) {
+      if (!missing.empty()) missing += ", ";
+      missing += registry[p].name;
+    }
+  }
+  if (!missing.empty()) {
+    throw ValidationError("merge_reports: no shard report covers: " + missing);
+  }
+
+  merged.rows.reserve(registry.size());
+  for (std::size_t p = 0; p < registry.size(); ++p) {
+    merged.rows.push_back(*by_position[p]);
+  }
+  return merged;
+}
+
+}  // namespace punt::benchmarks

@@ -1,0 +1,95 @@
+// Table-1 reporting: one formatting/serialisation helper shared by
+// `punt bench run`, `punt bench merge` and bench/table1_acg.cpp, so the
+// paper-column comparison (paperTot / papLit) exists in exactly one place.
+//
+// Sharded registry runs: `punt bench run --shard=i/n` synthesises the
+// registry entries at positions p with p % n == i (a deterministic
+// partition, so n shard runs cover the registry exactly once), emits the
+// rows as a JSON report, and `punt bench merge` recombines the per-shard
+// reports into the full Table-1 table — validating that the shards neither
+// overlap nor miss a registry entry.  This is what CI's bench-shards matrix
+// and multi-machine sweeps build on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+
+namespace punt::benchmarks {
+
+/// One deterministic slice of the registry: positions p with
+/// p % count == index.
+struct Shard {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// Parses the payload of `--shard=i/n`.  Throws punt::Error with an
+/// actionable diagnostic for malformed text, n = 0 or i >= n (mirroring the
+/// --jobs validation style).
+Shard parse_shard(const std::string& value);
+
+/// True when registry position `position` belongs to `shard`.
+bool shard_contains(const Shard& shard, std::size_t position);
+
+/// The positions of `shard` within a registry of `registry_size` entries,
+/// ascending.
+std::vector<std::size_t> shard_positions(const Shard& shard, std::size_t registry_size);
+
+/// One Table-1 row: the measured columns plus the paper's 1997 reference
+/// values for the side-by-side comparison.
+struct Table1Row {
+  std::string name;
+  std::size_t signals = 0;
+  bool ok = false;
+  std::string error;  // exception text when !ok
+  double unfold_seconds = 0;    // UnfTim
+  double derive_seconds = 0;    // SynTim
+  double minimize_seconds = 0;  // EspTim
+  double total_seconds = 0;     // TotTim
+  std::size_t literals = 0;     // LitCnt
+  std::size_t exact_fallbacks = 0;
+  double paper_total_seconds = 0;   // paperTot
+  std::size_t paper_literals = 0;   // papLit
+};
+
+struct Table1Report {
+  std::vector<Table1Row> rows;  // registry order within the shard
+  Shard shard;                  // which slice of the registry this covers
+  std::size_t registry_size = 0;  // size of the full registry when produced
+  std::size_t jobs = 1;
+  double wall_seconds = 0;
+
+  std::size_t failures() const;      // rows with !ok
+  std::size_t literal_count() const; // sum over ok rows
+};
+
+/// Builds the report for a batch run over the registry entries of `shard`
+/// (batch entry k corresponds to the k-th shard position).  Throws
+/// ValidationError when the batch size does not match the shard.
+Table1Report make_report(const Shard& shard, const core::BatchResult& batch);
+
+/// The human Table-1 table: header, one line per row (error text for failed
+/// rows), separator and a Total line.  Shared by `punt bench run`,
+/// `punt bench merge` and bench_table1_acg — callers append their own
+/// footers (wall clock, speedups, shard provenance).
+std::string format_table1(const Table1Report& report);
+
+/// JSON serialisation of a report ("punt-table1-report" schema, version 1).
+std::string to_json(const Table1Report& report);
+
+/// Parses to_json output.  Throws ParseError on malformed JSON or a payload
+/// that is not a punt-table1-report.
+Table1Report report_from_json(std::string_view text);
+
+/// Combines per-shard reports into one full-registry report (rows in
+/// registry order; wall_seconds is the maximum across shards, since CI runs
+/// them concurrently).  Throws ValidationError when the shards overlap,
+/// miss a registry entry, name an unknown benchmark, or disagree with the
+/// current registry size.
+Table1Report merge_reports(const std::vector<Table1Report>& reports);
+
+}  // namespace punt::benchmarks

@@ -1,0 +1,113 @@
+#include "src/core/model_cache.hpp"
+
+#include <utility>
+
+#include "src/stg/g_format.hpp"
+
+namespace punt::core {
+
+ModelCache::ModelCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string ModelCache::key_of(const stg::Stg& stg, const SynthesisOptions& options) {
+  // write_g pins .init_values, so the text is a complete, canonical digest of
+  // the model's input; '\x1f' (unit separator) cannot occur in `.g` text and
+  // keeps the two key parts from bleeding into each other.
+  return stg::write_g(stg) + '\x1f' + ModelOptions::from(options).fingerprint();
+}
+
+std::shared_ptr<const SemanticModel> ModelCache::lookup_or_build(
+    const stg::Stg& stg, const SynthesisOptions& options, bool* built) {
+  const std::string key = key_of(stg, options);
+  if (built != nullptr) *built = false;
+
+  std::promise<std::shared_ptr<const SemanticModel>> promise;
+  ModelFuture pending;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      if (it->second.ready) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
+        std::shared_ptr<const SemanticModel> model = it->second.future.get();
+        stats_.saved_seconds += model->build_seconds;
+        return model;
+      }
+      // In flight: someone else is building this model right now.  Joining
+      // counts as a hit only once the build succeeds (the model is not
+      // built a second time), and does not credit saved_seconds — the
+      // joiner waits out the whole build rather than skipping it.
+      pending = it->second.future;
+    } else {
+      ++stats_.misses;
+      builder = true;
+      Slot slot;
+      slot.future = promise.get_future().share();
+      slot.lru = lru_.end();
+      slots_.emplace(key, std::move(slot));
+    }
+  }
+
+  if (!builder) {
+    // Blocks until the builder finishes; rethrows its exception on failure
+    // (a failed join is counted by the builder's failed_builds, not here).
+    std::shared_ptr<const SemanticModel> model = pending.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return model;
+  }
+
+  // Build outside the lock: model construction is the expensive part and
+  // other keys must stay usable meanwhile.
+  if (built != nullptr) *built = true;
+  std::shared_ptr<const SemanticModel> model;
+  try {
+    model = SemanticModel::build(stg, options);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.failed_builds;
+      slots_.erase(key);  // later lookups retry instead of caching the error
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[key];
+    lru_.push_front(key);
+    slot.lru = lru_.begin();
+    slot.ready = true;
+    while (lru_.size() > capacity_) {
+      slots_.erase(lru_.back());
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  promise.set_value(model);
+  return model;
+}
+
+ModelCacheStats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ModelCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // In-flight builds are kept: their builders still hold promises into the
+  // map and waiters hold their futures; only completed entries are dropped.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = it->second.ready ? slots_.erase(it) : std::next(it);
+  }
+  lru_.clear();
+}
+
+}  // namespace punt::core

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/core/approx.hpp"
+#include "src/core/model_cache.hpp"
 #include "src/core/slices.hpp"
 #include "src/sg/analysis.hpp"
 #include "src/util/error.hpp"
@@ -26,56 +27,102 @@ Cover tidy(Cover cover) {
 
 // --- Stage 1: shared semantic model ------------------------------------------
 
-PipelineContext PipelineContext::build(const stg::Stg& stg,
-                                       const SynthesisOptions& options) {
-  PipelineContext context;
-  context.stg = &stg;
-  context.options = options;
+ModelOptions ModelOptions::from(const SynthesisOptions& options) {
+  ModelOptions model;
+  model.kind = options.method == Method::StateGraph ? Kind::StateGraph : Kind::Unfolding;
+  model.check_persistency = options.check_persistency;
+  model.state_budget = options.state_budget;
+  model.event_budget = options.event_budget;
+  model.cutoff = options.cutoff;
+  return model;
+}
 
-  stg.validate();
-  if (stg.has_dummies()) {
+std::string ModelOptions::fingerprint() const {
+  // Only the fields that shape a model of this kind participate, so e.g.
+  // two unfolding runs that differ in the (StateGraph-only) state_budget
+  // still share one cache entry.
+  std::string text = kind == Kind::StateGraph ? "sg" : "unf";
+  text += check_persistency ? ";persist=1" : ";persist=0";
+  if (kind == Kind::StateGraph) {
+    text += ";states=" + std::to_string(state_budget);
+  } else {
+    text += ";events=" + std::to_string(event_budget);
+    text += ";cutoff=" + std::to_string(static_cast<int>(cutoff));
+  }
+  return text;
+}
+
+std::shared_ptr<const SemanticModel> SemanticModel::build(
+    const stg::Stg& stg, const SynthesisOptions& options) {
+  Stopwatch phase;
+  auto model = std::make_shared<SemanticModel>();
+  model->stg = stg;  // owned copy: ids are preserved, lifetime is not shared
+  model->options = ModelOptions::from(options);
+
+  const stg::Stg& own = model->stg;
+  own.validate();
+  if (own.has_dummies()) {
     throw ImplementabilityError(
         "the STG contains dummy transitions; the synthesis method of the "
         "paper requires every transition to carry a signal edge");
   }
-  context.targets = stg.non_input_signals();
+  model->targets = own.non_input_signals();
 
-  Stopwatch phase;
-  if (options.method == Method::StateGraph) {
+  if (model->options.kind == ModelOptions::Kind::StateGraph) {
     sg::BuildOptions build;
     build.state_budget = options.state_budget;
-    context.sgraph = std::make_unique<sg::StateGraph>(sg::StateGraph::build(stg, build));
-    context.sg_states = context.sgraph->state_count();
+    model->sgraph = std::make_unique<const sg::StateGraph>(sg::StateGraph::build(own, build));
+    model->sg_states = model->sgraph->state_count();
     if (options.check_persistency) {
-      const auto violations = sg::persistency_violations(stg, *context.sgraph);
+      const auto violations = sg::persistency_violations(own, *model->sgraph);
       if (!violations.empty()) {
         throw ImplementabilityError("the STG is not semi-modular: " +
-                                    violations.front().describe(stg));
+                                    violations.front().describe(own));
       }
     }
   } else {
     unf::UnfoldOptions build;
     build.event_budget = options.event_budget;
     build.cutoff = options.cutoff;
-    context.unfolding =
-        std::make_unique<unf::Unfolding>(unf::Unfolding::build(stg, build));
-    context.unfold_stats = context.unfolding->stats();
+    model->unfolding =
+        std::make_unique<const unf::Unfolding>(unf::Unfolding::build(own, build));
+    model->unfold_stats = model->unfolding->stats();
     if (options.check_persistency) {
-      const auto violations = segment_persistency_violations(*context.unfolding);
+      const auto violations = segment_persistency_violations(*model->unfolding);
       if (!violations.empty()) {
         throw ImplementabilityError("the STG is not semi-modular: " +
-                                    violations.front().describe(*context.unfolding));
+                                    violations.front().describe(*model->unfolding));
       }
     }
   }
-  context.unfold_seconds = phase.seconds();
+  model->build_seconds = phase.seconds();
+  return model;
+}
+
+PipelineContext PipelineContext::build(const stg::Stg& stg,
+                                       const SynthesisOptions& options,
+                                       ModelCache* cache) {
+  PipelineContext context;
+  context.options = options;
+  if (cache != nullptr) {
+    bool built = false;
+    context.model = cache->lookup_or_build(stg, options, &built);
+    context.model_from_cache = !built;
+  } else {
+    context.model = SemanticModel::build(stg, options);
+  }
   return context;
 }
 
 // --- Stage 2: one signal through phases 2–3 ----------------------------------
 
 void DerivationTask::run(const PipelineContext& context) {
-  const stg::Stg& stg = *context.stg;
+  if (!context.model) {
+    throw ValidationError(
+        "DerivationTask::run called on a PipelineContext without a model");
+  }
+  const SemanticModel& model = *context.model;
+  const stg::Stg& stg = model.stg;
   const SynthesisOptions& options = context.options;
   const std::size_t n = stg.signal_count();
   const bool need_er = options.architecture != Architecture::ComplexGate;
@@ -92,16 +139,16 @@ void DerivationTask::run(const PipelineContext& context) {
   Cover er_off{0};
   switch (options.method) {
     case Method::StateGraph: {
-      impl.on_cover = sg::on_cover(*context.sgraph, s);
-      impl.off_cover = sg::off_cover(*context.sgraph, s);
+      impl.on_cover = sg::on_cover(*model.sgraph, s);
+      impl.off_cover = sg::off_cover(*model.sgraph, s);
       if (need_er) {
-        er_on = sg::er_cover(stg, *context.sgraph, s, true);
-        er_off = sg::er_cover(stg, *context.sgraph, s, false);
+        er_on = sg::er_cover(stg, *model.sgraph, s, true);
+        er_off = sg::er_cover(stg, *model.sgraph, s, false);
       }
       break;
     }
     case Method::UnfoldingExact: {
-      const unf::Unfolding& unf = *context.unfolding;
+      const unf::Unfolding& unf = *model.unfolding;
       impl.on_cover = exact_cover(unf, s, true, options.cut_budget);
       impl.off_cover = exact_cover(unf, s, false, options.cut_budget);
       if (need_er) {
@@ -111,7 +158,7 @@ void DerivationTask::run(const PipelineContext& context) {
       break;
     }
     case Method::UnfoldingApprox: {
-      const unf::Unfolding& unf = *context.unfolding;
+      const unf::Unfolding& unf = *model.unfolding;
       ApproxCover on = approximate_cover(unf, s, true, options.approx_policy);
       ApproxCover off = approximate_cover(unf, s, false, options.approx_policy);
       const RefineStats stats = refine_until_disjoint(unf, on, off);
@@ -258,16 +305,25 @@ void Scheduler::run(std::size_t count, const std::function<void(std::size_t)>& f
 // --- Stage 3: fan-out + deterministic assembly -------------------------------
 
 SynthesisResult run_pipeline(const PipelineContext& context, Scheduler& scheduler) {
-  std::vector<DerivationTask> tasks(context.targets.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) tasks[i].signal = context.targets[i];
+  if (!context.model) {
+    throw ValidationError("run_pipeline called on a PipelineContext without a model");
+  }
+  const SemanticModel& model = *context.model;
+  std::vector<DerivationTask> tasks(model.targets.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) tasks[i].signal = model.targets[i];
   scheduler.run(tasks.size(), [&](std::size_t i) { tasks[i].run(context); });
 
   SynthesisResult result;
   result.method = context.options.method;
   result.architecture = context.options.architecture;
-  result.unfold_seconds = context.unfold_seconds;
-  result.unfold_stats = context.unfold_stats;
-  result.sg_states = context.sg_states;
+  // UnfTim always reports the model's (one-time) construction cost, even
+  // when this run got the model from a cache.  total_seconds is this run's
+  // wall clock: it covers the build when the run paid for it (cache miss,
+  // or no cache — matching the paper's TotTim) and not when a cache hit
+  // skipped it — the saving the cache exists to deliver.
+  result.unfold_seconds = model.build_seconds;
+  result.unfold_stats = model.unfold_stats;
+  result.sg_states = model.sg_states;
   result.signals.reserve(tasks.size());
   for (DerivationTask& task : tasks) {
     result.refinement_iterations += task.refinement_iterations;
@@ -305,7 +361,8 @@ BatchResult synthesize_batch(std::span<const stg::Stg> stgs,
   scheduler.run(stgs.size(), [&](std::size_t i) {
     BatchEntry& entry = batch.entries[i];
     try {
-      PipelineContext context = PipelineContext::build(stgs[i], per_entry);
+      PipelineContext context =
+          PipelineContext::build(stgs[i], per_entry, options.cache);
       Scheduler inline_scheduler(1);
       entry.result = run_pipeline(context, inline_scheduler);
       entry.ok = true;

@@ -3,12 +3,14 @@
 // The monolithic synthesize() of the seed is decomposed into three explicit
 // stages (DESIGN.md §7):
 //
-//   1. PipelineContext::build — the shared semantic model: STG validation,
+//   1. SemanticModel::build — the shared semantic model: STG validation,
 //      unfolding segment or state graph, general implementability checks.
-//      Built once, then only read.
+//      Built once, immutable afterwards, and held by shared_ptr so any
+//      number of synthesis runs (and the ModelCache, DESIGN.md §8) can
+//      share one model concurrently.
 //   2. DerivationTask::run — everything one signal needs (cover derivation,
 //      refinement, exact fallback, CSC check, espresso, architecture
-//      assembly).  Tasks touch only the immutable context and their own
+//      assembly).  Tasks touch only the immutable model and their own
 //      slot, so the Scheduler may run any number of them concurrently.
 //   3. Assembly — results are collected *in target-signal order* and the
 //      per-task timings are summed, so output and reported work are
@@ -17,7 +19,9 @@
 // synthesize() (synthesis.hpp) is now a thin wrapper over these stages;
 // synthesize_batch() pushes whole workloads (e.g. the Table-1 registry)
 // through the same Scheduler, parallelising across STGs instead of across
-// signals.
+// signals.  Both accept an optional ModelCache so repeated workloads
+// (punt check, the A1/A4 ablations, sweeps over architecture variants)
+// build each semantic model once instead of once per call.
 #pragma once
 
 #include <cstddef>
@@ -35,25 +39,70 @@
 
 namespace punt::core {
 
-/// Stage 1 output: the semantic model shared (read-only) by every
-/// DerivationTask of one synthesis run.
-struct PipelineContext {
-  const stg::Stg* stg = nullptr;
-  SynthesisOptions options;
+class ModelCache;  // model_cache.hpp; forward-declared to avoid a cycle
+
+/// The *model-affecting* subset of SynthesisOptions: exactly the fields that
+/// change what SemanticModel::build() produces.  Everything else in
+/// SynthesisOptions (architecture, approximation policy, minimisation,
+/// cut budget, CSC handling, jobs) only steers the per-signal derivation, so
+/// A1/A3/A4 architecture variants — and the exact and approximate unfolding
+/// methods, which consume the same segment — of one STG share one model.
+struct ModelOptions {
+  /// Which semantic object phase 1 constructs.  Method::UnfoldingApprox and
+  /// Method::UnfoldingExact build the *same* unfolding segment, so they map
+  /// to one kind (and one cache entry).
+  enum class Kind : std::uint8_t { Unfolding, StateGraph };
+
+  Kind kind = Kind::Unfolding;
+  bool check_persistency = true;
+  std::size_t state_budget = 0;  // StateGraph only
+  std::size_t event_budget = 0;  // Unfolding only
+  unf::UnfoldOptions::CutoffPolicy cutoff = unf::UnfoldOptions::CutoffPolicy::McMillan;
+
+  /// Projects the model-affecting fields out of the full option set.
+  static ModelOptions from(const SynthesisOptions& options);
+
+  /// Canonical text of the options that shape the model of this kind (the
+  /// irrelevant budget is omitted, so e.g. two StateGraph runs that differ
+  /// only in event_budget share a cache entry).  Part of the ModelCache key.
+  std::string fingerprint() const;
+};
+
+/// Stage 1 output: the immutable semantic model shared (read-only) by every
+/// DerivationTask — of one synthesis run, or of *many* runs when the model
+/// is handed out by a ModelCache.  It owns a copy of the source STG so a
+/// cached model never dangles when the caller's STG dies.
+struct SemanticModel {
+  stg::Stg stg;  // owned copy; signal/transition ids match the source STG
+  ModelOptions options;
   std::vector<stg::SignalId> targets;  // outputs + internals, ascending
 
-  // Exactly one of the two models is set, per options.method.
-  std::unique_ptr<unf::Unfolding> unfolding;
-  std::unique_ptr<sg::StateGraph> sgraph;
+  // Exactly one of the two is set, per options.kind.
+  std::unique_ptr<const unf::Unfolding> unfolding;
+  std::unique_ptr<const sg::StateGraph> sgraph;
 
-  Stopwatch total;                 // runs from the start of build()
-  double unfold_seconds = 0;       // wall-clock model-construction time
-  unf::UnfoldStats unfold_stats;   // segment size (unfolding methods)
-  std::size_t sg_states = 0;       // SG size (StateGraph method)
+  double build_seconds = 0;        // wall-clock model-construction time
+  unf::UnfoldStats unfold_stats;   // segment size (unfolding kind)
+  std::size_t sg_states = 0;       // SG size (StateGraph kind)
 
   /// Builds the model and runs the general checks (validation, dummy
   /// rejection, persistency).  Throws like the seed's synthesize() phase 1.
-  static PipelineContext build(const stg::Stg& stg, const SynthesisOptions& options);
+  static std::shared_ptr<const SemanticModel> build(const stg::Stg& stg,
+                                                    const SynthesisOptions& options);
+};
+
+/// One synthesis run's view: the shared model plus the derivation-only
+/// options and this run's clock.
+struct PipelineContext {
+  std::shared_ptr<const SemanticModel> model;
+  SynthesisOptions options;
+  Stopwatch total;              // runs from the start of build()
+  bool model_from_cache = false;
+
+  /// Resolves the model — through `cache` when given (lookup-or-build),
+  /// otherwise by building it fresh — and stamps the derivation options.
+  static PipelineContext build(const stg::Stg& stg, const SynthesisOptions& options,
+                               ModelCache* cache = nullptr);
 };
 
 /// Stage 2: one signal's derivation through phases 2–3.  The task reads the
@@ -113,6 +162,11 @@ struct BatchOptions {
   SynthesisOptions synthesis;
   /// Worker threads across entries; 1 = inline, 0 = hardware default.
   std::size_t jobs = 1;
+  /// Optional shared model cache.  Entries of one batch — and successive
+  /// batches over the same STGs (the A4 architecture sweep) — then share
+  /// one SemanticModel per distinct (STG, model options) pair; concurrent
+  /// entries racing on the same key build it exactly once.  Not owned.
+  ModelCache* cache = nullptr;
 };
 
 /// One input STG's outcome.  Failures (CSC conflicts, capacity blowups, …)

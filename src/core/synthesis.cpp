@@ -57,8 +57,9 @@ const SignalImplementation& SynthesisResult::implementation(stg::SignalId signal
       (known.empty() ? "none" : known));
 }
 
-SynthesisResult synthesize(const stg::Stg& stg, const SynthesisOptions& options) {
-  PipelineContext context = PipelineContext::build(stg, options);
+SynthesisResult synthesize(const stg::Stg& stg, const SynthesisOptions& options,
+                           ModelCache* cache) {
+  PipelineContext context = PipelineContext::build(stg, options, cache);
   Scheduler scheduler(options.jobs);
   return run_pipeline(context, scheduler);
 }

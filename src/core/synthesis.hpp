@@ -123,9 +123,17 @@ struct SynthesisResult {
   std::unordered_map<std::uint32_t, std::size_t> signal_index_;
 };
 
+class ModelCache;  // model_cache.hpp
+
 /// Synthesises every output/internal signal of `stg`.  Throws
 /// ImplementabilityError for inconsistent/non-persistent STGs, CapacityError
 /// on blown budgets, CscError on coding conflicts (when throw_on_csc).
-SynthesisResult synthesize(const stg::Stg& stg, const SynthesisOptions& options = {});
+/// When `cache` is given, the phase-1 semantic model is resolved through it
+/// (lookup-or-build), so repeated calls over the same STG — or calls that
+/// differ only in derivation options such as the architecture — skip model
+/// construction entirely.  Results are byte-identical with and without a
+/// cache (the model is immutable either way).
+SynthesisResult synthesize(const stg::Stg& stg, const SynthesisOptions& options = {},
+                           ModelCache* cache = nullptr);
 
 }  // namespace punt::core

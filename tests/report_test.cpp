@@ -1,0 +1,267 @@
+// Tests for the shared Table-1 report helper: shard parsing/partitioning,
+// report construction from a real batch, JSON round-trips, and the merge
+// step's exact-coverage validation (overlap / missing / unknown rows).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/benchmarks/registry.hpp"
+#include "src/benchmarks/report.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::benchmarks {
+namespace {
+
+/// A deterministic synthetic report over the full registry (timings and
+/// literals derived from the position, so merged output is comparable).
+Table1Report synthetic_full_report() {
+  const auto& registry = table1();
+  Table1Report report;
+  report.shard = Shard{0, 1};
+  report.registry_size = registry.size();
+  report.jobs = 3;
+  report.wall_seconds = 1.5;
+  for (std::size_t p = 0; p < registry.size(); ++p) {
+    Table1Row row;
+    row.name = registry[p].name;
+    row.signals = registry[p].signals;
+    row.ok = true;
+    row.unfold_seconds = 0.001 * static_cast<double>(p);
+    row.derive_seconds = 0.01 * static_cast<double>(p);
+    row.minimize_seconds = 0.1 * static_cast<double>(p);
+    row.total_seconds = 0.111 * static_cast<double>(p);
+    row.literals = 10 + p;
+    row.exact_fallbacks = p % 2;
+    row.paper_total_seconds = registry[p].paper_total_time;
+    row.paper_literals = registry[p].paper_literals;
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+/// Splits a full report into `count` shard reports exactly the way
+/// `punt bench run --shard=i/count` would produce them.
+std::vector<Table1Report> split(const Table1Report& full, std::size_t count) {
+  std::vector<Table1Report> shards(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards[i].shard = Shard{i, count};
+    shards[i].registry_size = full.registry_size;
+    shards[i].jobs = full.jobs;
+    shards[i].wall_seconds = full.wall_seconds / static_cast<double>(count);
+    for (std::size_t p = 0; p < full.rows.size(); ++p) {
+      if (shard_contains(shards[i].shard, p)) shards[i].rows.push_back(full.rows[p]);
+    }
+  }
+  return shards;
+}
+
+TEST(Report, ParseShardAcceptsValidSpecs) {
+  const Shard first = parse_shard("0/4");
+  EXPECT_EQ(first.index, 0u);
+  EXPECT_EQ(first.count, 4u);
+  const Shard last = parse_shard("3/4");
+  EXPECT_EQ(last.index, 3u);
+  EXPECT_EQ(last.count, 4u);
+  const Shard whole = parse_shard("0/1");
+  EXPECT_EQ(whole.count, 1u);
+}
+
+TEST(Report, ParseShardRejectsMalformedSpecs) {
+  // Same diagnostic style as --jobs: a punt::Error naming the value and the
+  // expected shape.
+  for (const char* bad : {"", "3", "abc", "a/4", "1/b", "1/", "/4", "-1/4", "1/-4",
+                          "1.5/4", "0/0", "4/4", "5/4"}) {
+    try {
+      (void)parse_shard(bad);
+      FAIL() << "expected punt::Error for --shard=" << bad;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("--shard"), std::string::npos)
+          << "diagnostic for '" << bad << "' should name the flag: " << e.what();
+    }
+  }
+}
+
+TEST(Report, ShardPositionsPartitionTheRegistryExactly) {
+  const std::size_t registry_size = table1().size();
+  for (const std::size_t count : {1u, 2u, 3u, 4u, 7u, 21u, 40u}) {
+    std::set<std::size_t> seen;
+    for (std::size_t index = 0; index < count; ++index) {
+      const Shard shard{index, count};
+      for (const std::size_t p : shard_positions(shard, registry_size)) {
+        EXPECT_TRUE(shard_contains(shard, p));
+        EXPECT_TRUE(seen.insert(p).second)
+            << "position " << p << " appears in two shards of " << count;
+      }
+    }
+    EXPECT_EQ(seen.size(), registry_size) << "shards of " << count << " miss entries";
+  }
+}
+
+TEST(Report, MakeReportCarriesBatchAndPaperColumns) {
+  // Shard 0/7 selects registry positions 0, 7, 14 — three real syntheses.
+  const auto& registry = table1();
+  const Shard shard{0, 7};
+  const std::vector<std::size_t> positions = shard_positions(shard, registry.size());
+  std::vector<punt::stg::Stg> stgs;
+  for (const std::size_t p : positions) stgs.push_back(registry[p].make());
+
+  core::BatchOptions options;
+  options.synthesis.throw_on_csc = false;
+  const core::BatchResult batch = core::synthesize_batch(stgs, options);
+  const Table1Report report = make_report(shard, batch);
+
+  ASSERT_EQ(report.rows.size(), positions.size());
+  EXPECT_EQ(report.registry_size, registry.size());
+  for (std::size_t k = 0; k < positions.size(); ++k) {
+    const Benchmark& bench = registry[positions[k]];
+    EXPECT_EQ(report.rows[k].name, bench.name);
+    EXPECT_EQ(report.rows[k].signals, bench.signals);
+    EXPECT_EQ(report.rows[k].paper_literals, bench.paper_literals);
+    EXPECT_DOUBLE_EQ(report.rows[k].paper_total_seconds, bench.paper_total_time);
+    ASSERT_TRUE(report.rows[k].ok) << report.rows[k].error;
+    EXPECT_EQ(report.rows[k].literals, batch.entries[k].result.literal_count());
+  }
+  EXPECT_EQ(report.failures(), 0u);
+
+  // A batch of the wrong size cannot be attributed to the shard.
+  core::BatchResult wrong = batch;
+  wrong.entries.pop_back();
+  EXPECT_THROW((void)make_report(shard, wrong), ValidationError);
+}
+
+TEST(Report, JsonRoundTripPreservesEveryField) {
+  Table1Report report = synthetic_full_report();
+  // Exercise escaping: quotes, backslashes, newlines and a control byte in
+  // the error text of a failed row.
+  report.rows[2].ok = false;
+  report.rows[2].error = "signal 'x' said \"no\"\n\tpath: a\\b\x01";
+  report.rows[2].literals = 0;
+  // A long diagnostic (capacity errors enumerate budgets and transitions)
+  // must survive serialisation intact, not be truncated into invalid JSON.
+  report.rows[3].ok = false;
+  report.rows[3].error = "the segment blew the event budget: " +
+                         std::string(2000, 'e') + " (end of diagnostic)";
+
+  const Table1Report parsed = report_from_json(to_json(report));
+  EXPECT_EQ(parsed.shard.index, report.shard.index);
+  EXPECT_EQ(parsed.shard.count, report.shard.count);
+  EXPECT_EQ(parsed.registry_size, report.registry_size);
+  EXPECT_EQ(parsed.jobs, report.jobs);
+  EXPECT_DOUBLE_EQ(parsed.wall_seconds, report.wall_seconds);
+  ASSERT_EQ(parsed.rows.size(), report.rows.size());
+  for (std::size_t p = 0; p < report.rows.size(); ++p) {
+    const Table1Row& a = report.rows[p];
+    const Table1Row& b = parsed.rows[p];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.signals, b.signals);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_DOUBLE_EQ(a.unfold_seconds, b.unfold_seconds);
+    EXPECT_DOUBLE_EQ(a.derive_seconds, b.derive_seconds);
+    EXPECT_DOUBLE_EQ(a.minimize_seconds, b.minimize_seconds);
+    EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+    EXPECT_EQ(a.literals, b.literals);
+    EXPECT_EQ(a.exact_fallbacks, b.exact_fallbacks);
+    EXPECT_DOUBLE_EQ(a.paper_total_seconds, b.paper_total_seconds);
+    EXPECT_EQ(a.paper_literals, b.paper_literals);
+  }
+  // The formatted tables agree byte for byte.
+  EXPECT_EQ(format_table1(report), format_table1(parsed));
+}
+
+TEST(Report, FromJsonRejectsForeignPayloads) {
+  EXPECT_THROW((void)report_from_json("not json at all"), ParseError);
+  EXPECT_THROW((void)report_from_json("{\"schema\": \"something-else\"}"), ParseError);
+  EXPECT_THROW((void)report_from_json("[1, 2, 3]"), ParseError);
+  EXPECT_THROW((void)report_from_json(
+                   "{\"schema\": \"punt-table1-report\", \"version\": 2}"),
+               ParseError);
+  // Truncated output (an interrupted shard upload) must be diagnosed, not
+  // half-parsed.
+  const std::string full = to_json(synthetic_full_report());
+  EXPECT_THROW((void)report_from_json(
+                   std::string_view(full).substr(0, full.size() / 2)),
+               ParseError);
+}
+
+TEST(Report, MergeReproducesTheUnshardedTableExactly) {
+  const Table1Report full = synthetic_full_report();
+  for (const std::size_t count : {2u, 4u, 5u}) {
+    // Round-trip every shard through JSON, as the CI artifact flow does.
+    std::vector<Table1Report> shards;
+    for (const Table1Report& shard : split(full, count)) {
+      shards.push_back(report_from_json(to_json(shard)));
+    }
+    const Table1Report merged = merge_reports(shards);
+    ASSERT_EQ(merged.rows.size(), full.rows.size());
+    for (std::size_t p = 0; p < full.rows.size(); ++p) {
+      EXPECT_EQ(merged.rows[p].name, full.rows[p].name) << "row order must be "
+                                                        << "registry order";
+    }
+    EXPECT_EQ(format_table1(merged), format_table1(full))
+        << count << "-way merge must reproduce the unsharded table";
+    EXPECT_EQ(merged.literal_count(), full.literal_count());
+  }
+}
+
+TEST(Report, MergeRejectsOverlapMissingAndUnknownRows) {
+  const Table1Report full = synthetic_full_report();
+  std::vector<Table1Report> shards = split(full, 4);
+
+  // Overlap: the same benchmark delivered by two shard reports.
+  {
+    std::vector<Table1Report> overlapping = shards;
+    overlapping[1].rows.push_back(shards[0].rows[0]);
+    try {
+      (void)merge_reports(overlapping);
+      FAIL() << "expected ValidationError for overlapping shards";
+    } catch (const ValidationError& e) {
+      EXPECT_NE(std::string(e.what()).find("overlap"), std::string::npos) << e.what();
+    }
+  }
+  // Missing: one shard report lost.
+  {
+    std::vector<Table1Report> missing(shards.begin(), shards.end() - 1);
+    try {
+      (void)merge_reports(missing);
+      FAIL() << "expected ValidationError for missing entries";
+    } catch (const ValidationError& e) {
+      EXPECT_NE(std::string(e.what()).find("no shard report covers"), std::string::npos)
+          << e.what();
+    }
+  }
+  // Unknown benchmark: a report from some other registry.
+  {
+    std::vector<Table1Report> unknown = shards;
+    unknown[0].rows[0].name = "not-a-registry-entry";
+    EXPECT_THROW((void)merge_reports(unknown), ValidationError);
+  }
+  // Registry size mismatch: stale shard reports must be regenerated.
+  {
+    std::vector<Table1Report> stale = shards;
+    stale[2].registry_size = full.registry_size + 1;
+    EXPECT_THROW((void)merge_reports(stale), ValidationError);
+  }
+  EXPECT_THROW((void)merge_reports({}), ValidationError);
+}
+
+TEST(Report, FormatShowsPaperColumnsAndErrors) {
+  Table1Report report = synthetic_full_report();
+  report.rows[0].ok = false;
+  report.rows[0].error = "CapacityError: segment blew the event budget";
+  const std::string table = format_table1(report);
+  EXPECT_NE(table.find("paperTot"), std::string::npos);
+  EXPECT_NE(table.find("papLit"), std::string::npos);
+  EXPECT_NE(table.find("CapacityError"), std::string::npos);
+  EXPECT_NE(table.find("failures 1"), std::string::npos);
+  // Every registry entry has a row, failed or not.
+  for (const auto& bench : table1()) {
+    EXPECT_NE(table.find(bench.name), std::string::npos) << bench.name;
+  }
+}
+
+}  // namespace
+}  // namespace punt::benchmarks

@@ -8,8 +8,14 @@
 //   punt bench list                list the Table-1 registry
 //   punt bench dump <name>         print a registry entry as .g text
 //   punt bench run [--jobs=N] [--method=...] [--arch=...]
-//                                  synthesise the whole registry through the
-//                                  batch pipeline, Table-1-style report
+//                  [--shard=i/n] [--report=json]
+//                                  synthesise the registry (or one shard of
+//                                  it) through the batch pipeline; Table-1
+//                                  table with paper columns, or JSON
+//   punt bench merge <report.json...>
+//                                  combine per-shard JSON reports into the
+//                                  full Table-1 table, verifying that the
+//                                  shards cover the registry exactly once
 //
 // Exit status: 0 on success, 1 on usage errors, 2 when the specification is
 // not implementable (with a diagnostic on stderr).
@@ -23,7 +29,9 @@
 #include <vector>
 
 #include "src/benchmarks/registry.hpp"
+#include "src/benchmarks/report.hpp"
 #include "src/core/csc_resolve.hpp"
+#include "src/core/model_cache.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
 #include "src/netlist/netlist.hpp"
@@ -47,7 +55,10 @@ int usage() {
                "  punt resolve <file.g>\n"
                "  punt bench list | punt bench dump <name>\n"
                "  punt bench run [--jobs=N] [--method=...] [--arch=...]\n"
-               "(--jobs: worker threads; 0 = one per hardware thread)\n");
+               "                 [--shard=i/n] [--report=json]\n"
+               "  punt bench merge <report.json...>\n"
+               "(--jobs: worker threads; 0 = one per hardware thread)\n"
+               "(--shard=i/n: registry entries at positions p with p %% n == i)\n");
   return 1;
 }
 
@@ -131,16 +142,24 @@ int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
 
 int cmd_check(const std::string& path) {
   const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
-  const punt::unf::Unfolding unfolding = punt::unf::Unfolding::build(stg);
+  // One ModelCache shared between the criteria checks and the CSC synthesis
+  // run below: the unfolding segment is built exactly once (the seed built
+  // it twice — once for the checks, once inside synthesize()).
+  punt::core::ModelCache cache;
+  punt::core::SynthesisOptions options;
+  options.throw_on_csc = false;
+  // Persistency is reported below, not thrown, so the check prints a full
+  // verdict for non-semi-modular STGs too.
+  options.check_persistency = false;
+  const auto model = cache.lookup_or_build(stg, options);
+  const punt::unf::Unfolding& unfolding = *model->unfolding;
   std::printf("consistent state assignment : yes (segment built)\n");
   std::printf("bounded / safe              : yes (%zu events, %zu conditions)\n",
               unfolding.stats().events, unfolding.stats().conditions);
   const auto persistency = punt::unf::segment_persistency_violations(unfolding);
   std::printf("output persistency          : %s\n",
               persistency.empty() ? "yes" : persistency.front().describe(unfolding).c_str());
-  punt::core::SynthesisOptions options;
-  options.throw_on_csc = false;
-  const auto result = punt::core::synthesize(stg, options);
+  const auto result = punt::core::synthesize(stg, options, &cache);
   bool csc_ok = true;
   for (const auto& impl : result.signals) {
     if (impl.csc_conflict) {
@@ -150,6 +169,10 @@ int cmd_check(const std::string& path) {
     }
   }
   if (csc_ok) std::printf("complete state coding       : yes\n");
+  const punt::core::ModelCacheStats stats = cache.stats();
+  std::printf("semantic model              : built once, reused %zu time(s) "
+              "(%.0f%% cache hit rate)\n",
+              stats.hits, stats.hit_rate() * 100.0);
   return csc_ok && persistency.empty() ? 0 : 2;
 }
 
@@ -177,45 +200,81 @@ int cmd_bench_run(const std::vector<std::string>& args) {
   // Benchmarks with genuine CSC conflicts should report, not abort the run.
   batch_options.synthesis.throw_on_csc = false;
 
+  punt::benchmarks::Shard shard;
+  bool json = false;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--shard=", 0) == 0) {
+      shard = punt::benchmarks::parse_shard(arg.substr(8));
+    } else if (arg == "--report=json") {
+      json = true;
+    } else if (arg.rfind("--report=", 0) == 0) {
+      throw punt::Error("invalid --report value '" + arg.substr(9) +
+                        "'; the only supported report format is 'json'");
+    }
+  }
+
   const auto& registry = punt::benchmarks::table1();
+  const std::vector<std::size_t> positions =
+      punt::benchmarks::shard_positions(shard, registry.size());
   std::vector<punt::stg::Stg> stgs;
-  stgs.reserve(registry.size());
-  for (const auto& bench : registry) stgs.push_back(bench.make());
+  stgs.reserve(positions.size());
+  for (const std::size_t p : positions) stgs.push_back(registry[p].make());
 
   const punt::core::BatchResult batch = punt::core::synthesize_batch(stgs, batch_options);
+  const punt::benchmarks::Table1Report report = punt::benchmarks::make_report(shard, batch);
 
-  std::printf("# Table-1 registry through the batch pipeline, %zu job(s)\n\n",
-              batch.jobs);
-  std::printf("%-24s %4s | %8s %8s %8s %8s %6s | %s\n", "benchmark", "sigs",
-              "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt", "status");
-  std::printf("%.*s\n", 96,
-              "-----------------------------------------------------------------"
-              "-------------------------------");
-  for (std::size_t i = 0; i < registry.size(); ++i) {
-    const auto& entry = batch.entries[i];
-    if (!entry.ok) {
-      std::printf("%-24s %4zu | %s\n", registry[i].name.c_str(), registry[i].signals,
-                  entry.error.c_str());
-      continue;
-    }
-    const auto& result = entry.result;
-    std::printf("%-24s %4zu | %8.3f %8.3f %8.3f %8.3f %6zu | %s\n",
-                registry[i].name.c_str(), registry[i].signals, result.unfold_seconds,
-                result.derive_seconds, result.minimize_seconds, result.total_seconds,
-                result.literal_count(),
-                result.exact_fallbacks > 0 ? "ok (exact fallback)" : "ok");
+  if (json) {
+    std::printf("%s", punt::benchmarks::to_json(report).c_str());
+    return report.failures() == 0 ? 0 : 2;
   }
-  std::printf("%.*s\n", 96,
-              "-----------------------------------------------------------------"
-              "-------------------------------");
-  std::printf("%-24s %4s | total literals %zu, failures %zu, wall %.3fs\n", "Total",
-              "", batch.literal_count(), batch.failures, batch.wall_seconds);
-  return batch.failures == 0 ? 0 : 2;
+  if (shard.count > 1) {
+    std::printf("# Table-1 registry shard %zu/%zu (%zu of %zu entries), %zu job(s)\n\n",
+                shard.index, shard.count, report.rows.size(), registry.size(), batch.jobs);
+  } else {
+    std::printf("# Table-1 registry through the batch pipeline, %zu job(s)\n\n",
+                batch.jobs);
+  }
+  std::printf("%s", punt::benchmarks::format_table1(report).c_str());
+  std::printf("(paperTot/papLit: the 1997 paper's TotTim and literal count)\n");
+  std::printf("wall %.3fs across %zu entr%s\n", batch.wall_seconds, report.rows.size(),
+              report.rows.size() == 1 ? "y" : "ies");
+  return report.failures() == 0 ? 0 : 2;
+}
+
+int cmd_bench_merge(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: punt bench merge <report.json...>\n");
+    return 1;
+  }
+  std::vector<punt::benchmarks::Table1Report> shards;
+  shards.reserve(args.size());
+  for (const std::string& path : args) {
+    try {
+      shards.push_back(punt::benchmarks::report_from_json(read_file(path)));
+    } catch (const punt::Error& e) {
+      throw punt::Error("cannot read shard report '" + path + "': " + e.what());
+    }
+  }
+  const punt::benchmarks::Table1Report merged = punt::benchmarks::merge_reports(shards);
+
+  std::printf("# Table-1 registry merged from %zu shard report(s)\n\n", shards.size());
+  std::printf("%s", punt::benchmarks::format_table1(merged).c_str());
+  std::printf("(paperTot/papLit: the 1997 paper's TotTim and literal count)\n");
+  std::printf("slowest shard wall %.3fs\n", merged.wall_seconds);
+  if (merged.failures() > 0) {
+    std::fprintf(stderr, "error: %zu registry entr%s failed; see the rows above\n",
+                 merged.failures(), merged.failures() == 1 ? "y" : "ies");
+    return 2;
+  }
+  return 0;
 }
 
 int cmd_bench(const std::vector<std::string>& args) {
   if (!args.empty() && args[0] == "run") {
     return cmd_bench_run({args.begin() + 1, args.end()});
+  }
+  if (!args.empty() && args[0] == "merge") {
+    return cmd_bench_merge({args.begin() + 1, args.end()});
   }
   if (!args.empty() && args[0] == "list") {
     for (const auto& bench : punt::benchmarks::table1()) {
