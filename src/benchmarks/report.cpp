@@ -316,6 +316,76 @@ std::vector<std::size_t> shard_positions(const Shard& shard, std::size_t registr
   return positions;
 }
 
+std::vector<std::size_t> weighted_shard_positions(const Shard& shard,
+                                                  const Table1Report& weights) {
+  const auto& registry = table1();
+  if (weights.registry_size != registry.size()) {
+    throw ValidationError(
+        "weighted_shard_positions: the weights report covers a registry of " +
+        std::to_string(weights.registry_size) + " entries but this build has " +
+        std::to_string(registry.size()) + "; regenerate it with `punt bench run`");
+  }
+
+  // Per-position TotTim from the report, matched by benchmark name.  Failed
+  // rows weigh zero (their TotTim is meaningless); every registry entry must
+  // be covered and every row must be known — the same exactly-once contract
+  // `punt bench merge` enforces.
+  std::vector<double> weight(registry.size(), -1.0);
+  for (const Table1Row& row : weights.rows) {
+    std::size_t position = registry.size();
+    for (std::size_t p = 0; p < registry.size(); ++p) {
+      if (registry[p].name == row.name) {
+        position = p;
+        break;
+      }
+    }
+    if (position == registry.size()) {
+      throw ValidationError("weighted_shard_positions: the weights report names "
+                            "unknown benchmark '" + row.name + "'");
+    }
+    if (weight[position] >= 0) {
+      throw ValidationError("weighted_shard_positions: the weights report lists '" +
+                            row.name + "' twice; merge the shards into one report first");
+    }
+    weight[position] = row.ok ? row.total_seconds : 0.0;
+  }
+  std::string missing;
+  for (std::size_t p = 0; p < registry.size(); ++p) {
+    if (weight[p] < 0) {
+      if (!missing.empty()) missing += ", ";
+      missing += registry[p].name;
+    }
+  }
+  if (!missing.empty()) {
+    throw ValidationError(
+        "weighted_shard_positions: the weights report has no row for: " + missing +
+        "; use a merged report that covers the whole registry");
+  }
+
+  // Greedy longest-processing-time: heaviest entry first (ties on position,
+  // so the order is total), onto the least-loaded shard (ties on index).
+  // Both tie-breaks make the assignment a pure function of the weights, so
+  // the n shard invocations partition the registry exactly once.
+  std::vector<std::size_t> order(registry.size());
+  for (std::size_t p = 0; p < registry.size(); ++p) order[p] = p;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (weight[a] != weight[b]) return weight[a] > weight[b];
+    return a < b;
+  });
+  std::vector<double> load(shard.count, 0.0);
+  std::vector<std::size_t> positions;
+  for (const std::size_t p : order) {
+    std::size_t lightest = 0;
+    for (std::size_t s = 1; s < shard.count; ++s) {
+      if (load[s] < load[lightest]) lightest = s;
+    }
+    load[lightest] += weight[p];
+    if (lightest == shard.index) positions.push_back(p);
+  }
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
 // --- Report construction ------------------------------------------------------
 
 std::size_t Table1Report::failures() const {
@@ -335,13 +405,24 @@ std::size_t Table1Report::literal_count() const {
 }
 
 Table1Report make_report(const Shard& shard, const core::BatchResult& batch) {
+  return make_report(shard, shard_positions(shard, table1().size()), batch);
+}
+
+Table1Report make_report(const Shard& shard, const std::vector<std::size_t>& positions,
+                         const core::BatchResult& batch) {
   const auto& registry = table1();
-  const std::vector<std::size_t> positions = shard_positions(shard, registry.size());
   if (batch.entries.size() != positions.size()) {
     throw ValidationError("make_report: batch has " + std::to_string(batch.entries.size()) +
                           " entries but shard " + std::to_string(shard.index) + "/" +
                           std::to_string(shard.count) + " selects " +
                           std::to_string(positions.size()) + " registry entries");
+  }
+  for (const std::size_t p : positions) {
+    if (p >= registry.size()) {
+      throw ValidationError("make_report: position " + std::to_string(p) +
+                            " is outside the registry of " +
+                            std::to_string(registry.size()) + " entries");
+    }
   }
 
   Table1Report report;

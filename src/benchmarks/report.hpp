@@ -67,10 +67,30 @@ struct Table1Report {
   std::size_t literal_count() const; // sum over ok rows
 };
 
+/// Cost-aware partition (`punt bench run --weights=<report.json>`): assigns
+/// registry positions to `shard.count` shards by greedy longest-processing-
+/// time over per-entry TotTim from `weights` (a prior — typically merged —
+/// report), so skewed suites balance shard wall-clock instead of entry
+/// counts.  Deterministic: entries are placed heaviest-first (ties on
+/// position) onto the least-loaded shard (ties on index), so the n shard
+/// invocations with the same weights file cover the registry exactly once —
+/// `punt bench merge` keeps enforcing that.  Failed rows weigh zero.
+/// Returns the positions of `shard.index`, ascending.  Throws
+/// ValidationError when `weights` does not cover the current registry
+/// (missing entry, unknown benchmark, stale registry size).
+std::vector<std::size_t> weighted_shard_positions(const Shard& shard,
+                                                  const Table1Report& weights);
+
 /// Builds the report for a batch run over the registry entries of `shard`
 /// (batch entry k corresponds to the k-th shard position).  Throws
 /// ValidationError when the batch size does not match the shard.
 Table1Report make_report(const Shard& shard, const core::BatchResult& batch);
+
+/// Same, for an explicit position list (the weighted partition): batch
+/// entry k corresponds to positions[k].  Throws ValidationError on a size
+/// mismatch or an out-of-range position.
+Table1Report make_report(const Shard& shard, const std::vector<std::size_t>& positions,
+                         const core::BatchResult& batch);
 
 /// The human Table-1 table: header, one line per row (error text for failed
 /// rows), separator and a Total line.  Shared by `punt bench run`,

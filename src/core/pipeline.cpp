@@ -1,8 +1,8 @@
 #include "src/core/pipeline.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <exception>
-#include <future>
+#include <unordered_map>
 #include <utility>
 
 #include "src/core/approx.hpp"
@@ -22,6 +22,15 @@ Cover tidy(Cover cover) {
   cover.make_irredundant_scc();
   return cover;
 }
+
+/// Dispatch priorities: among simultaneously-ready nodes, models go first
+/// (distinct keys ahead of in-batch repeats), then derive ahead of minimize
+/// so the graph widens before it deepens; assembly last.
+constexpr int kPriorityModel = 0;
+constexpr int kPriorityModelRepeat = 1;
+constexpr int kPriorityDerive = 2;
+constexpr int kPriorityMinimize = 3;
+constexpr int kPriorityAssembly = 4;
 
 }  // namespace
 
@@ -102,6 +111,7 @@ std::shared_ptr<const SemanticModel> SemanticModel::build(
 PipelineContext PipelineContext::build(const stg::Stg& stg,
                                        const SynthesisOptions& options,
                                        ModelCache* cache) {
+  Stopwatch resolve;
   PipelineContext context;
   context.options = options;
   if (cache != nullptr) {
@@ -111,15 +121,16 @@ PipelineContext PipelineContext::build(const stg::Stg& stg,
   } else {
     context.model = SemanticModel::build(stg, options);
   }
+  context.model_seconds = resolve.seconds();
   return context;
 }
 
-// --- Stage 2: one signal through phases 2–3 ----------------------------------
+// --- Phase 2: one signal's covers (DeriveTask) --------------------------------
 
-void DerivationTask::run(const PipelineContext& context) {
+void DeriveTask::run(const PipelineContext& context) {
   if (!context.model) {
     throw ValidationError(
-        "DerivationTask::run called on a PipelineContext without a model");
+        "DeriveTask::run called on a PipelineContext without a model");
   }
   const SemanticModel& model = *context.model;
   const stg::Stg& stg = model.stg;
@@ -131,12 +142,10 @@ void DerivationTask::run(const PipelineContext& context) {
   impl.signal = s;
   impl.name = stg.signal_name(s);
 
-  // Phase 2: derive correct on/off covers (this signal's share of SynTim).
+  // Derive correct on/off covers (this signal's share of SynTim).
   // CPU time, not wall time: summed task times must measure work even when
-  // the scheduler oversubscribes the machine.
+  // the executor oversubscribes the machine.
   ThreadCpuStopwatch phase;
-  Cover er_on{0};   // excitation-region covers for the latch architectures
-  Cover er_off{0};
   switch (options.method) {
     case Method::StateGraph: {
       impl.on_cover = sg::on_cover(*model.sgraph, s);
@@ -213,10 +222,16 @@ void DerivationTask::run(const PipelineContext& context) {
     }
   }
   derive_seconds = phase.seconds();
-  if (impl.csc_conflict) return;  // no correct gate exists; covers reported
+}
 
-  // Phase 3: minimise and assemble the architecture (this signal's EspTim).
-  phase.restart();
+// --- Phase 3: one signal's minimisation (MinimizeTask) ------------------------
+
+void MinimizeTask::run(const PipelineContext& context, DeriveTask& derive) {
+  SignalImplementation& impl = derive.impl;
+  if (impl.csc_conflict) return;  // no correct gate exists; covers reported
+  const SynthesisOptions& options = context.options;
+
+  ThreadCpuStopwatch phase;
   if (options.architecture == Architecture::ComplexGate) {
     if (options.minimize) {
       logic::MinimizeStats stats_on;
@@ -240,9 +255,9 @@ void DerivationTask::run(const PipelineContext& context) {
   } else {
     if (options.minimize) {
       logic::MinimizeStats stats_set;
-      impl.set_function = logic::espresso(er_on, impl.off_cover, &stats_set);
+      impl.set_function = logic::espresso(derive.er_on, impl.off_cover, &stats_set);
       logic::MinimizeStats stats_reset;
-      impl.reset_function = logic::espresso(er_off, impl.on_cover, &stats_reset);
+      impl.reset_function = logic::espresso(derive.er_off, impl.on_cover, &stats_reset);
       // Aggregate *every* field across the set and reset runs; the seed
       // summed only the literal counts and silently kept set-phase values
       // for the rest.
@@ -253,91 +268,30 @@ void DerivationTask::run(const PipelineContext& context) {
       impl.min_stats.final_literals += stats_reset.final_literals;
       impl.min_stats.iterations += stats_reset.iterations;
     } else {
-      impl.set_function = tidy(er_on);
-      impl.reset_function = tidy(er_off);
+      impl.set_function = tidy(derive.er_on);
+      impl.reset_function = tidy(derive.er_off);
     }
   }
   minimize_seconds = phase.seconds();
 }
 
-// --- Scheduler ---------------------------------------------------------------
+// --- Executor -----------------------------------------------------------------
 
-Scheduler::Scheduler(std::size_t jobs)
+Executor::Executor(std::size_t jobs)
     : jobs_(jobs == 0 ? util::ThreadPool::hardware_default() : jobs) {}
 
-Scheduler::~Scheduler() = default;
+Executor::~Executor() = default;
 
-void Scheduler::run(std::size_t count, const std::function<void(std::size_t)>& fn) {
-  if (jobs_ <= 1 || count <= 1) {
-    // In-order execution: the first exception IS the lowest-index one, so
-    // fail fast instead of paying for the remaining tasks.
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+void Executor::run(util::TaskGraph& graph) {
+  if (jobs_ <= 1) {
+    graph.execute_inline();
     return;
   }
-  // Every slot is written by exactly one task; exceptions are collected and
-  // the lowest-index one rethrown so the parallel run reports the same
-  // failure the sequential loop above would.
-  std::vector<std::exception_ptr> errors(count);
-  {
-    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs_);
-    std::atomic<std::size_t> next{0};
-    const std::size_t lanes = std::min(jobs_, count);
-    std::vector<std::future<void>> futures;
-    futures.reserve(lanes);
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      futures.push_back(pool_->submit([&] {
-        for (std::size_t i; (i = next.fetch_add(1)) < count;) {
-          try {
-            fn(i);
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
-        }
-      }));
-    }
-    for (std::future<void>& future : futures) future.get();
-  }
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+  graph.execute(*pool_);
 }
 
-// --- Stage 3: fan-out + deterministic assembly -------------------------------
-
-SynthesisResult run_pipeline(const PipelineContext& context, Scheduler& scheduler) {
-  if (!context.model) {
-    throw ValidationError("run_pipeline called on a PipelineContext without a model");
-  }
-  const SemanticModel& model = *context.model;
-  std::vector<DerivationTask> tasks(model.targets.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) tasks[i].signal = model.targets[i];
-  scheduler.run(tasks.size(), [&](std::size_t i) { tasks[i].run(context); });
-
-  SynthesisResult result;
-  result.method = context.options.method;
-  result.architecture = context.options.architecture;
-  // UnfTim always reports the model's (one-time) construction cost, even
-  // when this run got the model from a cache.  total_seconds is this run's
-  // wall clock: it covers the build when the run paid for it (cache miss,
-  // or no cache — matching the paper's TotTim) and not when a cache hit
-  // skipped it — the saving the cache exists to deliver.
-  result.unfold_seconds = model.build_seconds;
-  result.unfold_stats = model.unfold_stats;
-  result.sg_states = model.sg_states;
-  result.signals.reserve(tasks.size());
-  for (DerivationTask& task : tasks) {
-    result.refinement_iterations += task.refinement_iterations;
-    result.exact_fallbacks += task.exact_fallbacks;
-    result.derive_seconds += task.derive_seconds;
-    result.minimize_seconds += task.minimize_seconds;
-    result.signals.push_back(std::move(task.impl));
-  }
-  result.rebuild_signal_index();
-  result.total_seconds = context.total.seconds();
-  return result;
-}
-
-// --- Batch front end ---------------------------------------------------------
+// --- Graph emission + batch front end -----------------------------------------
 
 std::size_t BatchResult::literal_count() const {
   std::size_t n = 0;
@@ -347,33 +301,189 @@ std::size_t BatchResult::literal_count() const {
   return n;
 }
 
+namespace {
+
+/// The per-entry state the graph nodes write into.  Slots are preallocated
+/// before execution (one derive/minimize pair per target signal — targets
+/// are a property of the STG alone, so they are known before the model is
+/// built) and must not move while the graph runs.
+struct EntryPlan {
+  const stg::Stg* stg = nullptr;
+  PipelineContext context;             // filled by the model node
+  std::vector<DeriveTask> derive;      // one slot per target signal
+  std::vector<MinimizeTask> minimize;  // parallel to `derive`
+  SynthesisResult result;              // filled by the assembly node
+
+  util::TaskGraph::NodeId model_node = 0;
+  std::vector<util::TaskGraph::NodeId> derive_nodes;
+  std::vector<util::TaskGraph::NodeId> minimize_nodes;
+  util::TaskGraph::NodeId assembly_node = 0;
+  /// For an in-batch key repeat: the first builder's model node.  When that
+  /// build fails, this entry's whole cone is cancelled and the primary's
+  /// exception is the diagnostic (identical text — the build is
+  /// deterministic — so repeats report what their own build would have).
+  bool has_primary = false;
+  util::TaskGraph::NodeId primary_model_node = 0;
+};
+
+/// Emits one entry's nodes: model → per-signal derive → per-signal minimize
+/// → assembly.  `model_dep` chains an in-batch key repeat behind the first
+/// builder's model node (distinct-key-first scheduling).
+void emit_entry(util::TaskGraph& graph, EntryPlan& plan,
+                const SynthesisOptions& options, ModelCache* cache,
+                bool repeat_key, std::vector<util::TaskGraph::NodeId> model_deps) {
+  const stg::Stg& stg = *plan.stg;
+  const std::string name = stg.name();
+  const std::vector<stg::SignalId> targets = stg.non_input_signals();
+
+  plan.derive.resize(targets.size());
+  plan.minimize.resize(targets.size());
+  plan.derive_nodes.reserve(targets.size());
+  plan.minimize_nodes.reserve(targets.size());
+  for (std::size_t k = 0; k < targets.size(); ++k) plan.derive[k].signal = targets[k];
+
+  plan.model_node = graph.add(
+      "model", name, repeat_key ? kPriorityModelRepeat : kPriorityModel,
+      std::move(model_deps), [&plan, &stg, options, cache] {
+        plan.context = PipelineContext::build(stg, options, cache);
+      });
+
+  std::vector<util::TaskGraph::NodeId> assembly_deps;
+  assembly_deps.reserve(targets.size() + 1);
+  assembly_deps.push_back(plan.model_node);
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    const std::string signal_label = name + "/" + stg.signal_name(targets[k]);
+    DeriveTask& derive = plan.derive[k];
+    MinimizeTask& minimize = plan.minimize[k];
+    const auto derive_node =
+        graph.add("derive", signal_label, kPriorityDerive, {plan.model_node},
+                  [&plan, &derive] { derive.run(plan.context); });
+    const auto minimize_node =
+        graph.add("minimize", signal_label, kPriorityMinimize, {derive_node},
+                  [&plan, &derive, &minimize] { minimize.run(plan.context, derive); });
+    plan.derive_nodes.push_back(derive_node);
+    plan.minimize_nodes.push_back(minimize_node);
+    assembly_deps.push_back(minimize_node);
+  }
+
+  plan.assembly_node =
+      graph.add("assembly", name, kPriorityAssembly, std::move(assembly_deps), [&plan] {
+        const SemanticModel& model = *plan.context.model;
+        SynthesisResult& result = plan.result;
+        result.method = plan.context.options.method;
+        result.architecture = plan.context.options.architecture;
+        // UnfTim always reports the model's (one-time) construction cost,
+        // even when this entry got the model from a cache.
+        result.unfold_seconds = model.build_seconds;
+        result.unfold_stats = model.unfold_stats;
+        result.sg_states = model.sg_states;
+        result.signals.reserve(plan.derive.size());
+        for (std::size_t k = 0; k < plan.derive.size(); ++k) {
+          DeriveTask& derive = plan.derive[k];
+          result.refinement_iterations += derive.refinement_iterations;
+          result.exact_fallbacks += derive.exact_fallbacks;
+          result.derive_seconds += derive.derive_seconds;
+          result.minimize_seconds += plan.minimize[k].minimize_seconds;
+          result.signals.push_back(std::move(derive.impl));
+        }
+        result.rebuild_signal_index();
+        // TotTim is the entry's OWN work, not its span in the shared
+        // schedule: in a union graph other entries' nodes interleave with
+        // this one's, so a start-to-assembly wall clock would charge the
+        // entry for the whole batch.  Model resolution (the full build on
+        // a miss or without a cache, ~0 on a cache hit — the saving the
+        // cache exists to deliver) plus the summed per-signal task times;
+        // at jobs = 1 this is the sequential wall clock of the old loop.
+        result.total_seconds =
+            plan.context.model_seconds + result.derive_seconds + result.minimize_seconds;
+      });
+}
+
+/// The entry's verdict after the run: the exception of the lowest-index
+/// failing node (model first, then per-signal derive/minimize in ascending
+/// target order) — the same diagnostic a sequential left-to-right loop
+/// reports — or null when the entry assembled cleanly.
+std::exception_ptr entry_failure(const util::TaskGraph& graph, const EntryPlan& plan) {
+  if (plan.has_primary &&
+      graph.status(plan.model_node) == util::TaskStatus::Cancelled) {
+    return graph.error(plan.primary_model_node);
+  }
+  if (auto error = graph.error(plan.model_node)) return error;
+  for (std::size_t k = 0; k < plan.derive_nodes.size(); ++k) {
+    if (auto error = graph.error(plan.derive_nodes[k])) return error;
+    if (auto error = graph.error(plan.minimize_nodes[k])) return error;
+  }
+  return graph.error(plan.assembly_node);
+}
+
+}  // namespace
+
 BatchResult synthesize_batch(std::span<const stg::Stg> stgs,
                              const BatchOptions& options) {
   Stopwatch wall;
-  Scheduler scheduler(options.jobs);
+  Executor executor(options.jobs);
   BatchResult batch;
-  batch.jobs = scheduler.jobs();
+  batch.jobs = executor.jobs();
   batch.entries.resize(stgs.size());
 
-  SynthesisOptions per_entry = options.synthesis;
-  per_entry.jobs = 1;  // entry-level parallelism only; see BatchOptions
+  // The union graph: every entry's nodes over one executor, so signals of
+  // different STGs interleave freely.
+  util::TaskGraph graph;
+  std::vector<EntryPlan> plans(stgs.size());
 
-  scheduler.run(stgs.size(), [&](std::size_t i) {
-    BatchEntry& entry = batch.entries[i];
-    try {
-      PipelineContext context =
-          PipelineContext::build(stgs[i], per_entry, options.cache);
-      Scheduler inline_scheduler(1);
-      entry.result = run_pipeline(context, inline_scheduler);
-      entry.ok = true;
-    } catch (const std::exception& e) {
-      entry.error = e.what();
+  // With a cache, the first entry of each (STG, model options) key builds
+  // the model and in-batch repeats depend on that build: duplicate entries
+  // resolve as completed-entry hits instead of parking a worker on an
+  // in-flight future, and distinct keys reach the workers first.
+  std::unordered_map<std::string, util::TaskGraph::NodeId> first_by_key;
+  for (std::size_t i = 0; i < stgs.size(); ++i) {
+    plans[i].stg = &stgs[i];
+    bool repeat_key = false;
+    std::vector<util::TaskGraph::NodeId> model_deps;
+    if (options.cache != nullptr) {
+      const std::string key = ModelCache::key_of(stgs[i], options.synthesis);
+      const auto [it, inserted] = first_by_key.try_emplace(key, 0);
+      if (!inserted) {
+        repeat_key = true;
+        model_deps.push_back(it->second);
+        plans[i].has_primary = true;
+        plans[i].primary_model_node = it->second;
+      }
+      emit_entry(graph, plans[i], options.synthesis, options.cache, repeat_key,
+                 std::move(model_deps));
+      if (inserted) it->second = plans[i].model_node;
+    } else {
+      emit_entry(graph, plans[i], options.synthesis, options.cache, false, {});
     }
-  });
-
-  for (const BatchEntry& entry : batch.entries) {
-    if (!entry.ok) ++batch.failures;
   }
+
+  executor.run(graph);
+
+  for (std::size_t i = 0; i < stgs.size(); ++i) {
+    BatchEntry& entry = batch.entries[i];
+    if (auto failure = entry_failure(graph, plans[i])) {
+      entry.exception = failure;
+      try {
+        std::rethrow_exception(failure);
+      } catch (const std::exception& e) {
+        entry.error = e.what();
+      } catch (...) {
+        entry.error = "unknown exception";
+      }
+      ++batch.failures;
+    } else if (graph.status(plans[i].assembly_node) == util::TaskStatus::Done) {
+      entry.result = std::move(plans[i].result);
+      entry.ok = true;
+    } else {
+      // Defensive: an unassembled entry without a recorded failure would be
+      // an executor bug; report it rather than hand back an empty result.
+      entry.error = "internal error: entry '" + stgs[i].name() +
+                    "' was cancelled without a recorded failure";
+      ++batch.failures;
+    }
+  }
+  batch.critical_path_seconds = graph.trace().critical_path_seconds();
+  if (options.trace != nullptr) *options.trace = graph.trace();
   batch.wall_seconds = wall.seconds();
   return batch;
 }

@@ -1,30 +1,35 @@
-// The staged synthesis pipeline.
+// The staged synthesis pipeline, as a dependency-aware task graph.
 //
-// The monolithic synthesize() of the seed is decomposed into three explicit
-// stages (DESIGN.md §7):
+// The monolithic synthesize() of the seed is decomposed into explicit
+// stages (DESIGN.md §7), and the stages are emitted as *graph nodes*
+// (util::TaskGraph) instead of a flat index loop:
 //
 //   1. SemanticModel::build — the shared semantic model: STG validation,
 //      unfolding segment or state graph, general implementability checks.
-//      Built once, immutable afterwards, and held by shared_ptr so any
-//      number of synthesis runs (and the ModelCache, DESIGN.md §8) can
-//      share one model concurrently.
-//   2. DerivationTask::run — everything one signal needs (cover derivation,
-//      refinement, exact fallback, CSC check, espresso, architecture
-//      assembly).  Tasks touch only the immutable model and their own
-//      slot, so the Scheduler may run any number of them concurrently.
-//   3. Assembly — results are collected *in target-signal order* and the
-//      per-task timings are summed, so output and reported work are
-//      bit-identical whatever the job count.
+//      One model node per distinct (STG, model options) pair; entries that
+//      repeat an in-batch key depend on the first builder's node, so a
+//      parameter sweep never parks workers behind one in-flight build.
+//   2. DeriveTask::run — phase 2 for one signal: cover derivation (per
+//      method), refinement, exact fallback and the CSC check.
+//   3. MinimizeTask::run — phase 3 for one signal: espresso and the
+//      architecture assembly.  Separately schedulable from phase 2, so an
+//      expensive signal's espresso no longer blocks its siblings' covers.
+//   4. Assembly — a per-entry node that collects the slots *in
+//      target-signal order* and sums the per-task timings, so output and
+//      reported work are bit-identical whatever the worker count.
 //
-// synthesize() (synthesis.hpp) is now a thin wrapper over these stages;
-// synthesize_batch() pushes whole workloads (e.g. the Table-1 registry)
-// through the same Scheduler, parallelising across STGs instead of across
-// signals.  Both accept an optional ModelCache so repeated workloads
-// (punt check, the A1/A4 ablations, sweeps over architecture variants)
-// build each semantic model once instead of once per call.
+// synthesize() (synthesis.hpp) is a one-entry batch; synthesize_batch()
+// builds the union graph of every entry over ONE Executor, letting signals
+// of different STGs interleave freely — on registries where a few signals
+// dominate, that shortens the critical path that the per-entry loop could
+// not.  Failure stays per entry: a failed node cancels its *downstream*
+// nodes only, and the diagnostic that surfaces is the one of the
+// lowest-index failing signal, exactly what a sequential left-to-right loop
+// would have reported.
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <span>
@@ -35,6 +40,7 @@
 #include "src/sg/state_graph.hpp"
 #include "src/unfolding/unfolding.hpp"
 #include "src/util/stopwatch.hpp"
+#include "src/util/task_graph.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace punt::core {
@@ -69,9 +75,9 @@ struct ModelOptions {
 };
 
 /// Stage 1 output: the immutable semantic model shared (read-only) by every
-/// DerivationTask — of one synthesis run, or of *many* runs when the model
-/// is handed out by a ModelCache.  It owns a copy of the source STG so a
-/// cached model never dangles when the caller's STG dies.
+/// derive/minimize node — of one synthesis run, or of *many* runs when the
+/// model is handed out by a ModelCache.  It owns a copy of the source STG so
+/// a cached model never dangles when the caller's STG dies.
 struct SemanticModel {
   stg::Stg stg;  // owned copy; signal/transition ids match the source STG
   ModelOptions options;
@@ -96,7 +102,10 @@ struct SemanticModel {
 struct PipelineContext {
   std::shared_ptr<const SemanticModel> model;
   SynthesisOptions options;
-  Stopwatch total;              // runs from the start of build()
+  /// Wall-clock this run spent *resolving* its model: the full build on a
+  /// cache miss (or without a cache), near zero on a cache hit.  The run's
+  /// share of TotTim — NOT the model's build_seconds, which a hit reuses.
+  double model_seconds = 0;
   bool model_from_cache = false;
 
   /// Resolves the model — through `cache` when given (lookup-or-build),
@@ -105,68 +114,83 @@ struct PipelineContext {
                                ModelCache* cache = nullptr);
 };
 
-/// Stage 2: one signal's derivation through phases 2–3.  The task reads the
-/// shared context and writes only its own members, making tasks trivially
-/// safe to run concurrently.
-struct DerivationTask {
+/// Phase 2 for one signal: cover derivation, refinement, exact fallback and
+/// the CSC check.  The task reads the shared context and writes only its own
+/// slot, making derive nodes trivially safe to run concurrently; the
+/// excitation-region covers it leaves behind are the inputs MinimizeTask
+/// consumes for the latch architectures.
+struct DeriveTask {
   stg::SignalId signal;  // input; everything below is output of run()
 
-  SignalImplementation impl;
+  SignalImplementation impl;  // covers + flags; gate functions added by phase 3
+  logic::Cover er_on;         // excitation-region covers (latch archs only)
+  logic::Cover er_off;
   std::size_t refinement_iterations = 0;
   std::size_t exact_fallbacks = 0;
-  double derive_seconds = 0;    // this task's share of SynTim
-  double minimize_seconds = 0;  // this task's share of EspTim
+  double derive_seconds = 0;  // this task's share of SynTim
 
   /// Throws CscError (when options.throw_on_csc) or ValidationError exactly
   /// as the seed's sequential loop did for this signal.
   void run(const PipelineContext& context);
 };
 
-/// Runs indexed tasks across a worker pool with deterministic failure
-/// semantics: the exception of the *lowest* failing index is the one that
-/// propagates, so callers observe the same error a sequential left-to-right
-/// loop would, at any job count.  Inline runs (jobs == 1) fail fast on the
-/// first error; pool runs let every index finish, then rethrow.
-class Scheduler {
+/// Phase 3 for one signal: espresso and architecture assembly, completing
+/// the SignalImplementation that `derive` started.  Scheduled as its own
+/// graph node, dependent on that signal's derive node only — so one
+/// expensive minimisation cannot serialise behind an unrelated derivation.
+struct MinimizeTask {
+  double minimize_seconds = 0;  // this task's share of EspTim
+
+  /// No-op when the derive phase recorded a CSC conflict (no correct gate
+  /// exists; the covers stay reported).
+  void run(const PipelineContext& context, DeriveTask& derive);
+};
+
+/// Worker-count policy plus the (lazily created) pool that task graphs run
+/// on.  Replaces the flat index Scheduler: instead of `run(count, fn)` over
+/// independent indices, callers emit a TaskGraph and hand it here.
+class Executor {
  public:
   /// `jobs`: 1 = inline on the calling thread (no pool); 0 = one worker per
   /// hardware thread; otherwise that many workers.
-  explicit Scheduler(std::size_t jobs = 1);
-  ~Scheduler();
+  explicit Executor(std::size_t jobs = 1);
+  ~Executor();
 
-  Scheduler(const Scheduler&) = delete;
-  Scheduler& operator=(const Scheduler&) = delete;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
 
   std::size_t jobs() const { return jobs_; }
 
-  /// Invokes fn(0) … fn(count-1), inline or across the pool.
-  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// Executes `graph` to completion: inline in deterministic (priority, id)
+  /// order when jobs() == 1, otherwise across the shared worker pool.
+  /// Node failures are captured in the graph, never thrown from here.
+  void run(util::TaskGraph& graph);
 
  private:
   std::size_t jobs_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;  // created on first parallel run
 };
 
-/// Stages 2–3 for every target signal of `context`, then assembly.  The
-/// result (covers, literal counts, signal order, flags) is bit-identical for
-/// every scheduler width; only wall-clock time varies.
-SynthesisResult run_pipeline(const PipelineContext& context, Scheduler& scheduler);
-
 // --- Batch front end ---------------------------------------------------------
 
 struct BatchOptions {
-  /// Per-entry synthesis configuration.  Its `jobs` field is ignored: the
-  /// batch parallelises across STGs (one task per entry, signals inline),
-  /// which avoids nested blocking on one pool and keeps every entry's
-  /// timing breakdown sequential-comparable.
+  /// Per-entry synthesis configuration.  Its `jobs` field is ignored — the
+  /// batch graph schedules model/derive/minimize nodes of *all* entries
+  /// over the one executor below, so intra-entry parallelism comes free.
   SynthesisOptions synthesis;
-  /// Worker threads across entries; 1 = inline, 0 = hardware default.
+  /// Worker threads across the union graph; 1 = inline, 0 = hardware default.
   std::size_t jobs = 1;
   /// Optional shared model cache.  Entries of one batch — and successive
   /// batches over the same STGs (the A4 architecture sweep) — then share
-  /// one SemanticModel per distinct (STG, model options) pair; concurrent
-  /// entries racing on the same key build it exactly once.  Not owned.
+  /// one SemanticModel per distinct (STG, model options) pair.  Within a
+  /// batch, repeats of one key *depend on* the first builder's node instead
+  /// of racing it: distinct keys get built first and duplicate entries
+  /// resolve as completed-entry cache hits, never as in-flight joins that
+  /// park a worker.  Not owned.
   ModelCache* cache = nullptr;
+  /// When set, receives the executed schedule (node timings, workers,
+  /// critical path) — what `--trace-schedule` serialises.  Not owned.
+  util::TaskTrace* trace = nullptr;
 };
 
 /// One input STG's outcome.  Failures (CSC conflicts, capacity blowups, …)
@@ -175,19 +199,25 @@ struct BatchEntry {
   bool ok = false;
   SynthesisResult result;  // meaningful only when ok
   std::string error;       // exception text when !ok
+  /// The exception behind `error` — of the entry's lowest-index failing
+  /// node, so the diagnostic is identical at every worker count.  Lets
+  /// single-entry callers (synthesize()) rethrow the original type.
+  std::exception_ptr exception;
 };
 
 struct BatchResult {
   std::vector<BatchEntry> entries;  // same order as the input span
   std::size_t jobs = 1;             // resolved worker count actually used
   double wall_seconds = 0;          // whole-batch wall-clock time
+  double critical_path_seconds = 0; // longest dependency chain of the run
   std::size_t failures = 0;
 
   /// Sum of literal counts over the successful entries.
   std::size_t literal_count() const;
 };
 
-/// Synthesises every STG of `stgs` through one shared Scheduler.
+/// Synthesises every STG of `stgs` through one union task graph on one
+/// Executor.  Results are bit-identical at any job count.
 BatchResult synthesize_batch(std::span<const stg::Stg> stgs,
                              const BatchOptions& options = {});
 

@@ -1,5 +1,8 @@
 #include "src/core/synthesis.hpp"
 
+#include <span>
+#include <utility>
+
 #include "src/core/pipeline.hpp"
 #include "src/util/error.hpp"
 
@@ -58,10 +61,24 @@ const SignalImplementation& SynthesisResult::implementation(stg::SignalId signal
 }
 
 SynthesisResult synthesize(const stg::Stg& stg, const SynthesisOptions& options,
-                           ModelCache* cache) {
-  PipelineContext context = PipelineContext::build(stg, options, cache);
-  Scheduler scheduler(options.jobs);
-  return run_pipeline(context, scheduler);
+                           ModelCache* cache, util::TaskTrace* trace) {
+  // A one-entry batch: the same graph emission and executor as
+  // synthesize_batch, with the per-signal derive/minimize nodes spread over
+  // options.jobs workers.  The entry's failure — captured as the
+  // lowest-index failing node's exception — is rethrown with its original
+  // type, so callers observe exactly what the sequential loop would throw.
+  BatchOptions batch_options;
+  batch_options.synthesis = options;
+  batch_options.jobs = options.jobs;
+  batch_options.cache = cache;
+  batch_options.trace = trace;
+  BatchResult batch = synthesize_batch(std::span<const stg::Stg>(&stg, 1), batch_options);
+  BatchEntry& entry = batch.entries.front();
+  if (!entry.ok) {
+    if (entry.exception) std::rethrow_exception(entry.exception);
+    throw ValidationError(entry.error);
+  }
+  return std::move(entry.result);
 }
 
 }  // namespace punt::core

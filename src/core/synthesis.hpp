@@ -29,6 +29,10 @@
 #include "src/stg/stg.hpp"
 #include "src/unfolding/unfolding.hpp"
 
+namespace punt::util {
+struct TaskTrace;  // task_graph.hpp
+}
+
 namespace punt::core {
 
 enum class Method { UnfoldingApprox, UnfoldingExact, StateGraph };
@@ -92,12 +96,16 @@ struct SynthesisResult {
   Architecture architecture = Architecture::ComplexGate;
   std::vector<SignalImplementation> signals;
 
-  // The paper's Table 1 time breakdown, in seconds.  unfold_seconds and
-  // total_seconds are wall-clock; derive_seconds and minimize_seconds are the
-  // *sum of per-signal task CPU times*, so they measure aggregate work and
-  // stay meaningful when the pipeline runs with jobs > 1 (preemption under
-  // oversubscription is not counted).  With jobs = 1 the two views coincide,
-  // matching the paper's sequential SynTim / EspTim columns.
+  // The paper's Table 1 time breakdown, in seconds.  unfold_seconds is the
+  // model's wall-clock construction cost; derive_seconds and
+  // minimize_seconds are the *sum of per-signal task CPU times*, so they
+  // measure aggregate work and stay meaningful when the executor runs the
+  // nodes concurrently (preemption under oversubscription is not counted).
+  // total_seconds is this run's own work — model resolution wall-clock
+  // (near zero on a ModelCache hit) plus the summed task times — NOT the
+  // run's span in a shared batch schedule, where other entries' nodes
+  // interleave.  With jobs = 1 and no cache it is the sequential wall
+  // clock, matching the paper's TotTim column.
   double unfold_seconds = 0;    // UnfTim (SG construction time for StateGraph)
   double derive_seconds = 0;    // SynTim: cover derivation + refinement
   double minimize_seconds = 0;  // EspTim
@@ -125,15 +133,21 @@ struct SynthesisResult {
 
 class ModelCache;  // model_cache.hpp
 
-/// Synthesises every output/internal signal of `stg`.  Throws
+/// Synthesises every output/internal signal of `stg` through the task-graph
+/// executor (one model node, then separately schedulable derive and
+/// minimize nodes per signal — DESIGN.md §7).  Throws
 /// ImplementabilityError for inconsistent/non-persistent STGs, CapacityError
-/// on blown budgets, CscError on coding conflicts (when throw_on_csc).
+/// on blown budgets, CscError on coding conflicts (when throw_on_csc); with
+/// options.jobs > 1 the exception that surfaces is the one of the
+/// lowest-index failing signal, exactly what the sequential run reports.
 /// When `cache` is given, the phase-1 semantic model is resolved through it
 /// (lookup-or-build), so repeated calls over the same STG — or calls that
 /// differ only in derivation options such as the architecture — skip model
 /// construction entirely.  Results are byte-identical with and without a
-/// cache (the model is immutable either way).
+/// cache (the model is immutable either way).  When `trace` is given it
+/// receives the executed schedule (`punt synth --trace-schedule`).
 SynthesisResult synthesize(const stg::Stg& stg, const SynthesisOptions& options = {},
-                           ModelCache* cache = nullptr);
+                           ModelCache* cache = nullptr,
+                           util::TaskTrace* trace = nullptr);
 
 }  // namespace punt::core

@@ -1,15 +1,23 @@
 #include "src/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace punt::util {
+namespace {
+
+/// -1 on every thread the pool did not create; workers overwrite it with
+/// their index for the lifetime of worker_loop().
+thread_local int current_worker = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t thread_count) {
   const std::size_t n = std::max<std::size_t>(1, thread_count);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
   }
 }
 
@@ -22,25 +30,34 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
+void ThreadPool::post(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(packaged));
+    queue_.push_back(std::move(task));
   }
   wake_.notify_one();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  // shared_ptr because std::function requires copyable callables; the
+  // packaged_task itself is move-only.
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  post([packaged] { (*packaged)(); });
   return future;
 }
+
+int ThreadPool::current_worker_index() { return current_worker; }
 
 std::size_t ThreadPool::hardware_default() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_index) {
+  current_worker = worker_index;
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -48,7 +65,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // exceptions land in the task's future
+    task();  // post() contract: must not throw (submit wraps in packaged_task)
   }
 }
 

@@ -1,11 +1,18 @@
 // A fixed-size worker pool over std::thread.
 //
-// The pool exists to run the synthesis pipeline's per-signal and per-STG
-// derivation tasks (src/core/pipeline.hpp); it is deliberately minimal:
-// submit() hands back a std::future<void> whose get() rethrows anything the
-// task threw, and the destructor drains the queue before joining.  Tasks
-// must not submit further tasks into the same pool and then block on them —
-// the pipeline avoids nesting for exactly that reason.
+// The pool runs the synthesis task graph (src/util/task_graph.hpp): graph
+// nodes are enqueued with post() as their dependencies complete, so a
+// dependent task is never *submitted* before it can run and no worker ever
+// parks on a future.  Tasks may freely post (or submit) further tasks into
+// the same pool — enqueueing never blocks — which is what the task graph's
+// continuation scheduling relies on.  The one remaining restriction is the
+// obvious one: a task must not *block* on work that needs a worker of the
+// same pool (that can deadlock a fully loaded pool); the task graph never
+// does, it reschedules continuations instead of waiting.
+//
+// submit() is the future-returning convenience used by tests and one-shot
+// callers; post() is the zero-overhead path the task graph uses.  The
+// destructor drains the queue before joining.
 #pragma once
 
 #include <condition_variable>
@@ -24,7 +31,7 @@ class ThreadPool {
   /// Spawns `thread_count` workers; at least one worker is always created.
   explicit ThreadPool(std::size_t thread_count);
 
-  /// Joins the workers after finishing every task already submitted.
+  /// Joins the workers after finishing every task already enqueued.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,19 +39,29 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Enqueues `task` fire-and-forget.  The task must not throw — there is
+  /// no future to carry the exception, so a throw would terminate the
+  /// worker (the task graph catches everything inside the node body).
+  void post(std::function<void()> task);
+
   /// Enqueues `task`; the returned future completes when the task ran and
   /// rethrows from get() whatever the task threw.
   std::future<void> submit(std::function<void()> task);
+
+  /// Index of the pool worker running the calling thread (0-based), or -1
+  /// when the caller is not a pool worker.  Used by the schedule trace to
+  /// attribute nodes to workers.
+  static int current_worker_index();
 
   /// The concurrency to use when the caller asked for "auto" (jobs = 0):
   /// std::thread::hardware_concurrency(), or 1 when that is unknown.
   static std::size_t hardware_default();
 
  private:
-  void worker_loop();
+  void worker_loop(int worker_index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;

@@ -1,6 +1,8 @@
-// Tests for the staged synthesis pipeline: determinism across job counts,
-// the batch front end, the Scheduler's error semantics, the signal index,
-// and the set/reset MinimizeStats aggregation.
+// Tests for the task-graph synthesis pipeline: determinism across job
+// counts (results AND failure diagnostics), the batch front end on mixed
+// success/failure workloads, per-entry cancellation after a CSC failure,
+// distinct-key-first model scheduling, the signal index, and the set/reset
+// MinimizeStats aggregation.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -11,10 +13,12 @@
 #include <vector>
 
 #include "src/benchmarks/registry.hpp"
+#include "src/core/model_cache.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
 #include "src/stg/generators.hpp"
 #include "src/util/error.hpp"
+#include "src/util/task_graph.hpp"
 
 namespace punt::core {
 namespace {
@@ -57,11 +61,14 @@ TEST(Pipeline, EveryRegistryEntryIsDeterministicAcrossJobCounts) {
     const Stg stg = bench.make();
     SynthesisOptions serial;
     serial.jobs = 1;
-    SynthesisOptions parallel;
-    parallel.jobs = 8;
-    const SynthesisResult a = synthesize(stg, serial);
-    const SynthesisResult b = synthesize(stg, parallel);
-    expect_identical(a, b, bench.name);
+    const SynthesisResult reference = synthesize(stg, serial);
+    for (const std::size_t jobs : {2u, 8u}) {
+      SynthesisOptions parallel;
+      parallel.jobs = jobs;
+      const SynthesisResult result = synthesize(stg, parallel);
+      expect_identical(reference, result,
+                       bench.name + " (jobs=" + std::to_string(jobs) + ")");
+    }
   }
 }
 
@@ -93,6 +100,49 @@ TEST(Pipeline, BatchMatchesPerStgSynthesisAtEveryJobCount) {
   }
 }
 
+TEST(Pipeline, MixedBatchKeepsResultsAndErrorTextIdenticalAcrossJobCounts) {
+  // The full registry plus failing entries interleaved — a CSC conflict
+  // (throw_on_csc) mid-batch and a duplicate of it at the end.  Results AND
+  // per-entry error text must be byte-identical at jobs ∈ {1, 2, 8}: the
+  // failure diagnostic is the lowest-index failing signal's, whatever
+  // worker count ran the graph.
+  const auto& registry = benchmarks::table1();
+  std::vector<Stg> stgs;
+  stgs.push_back(stg::make_vme_bus());  // known CSC conflict
+  for (const auto& bench : registry) stgs.push_back(bench.make());
+  stgs.push_back(stg::make_vme_bus());
+
+  BatchOptions options;
+  options.synthesis.throw_on_csc = true;
+  options.jobs = 1;
+  const BatchResult reference = synthesize_batch(stgs, options);
+  ASSERT_EQ(reference.entries.size(), registry.size() + 2);
+  EXPECT_EQ(reference.failures, 2u);
+  EXPECT_FALSE(reference.entries.front().ok);
+  EXPECT_NE(reference.entries.front().error.find("Complete State Coding"),
+            std::string::npos);
+  EXPECT_FALSE(reference.entries.back().ok);
+  EXPECT_EQ(reference.entries.front().error, reference.entries.back().error);
+
+  for (const std::size_t jobs : {2u, 8u}) {
+    BatchOptions parallel = options;
+    parallel.jobs = jobs;
+    const BatchResult batch = synthesize_batch(stgs, parallel);
+    ASSERT_EQ(batch.entries.size(), reference.entries.size());
+    EXPECT_EQ(batch.failures, reference.failures);
+    for (std::size_t i = 0; i < reference.entries.size(); ++i) {
+      const std::string label =
+          "entry " + std::to_string(i) + " jobs=" + std::to_string(jobs);
+      ASSERT_EQ(batch.entries[i].ok, reference.entries[i].ok) << label;
+      if (reference.entries[i].ok) {
+        expect_identical(reference.entries[i].result, batch.entries[i].result, label);
+      } else {
+        EXPECT_EQ(batch.entries[i].error, reference.entries[i].error) << label;
+      }
+    }
+  }
+}
+
 TEST(Pipeline, ParallelCscFailureMatchesSequentialDiagnostic) {
   const Stg stg = stg::make_vme_bus();  // known CSC conflict
   std::string sequential_message;
@@ -110,43 +160,129 @@ TEST(Pipeline, ParallelCscFailureMatchesSequentialDiagnostic) {
     synthesize(stg, parallel);
     FAIL() << "expected CscError";
   } catch (const CscError& e) {
-    // The lowest-index failure is rethrown, so the parallel run reports the
-    // same signal as the sequential left-to-right loop.
+    // The lowest-index failure is the one that surfaces, so the parallel
+    // run reports the same signal as the sequential left-to-right loop.
     EXPECT_EQ(sequential_message, std::string(e.what()));
   }
 }
 
-TEST(Scheduler, RunsEveryIndexAndRethrowsLowestFailure) {
-  Scheduler scheduler(4);
-  EXPECT_EQ(scheduler.jobs(), 4u);
-  std::atomic<int> ran{0};
+TEST(Pipeline, CscFailureCancelsTheSignalsDownstreamNodes) {
+  // After a derive node fails with CscError, that signal's minimize node
+  // and the entry's assembly node must be Cancelled — not run — while the
+  // sibling signals' nodes still execute.  Observable in the trace.
+  const Stg stg = stg::make_vme_bus();
+  SynthesisOptions options;
+  options.jobs = 2;
+  util::TaskTrace trace;
   try {
-    scheduler.run(20, [&ran](std::size_t i) {
-      ran.fetch_add(1);
-      if (i == 7 || i == 13) {
-        throw std::runtime_error("task " + std::to_string(i) + " failed");
-      }
-    });
-    FAIL() << "expected an exception";
-  } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "task 7 failed");
+    synthesize(stg, options, nullptr, &trace);
+    FAIL() << "expected CscError";
+  } catch (const CscError&) {
   }
-  EXPECT_EQ(ran.load(), 20);  // failures do not cancel the remaining tasks
+  ASSERT_FALSE(trace.nodes.empty());
+
+  std::size_t failed_derives = 0, cancelled_minimizes = 0, done_nodes = 0;
+  bool assembly_cancelled = false;
+  for (const util::TraceNode& node : trace.nodes) {
+    if (node.status == util::TaskStatus::Done) ++done_nodes;
+    if (node.kind == "derive" && node.status == util::TaskStatus::Failed) {
+      ++failed_derives;
+      // The failed signal's minimize node depends on it and must be
+      // cancelled, never run.
+      for (const util::TraceNode& dependent : trace.nodes) {
+        if (dependent.kind == "minimize" &&
+            std::find(dependent.deps.begin(), dependent.deps.end(), node.id) !=
+                dependent.deps.end()) {
+          ++cancelled_minimizes;
+          EXPECT_EQ(dependent.status, util::TaskStatus::Cancelled)
+              << "minimize of failed signal " << node.label << " ran";
+          EXPECT_EQ(dependent.worker, -1);
+        }
+      }
+    }
+    if (node.kind == "assembly") {
+      assembly_cancelled = node.status == util::TaskStatus::Cancelled;
+    }
+  }
+  EXPECT_GE(failed_derives, 1u);
+  EXPECT_EQ(cancelled_minimizes, failed_derives);
+  EXPECT_TRUE(assembly_cancelled) << "assembly of a failed entry must not run";
+  EXPECT_GT(done_nodes, 0u) << "sibling signals' nodes still execute";
 }
 
-TEST(Scheduler, InlineModeMatchesPoolSemantics) {
-  Scheduler scheduler(1);
-  std::vector<int> order;
-  scheduler.run(5, [&order](std::size_t i) { order.push_back(static_cast<int>(i)); });
-  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
-  try {
-    scheduler.run(3, [](std::size_t i) {
-      if (i != 1) throw std::runtime_error("task " + std::to_string(i) + " failed");
-    });
-    FAIL() << "expected an exception";
-  } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "task 0 failed");
+TEST(Pipeline, RepeatedKeyEntriesScheduleBehindOneModelBuild) {
+  // A batch repeating one STG through a cache must build the model once;
+  // every duplicate resolves as a *completed* hit (credited to
+  // saved_seconds — an in-flight join is not), and the trace shows each
+  // repeat's model node starting after the primary build ended.
+  constexpr std::size_t kRepeats = 6;
+  std::vector<Stg> stgs(kRepeats, stg::make_paper_fig1());
+  ModelCache cache;
+  util::TaskTrace trace;
+  BatchOptions options;
+  options.jobs = 4;
+  options.cache = &cache;
+  options.trace = &trace;
+  const BatchResult batch = synthesize_batch(stgs, options);
+  ASSERT_EQ(batch.failures, 0u);
+  for (std::size_t i = 1; i < kRepeats; ++i) {
+    expect_identical(batch.entries[0].result, batch.entries[i].result,
+                     "repeat " + std::to_string(i));
   }
+
+  const ModelCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kRepeats - 1);
+  EXPECT_GT(stats.saved_seconds, 0.0) << "duplicates joined an in-flight build "
+                                         "instead of scheduling behind it";
+
+  std::vector<const util::TraceNode*> model_nodes;
+  for (const util::TraceNode& node : trace.nodes) {
+    if (node.kind == "model") model_nodes.push_back(&node);
+  }
+  ASSERT_EQ(model_nodes.size(), kRepeats);
+  // Exactly one primary (no deps, dispatch priority 0); every repeat
+  // depends on it and starts after it ended.
+  const util::TraceNode* primary = model_nodes.front();
+  EXPECT_TRUE(primary->deps.empty());
+  for (std::size_t i = 1; i < model_nodes.size(); ++i) {
+    const util::TraceNode* repeat = model_nodes[i];
+    ASSERT_EQ(repeat->deps.size(), 1u);
+    EXPECT_EQ(repeat->deps.front(), primary->id);
+    EXPECT_GT(repeat->priority, primary->priority);
+    EXPECT_GE(repeat->wall_start, primary->wall_end);
+  }
+}
+
+TEST(Pipeline, BatchWithoutCacheBuildsEachModelIndependently) {
+  // No cache → no cross-entry coupling: every model node is a root.
+  std::vector<Stg> stgs(3, stg::make_paper_fig1());
+  util::TaskTrace trace;
+  BatchOptions options;
+  options.jobs = 2;
+  options.trace = &trace;
+  const BatchResult batch = synthesize_batch(stgs, options);
+  EXPECT_EQ(batch.failures, 0u);
+  std::size_t root_models = 0;
+  for (const util::TraceNode& node : trace.nodes) {
+    if (node.kind == "model") {
+      EXPECT_TRUE(node.deps.empty());
+      ++root_models;
+    }
+  }
+  EXPECT_EQ(root_models, 3u);
+}
+
+TEST(Pipeline, BatchReportsCriticalPath) {
+  std::vector<Stg> stgs;
+  stgs.push_back(stg::make_paper_fig1());
+  stgs.push_back(stg::make_muller_pipeline(3));
+  BatchOptions options;
+  options.jobs = 2;
+  const BatchResult batch = synthesize_batch(stgs, options);
+  EXPECT_EQ(batch.failures, 0u);
+  EXPECT_GT(batch.critical_path_seconds, 0.0);
+  EXPECT_LE(batch.critical_path_seconds, batch.wall_seconds + 1e-6);
 }
 
 TEST(Pipeline, ImplementationLookupIsIndexedAndDiagnosesMisses) {
@@ -211,6 +347,9 @@ TEST(Pipeline, BatchCapturesPerEntryFailures) {
   EXPECT_EQ(batch.failures, 1u);
   EXPECT_EQ(batch.literal_count(), batch.entries[0].result.literal_count() +
                                        batch.entries[2].result.literal_count());
+  // The typed exception rides along for single-entry callers.
+  ASSERT_NE(batch.entries[1].exception, nullptr);
+  EXPECT_THROW(std::rethrow_exception(batch.entries[1].exception), CscError);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // step's exact-coverage validation (overlap / missing / unknown rows).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -246,6 +247,133 @@ TEST(Report, MergeRejectsOverlapMissingAndUnknownRows) {
     EXPECT_THROW((void)merge_reports(stale), ValidationError);
   }
   EXPECT_THROW((void)merge_reports({}), ValidationError);
+}
+
+TEST(Report, WeightedShardsPartitionTheRegistryExactly) {
+  // Whatever the weight profile, the n weighted shard runs must cover the
+  // registry exactly once — the contract `punt bench merge` enforces.
+  Table1Report weights = synthetic_full_report();
+  weights.rows[4].ok = false;  // failed rows weigh zero, they still partition
+  weights.rows[4].error = "CSC conflict";
+  const std::size_t registry_size = table1().size();
+  for (const std::size_t count : {1u, 2u, 3u, 4u, 7u}) {
+    std::set<std::size_t> seen;
+    for (std::size_t index = 0; index < count; ++index) {
+      const std::vector<std::size_t> positions =
+          weighted_shard_positions(Shard{index, count}, weights);
+      EXPECT_TRUE(std::is_sorted(positions.begin(), positions.end()));
+      for (const std::size_t p : positions) {
+        EXPECT_LT(p, registry_size);
+        EXPECT_TRUE(seen.insert(p).second)
+            << "position " << p << " appears in two weighted shards of " << count;
+      }
+    }
+    EXPECT_EQ(seen.size(), registry_size)
+        << "weighted shards of " << count << " miss entries";
+  }
+}
+
+TEST(Report, WeightedShardsBalanceSkewedCosts) {
+  // One entry dominating the suite: LPT puts it alone on a shard while the
+  // positional rule would pair it with a quarter of the registry.  With
+  // per-entry TotTim of (position 0 → 100s, rest → 1s) and 4 shards, the
+  // heaviest shard carries 100s and the others ≈ (n-1)/3 s each.
+  Table1Report weights = synthetic_full_report();
+  for (std::size_t p = 0; p < weights.rows.size(); ++p) {
+    weights.rows[p].total_seconds = p == 0 ? 100.0 : 1.0;
+  }
+  const std::size_t count = 4;
+  double max_load = 0;
+  std::vector<std::size_t> heavy_shard_positions;
+  for (std::size_t index = 0; index < count; ++index) {
+    const std::vector<std::size_t> positions =
+        weighted_shard_positions(Shard{index, count}, weights);
+    double load = 0;
+    for (const std::size_t p : positions) load += weights.rows[p].total_seconds;
+    max_load = std::max(max_load, load);
+    if (std::find(positions.begin(), positions.end(), 0u) != positions.end()) {
+      heavy_shard_positions = positions;
+    }
+  }
+  // The dominant entry sits alone on its shard, and no shard's load exceeds
+  // the dominant entry's own weight (the LPT optimum here).
+  ASSERT_EQ(heavy_shard_positions, std::vector<std::size_t>{0});
+  EXPECT_DOUBLE_EQ(max_load, 100.0);
+}
+
+TEST(Report, WeightedShardsAreDeterministicUnderUniformWeights) {
+  // All-equal weights exercise both tie-breaks (weight ties → position
+  // order; load ties → lowest shard index).  Two invocations must agree,
+  // and the assignment must be a pure function of the report.
+  Table1Report weights = synthetic_full_report();
+  for (Table1Row& row : weights.rows) row.total_seconds = 2.0;
+  for (std::size_t index = 0; index < 3; ++index) {
+    const auto a = weighted_shard_positions(Shard{index, 3}, weights);
+    const auto b = weighted_shard_positions(Shard{index, 3}, weights);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+  }
+}
+
+TEST(Report, WeightedShardsRejectIncompleteWeights) {
+  // Missing registry entry.
+  {
+    Table1Report weights = synthetic_full_report();
+    weights.rows.erase(weights.rows.begin() + 2);
+    try {
+      (void)weighted_shard_positions(Shard{0, 4}, weights);
+      FAIL() << "expected ValidationError for a missing row";
+    } catch (const ValidationError& e) {
+      EXPECT_NE(std::string(e.what()).find("no row for"), std::string::npos) << e.what();
+    }
+  }
+  // Unknown benchmark name.
+  {
+    Table1Report weights = synthetic_full_report();
+    weights.rows[1].name = "not-a-registry-entry";
+    EXPECT_THROW((void)weighted_shard_positions(Shard{0, 4}, weights), ValidationError);
+  }
+  // Stale registry size.
+  {
+    Table1Report weights = synthetic_full_report();
+    weights.registry_size += 1;
+    EXPECT_THROW((void)weighted_shard_positions(Shard{0, 4}, weights), ValidationError);
+  }
+  // Duplicate rows (e.g. a hand-concatenated report): ambiguous weights
+  // must be rejected, not resolved by whichever row comes last.
+  {
+    Table1Report weights = synthetic_full_report();
+    weights.rows.push_back(weights.rows[3]);
+    try {
+      (void)weighted_shard_positions(Shard{0, 4}, weights);
+      FAIL() << "expected ValidationError for a duplicate row";
+    } catch (const ValidationError& e) {
+      EXPECT_NE(std::string(e.what()).find("twice"), std::string::npos) << e.what();
+    }
+  }
+}
+
+TEST(Report, MakeReportAcceptsExplicitWeightedPositions) {
+  // Run a real (tiny) weighted shard end to end: build the batch for the
+  // positions LPT assigns to shard 1/7 and attribute rows through the
+  // explicit-positions overload.
+  Table1Report weights = synthetic_full_report();
+  const Shard shard{1, 7};
+  const std::vector<std::size_t> positions = weighted_shard_positions(shard, weights);
+  ASSERT_FALSE(positions.empty());
+  const auto& registry = table1();
+  std::vector<punt::stg::Stg> stgs;
+  for (const std::size_t p : positions) stgs.push_back(registry[p].make());
+  core::BatchOptions options;
+  options.synthesis.throw_on_csc = false;
+  const core::BatchResult batch = core::synthesize_batch(stgs, options);
+  const Table1Report report = make_report(shard, positions, batch);
+  ASSERT_EQ(report.rows.size(), positions.size());
+  for (std::size_t k = 0; k < positions.size(); ++k) {
+    EXPECT_EQ(report.rows[k].name, registry[positions[k]].name);
+  }
+  // Out-of-range positions are rejected.
+  EXPECT_THROW((void)make_report(shard, {registry.size()}, batch), ValidationError);
 }
 
 TEST(Report, FormatShowsPaperColumnsAndErrors) {

@@ -71,5 +71,54 @@ TEST(ThreadPool, HardwareDefaultIsPositive) {
   EXPECT_GE(ThreadPool::hardware_default(), 1u);
 }
 
+TEST(ThreadPool, PostRunsFireAndForgetTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.post([&completed] { completed.fetch_add(1); });
+    }
+  }  // destructor drains post()ed tasks too
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPool, TasksMayPostContinuationsIntoTheSamePool) {
+  // The continuation scheduling the task graph relies on: a worker enqueues
+  // follow-up work without blocking.  Three chained generations must all
+  // run before the pool is destroyed.
+  std::atomic<int> generations{0};
+  {
+    ThreadPool pool(2);
+    std::promise<void> done;
+    pool.post([&pool, &generations, &done] {
+      generations.fetch_add(1);
+      pool.post([&pool, &generations, &done] {
+        generations.fetch_add(1);
+        pool.post([&generations, &done] {
+          generations.fetch_add(1);
+          done.set_value();
+        });
+      });
+    });
+    done.get_future().get();  // the caller may block; workers never do
+  }
+  EXPECT_EQ(generations.load(), 3);
+}
+
+TEST(ThreadPool, WorkerIndexIsVisibleInsideTasksOnly) {
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1);  // not a pool thread
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  std::atomic<int> bad{0};
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&bad] {
+      const int worker = ThreadPool::current_worker_index();
+      if (worker < 0 || worker >= 2) bad.fetch_add(1);
+    }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(bad.load(), 0);
+}
+
 }  // namespace
 }  // namespace punt::util

@@ -2,16 +2,23 @@
 //
 //   punt synth <file.g> [--method=approx|exact|sg] [--arch=acg|c|rs]
 //              [--eqn] [--verilog] [--dot] [--unfolding-dot] [--no-minimize]
-//              [--jobs=N]
+//              [--jobs=N] [--trace-schedule=<file>]
 //   punt check <file.g>            verify the general correctness criteria
 //   punt resolve <file.g>          repair CSC conflicts by signal insertion
 //   punt bench list                list the Table-1 registry
 //   punt bench dump <name>         print a registry entry as .g text
 //   punt bench run [--jobs=N] [--method=...] [--arch=...]
-//                  [--shard=i/n] [--report=json]
+//                  [--shard=i/n] [--weights=<report.json>] [--report=json]
+//                  [--trace-schedule=<file>]
 //                                  synthesise the registry (or one shard of
-//                                  it) through the batch pipeline; Table-1
-//                                  table with paper columns, or JSON
+//                                  it) through the task-graph executor;
+//                                  Table-1 table with paper columns, or JSON.
+//                                  --weights partitions the shards by
+//                                  measured per-entry cost (greedy LPT over
+//                                  TotTim from a prior merged report);
+//                                  --trace-schedule dumps the executed graph
+//                                  (nodes, workers, timings) as JSON and
+//                                  prints the critical-path summary
 //   punt bench merge <report.json...>
 //                                  combine per-shard JSON reports into the
 //                                  full Table-1 table, verifying that the
@@ -42,6 +49,7 @@
 #include "src/unfolding/dot.hpp"
 #include "src/unfolding/unfolding.hpp"
 #include "src/util/error.hpp"
+#include "src/util/task_graph.hpp"
 
 namespace {
 
@@ -50,15 +58,19 @@ int usage() {
                "usage:\n"
                "  punt synth <file.g> [--method=approx|exact|sg] [--arch=acg|c|rs]\n"
                "             [--eqn] [--verilog] [--dot] [--unfolding-dot]\n"
-               "             [--no-minimize] [--jobs=N]\n"
+               "             [--no-minimize] [--jobs=N] [--trace-schedule=<file>]\n"
                "  punt check <file.g>\n"
                "  punt resolve <file.g>\n"
                "  punt bench list | punt bench dump <name>\n"
                "  punt bench run [--jobs=N] [--method=...] [--arch=...]\n"
-               "                 [--shard=i/n] [--report=json]\n"
+               "                 [--shard=i/n] [--weights=<report.json>]\n"
+               "                 [--report=json] [--trace-schedule=<file>]\n"
                "  punt bench merge <report.json...>\n"
                "(--jobs: worker threads; 0 = one per hardware thread)\n"
-               "(--shard=i/n: registry entries at positions p with p %% n == i)\n");
+               "(--shard=i/n: registry entries at positions p with p %% n == i,\n"
+               " or balanced by measured per-entry TotTim with --weights)\n"
+               "(--trace-schedule: write the executed task graph as JSON and\n"
+               " print its critical-path summary to stderr)\n");
   return 1;
 }
 
@@ -116,10 +128,40 @@ bool has_flag(const std::vector<std::string>& args, const char* flag) {
   return false;
 }
 
+/// The payload of `--trace-schedule=<file>`, or empty when absent.
+std::string trace_schedule_path(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--trace-schedule=", 0) == 0) {
+      const std::string path = arg.substr(17);
+      if (path.empty()) {
+        throw punt::Error("--trace-schedule needs a file path "
+                          "(e.g. --trace-schedule=schedule.json)");
+      }
+      return path;
+    }
+  }
+  return std::string();
+}
+
+/// Writes the executed schedule as JSON and prints the critical-path summary
+/// to stderr (stderr so `--report=json` output stays parseable).
+void dump_trace(const punt::util::TaskTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw punt::Error("cannot write schedule trace to '" + path + "'");
+  out << trace.to_json();
+  if (!out) throw punt::Error("failed while writing schedule trace to '" + path + "'");
+  std::fprintf(stderr, "%s", trace.summary().c_str());
+  std::fprintf(stderr, "schedule trace written to %s\n", path.c_str());
+}
+
 int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
   const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
   const punt::core::SynthesisOptions options = parse_options(args);
-  const punt::core::SynthesisResult result = punt::core::synthesize(stg, options);
+  const std::string trace_path = trace_schedule_path(args);
+  punt::util::TaskTrace trace;
+  const punt::core::SynthesisResult result = punt::core::synthesize(
+      stg, options, nullptr, trace_path.empty() ? nullptr : &trace);
+  if (!trace_path.empty()) dump_trace(trace, trace_path);
   const punt::net::Netlist netlist = punt::net::Netlist::from_synthesis(stg, result);
 
   std::printf("# %s: %zu signals, %zu literals\n", stg.name().c_str(),
@@ -202,6 +244,7 @@ int cmd_bench_run(const std::vector<std::string>& args) {
 
   punt::benchmarks::Shard shard;
   bool json = false;
+  std::string weights_path;
   for (const std::string& arg : args) {
     if (arg.rfind("--shard=", 0) == 0) {
       shard = punt::benchmarks::parse_shard(arg.substr(8));
@@ -210,33 +253,56 @@ int cmd_bench_run(const std::vector<std::string>& args) {
     } else if (arg.rfind("--report=", 0) == 0) {
       throw punt::Error("invalid --report value '" + arg.substr(9) +
                         "'; the only supported report format is 'json'");
+    } else if (arg.rfind("--weights=", 0) == 0) {
+      weights_path = arg.substr(10);
+      if (weights_path.empty()) {
+        throw punt::Error("--weights needs a report path "
+                          "(e.g. --weights=table1-merged.json)");
+      }
     }
   }
+  const std::string trace_path = trace_schedule_path(args);
+  punt::util::TaskTrace trace;
+  if (!trace_path.empty()) batch_options.trace = &trace;
 
   const auto& registry = punt::benchmarks::table1();
-  const std::vector<std::size_t> positions =
-      punt::benchmarks::shard_positions(shard, registry.size());
+  std::vector<std::size_t> positions;
+  if (weights_path.empty()) {
+    positions = punt::benchmarks::shard_positions(shard, registry.size());
+  } else {
+    punt::benchmarks::Table1Report weights;
+    try {
+      weights = punt::benchmarks::report_from_json(read_file(weights_path));
+    } catch (const punt::Error& e) {
+      throw punt::Error("cannot read weights report '" + weights_path + "': " + e.what());
+    }
+    positions = punt::benchmarks::weighted_shard_positions(shard, weights);
+  }
   std::vector<punt::stg::Stg> stgs;
   stgs.reserve(positions.size());
   for (const std::size_t p : positions) stgs.push_back(registry[p].make());
 
   const punt::core::BatchResult batch = punt::core::synthesize_batch(stgs, batch_options);
-  const punt::benchmarks::Table1Report report = punt::benchmarks::make_report(shard, batch);
+  const punt::benchmarks::Table1Report report =
+      punt::benchmarks::make_report(shard, positions, batch);
+  if (!trace_path.empty()) dump_trace(trace, trace_path);
 
   if (json) {
     std::printf("%s", punt::benchmarks::to_json(report).c_str());
     return report.failures() == 0 ? 0 : 2;
   }
   if (shard.count > 1) {
-    std::printf("# Table-1 registry shard %zu/%zu (%zu of %zu entries), %zu job(s)\n\n",
-                shard.index, shard.count, report.rows.size(), registry.size(), batch.jobs);
+    std::printf("# Table-1 registry shard %zu/%zu (%zu of %zu entries), %zu job(s)%s\n\n",
+                shard.index, shard.count, report.rows.size(), registry.size(), batch.jobs,
+                weights_path.empty() ? "" : ", cost-aware partition (LPT by TotTim)");
   } else {
-    std::printf("# Table-1 registry through the batch pipeline, %zu job(s)\n\n",
+    std::printf("# Table-1 registry through the task-graph executor, %zu job(s)\n\n",
                 batch.jobs);
   }
   std::printf("%s", punt::benchmarks::format_table1(report).c_str());
   std::printf("(paperTot/papLit: the 1997 paper's TotTim and literal count)\n");
-  std::printf("wall %.3fs across %zu entr%s\n", batch.wall_seconds, report.rows.size(),
+  std::printf("wall %.3fs (critical path %.3fs) across %zu entr%s\n", batch.wall_seconds,
+              batch.critical_path_seconds, report.rows.size(),
               report.rows.size() == 1 ? "y" : "ies");
   return report.failures() == 0 ? 0 : 2;
 }
