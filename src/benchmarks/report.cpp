@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "src/benchmarks/registry.hpp"
 #include "src/util/error.hpp"
+#include "src/util/json.hpp"
 
 namespace punt::benchmarks {
 namespace {
@@ -37,27 +39,9 @@ std::string printf_string(const char* format, ...) {
 // The report schema needs objects, arrays, strings, numbers and booleans —
 // nothing else — so a ~100-line recursive-descent parser keeps the repo free
 // of a JSON dependency.  Errors carry the byte offset for diagnosis.
+// String escaping is the shared util::json_escape.
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += printf_string("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using util::json_escape;
 
 struct JsonValue {
   enum class Type { Null, Bool, Number, String, Array, Object };
@@ -326,11 +310,11 @@ std::vector<std::size_t> weighted_shard_positions(const Shard& shard,
         std::to_string(registry.size()) + "; regenerate it with `punt bench run`");
   }
 
-  // Per-position TotTim from the report, matched by benchmark name.  Failed
-  // rows weigh zero (their TotTim is meaningless); every registry entry must
-  // be covered and every row must be known — the same exactly-once contract
-  // `punt bench merge` enforces.
+  // Per-position TotTim from the report, matched by benchmark name.  Every
+  // registry entry must be covered and every row must be known — the same
+  // exactly-once contract `punt bench merge` enforces.
   std::vector<double> weight(registry.size(), -1.0);
+  std::vector<std::uint8_t> failed(registry.size(), 0);
   for (const Table1Row& row : weights.rows) {
     std::size_t position = registry.size();
     for (std::size_t p = 0; p < registry.size(); ++p) {
@@ -348,6 +332,7 @@ std::vector<std::size_t> weighted_shard_positions(const Shard& shard,
                             row.name + "' twice; merge the shards into one report first");
     }
     weight[position] = row.ok ? row.total_seconds : 0.0;
+    failed[position] = row.ok ? 0 : 1;
   }
   std::string missing;
   for (std::size_t p = 0; p < registry.size(); ++p) {
@@ -360,6 +345,29 @@ std::vector<std::size_t> weighted_shard_positions(const Shard& shard,
     throw ValidationError(
         "weighted_shard_positions: the weights report has no row for: " + missing +
         "; use a merged report that covers the whole registry");
+  }
+
+  // A failed row's TotTim is meaningless, but weighting it zero would pile
+  // every failed entry onto whichever shard happens to be least loaded — as
+  // "free riders" that each cost real wall-clock to (re)attempt.  Assume a
+  // failed entry costs about as much as a typical successful one: the mean
+  // successful-row weight.  The fallback must be strictly positive — with
+  // weight 0 the greedy loop below never changes any shard's load, so every
+  // zero-weight entry would chase the same tied-lightest shard; a positive
+  // equal weight makes LPT deal them out round-robin instead (the all-rows-
+  // failed degenerate case becomes an even split, not shard 0 taking all).
+  double ok_total = 0;
+  std::size_t ok_count = 0;
+  for (std::size_t p = 0; p < registry.size(); ++p) {
+    if (failed[p] == 0) {
+      ok_total += weight[p];
+      ++ok_count;
+    }
+  }
+  double fallback = ok_count == 0 ? 0.0 : ok_total / static_cast<double>(ok_count);
+  if (fallback <= 0.0) fallback = 1.0;
+  for (std::size_t p = 0; p < registry.size(); ++p) {
+    if (failed[p] != 0) weight[p] = fallback;
   }
 
   // Greedy longest-processing-time: heaviest entry first (ties on position,

@@ -74,7 +74,10 @@ struct Table1Report {
 /// counts.  Deterministic: entries are placed heaviest-first (ties on
 /// position) onto the least-loaded shard (ties on index), so the n shard
 /// invocations with the same weights file cover the registry exactly once —
-/// `punt bench merge` keeps enforcing that.  Failed rows weigh zero.
+/// `punt bench merge` keeps enforcing that.  Failed rows (whose TotTim is
+/// meaningless) weigh the mean successful-row weight, so a report with
+/// several failures spreads them across shards instead of piling them onto
+/// the least-loaded one as free riders.
 /// Returns the positions of `shard.index`, ascending.  Throws
 /// ValidationError when `weights` does not cover the current registry
 /// (missing entry, unknown benchmark, stale registry size).

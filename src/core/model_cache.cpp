@@ -2,11 +2,13 @@
 
 #include <utility>
 
+#include "src/core/model_store.hpp"
 #include "src/stg/g_format.hpp"
 
 namespace punt::core {
 
-ModelCache::ModelCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+ModelCache::ModelCache(std::size_t capacity, std::shared_ptr<ModelStore> store)
+    : capacity_(capacity == 0 ? 1 : capacity), store_(std::move(store)) {}
 
 std::string ModelCache::key_of(const stg::Stg& stg, const SynthesisOptions& options) {
   // write_g pins .init_values, so the text is a complete, canonical digest of
@@ -17,7 +19,30 @@ std::string ModelCache::key_of(const stg::Stg& stg, const SynthesisOptions& opti
 
 std::shared_ptr<const SemanticModel> ModelCache::lookup_or_build(
     const stg::Stg& stg, const SynthesisOptions& options, bool* built) {
-  const std::string key = key_of(stg, options);
+  return lookup_or_build_keyed(
+      key_of(stg, options), [&] { return SemanticModel::build(stg, options); }, built);
+}
+
+void ModelCache::evict_to_capacity_locked(const std::string* protect) {
+  // Residency counts in-flight builds too (they hold memory just as
+  // completed models do), but only completed entries can be evicted: a
+  // build in flight has waiters holding its future.  With more than
+  // `capacity` builds running at once the bound is therefore exceeded
+  // transiently — and truthfully reported via size() / stats().  `protect`
+  // pins a just-published key: when older in-flight slots occupy the whole
+  // capacity, the freshly completed model must not be the victim — evicting
+  // it would make the cache refuse to retain anything under sustained
+  // over-capacity concurrency.
+  while (slots_.size() > capacity_ && !lru_.empty()) {
+    if (protect != nullptr && lru_.back() == *protect) break;
+    slots_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const SemanticModel> ModelCache::lookup_or_build_keyed(
+    const std::string& key, const Builder& build, bool* built) {
   if (built != nullptr) *built = false;
 
   std::promise<std::shared_ptr<const SemanticModel>> promise;
@@ -46,6 +71,10 @@ std::shared_ptr<const SemanticModel> ModelCache::lookup_or_build(
       slot.future = promise.get_future().share();
       slot.lru = lru_.end();
       slots_.emplace(key, std::move(slot));
+      // The new in-flight slot occupies residency now, so make room now —
+      // waiting for publish would let N concurrent distinct-key builds grow
+      // the map unboundedly past the capacity the caller configured.
+      evict_to_capacity_locked();
     }
   }
 
@@ -58,46 +87,71 @@ std::shared_ptr<const SemanticModel> ModelCache::lookup_or_build(
     return model;
   }
 
-  // Build outside the lock: model construction is the expensive part and
-  // other keys must stay usable meanwhile.
-  if (built != nullptr) *built = true;
+  // Resolve outside the lock: disk loads and model construction are the
+  // expensive part and other keys must stay usable meanwhile.
   std::shared_ptr<const SemanticModel> model;
-  try {
-    model = SemanticModel::build(stg, options);
-  } catch (...) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.failed_builds;
-      slots_.erase(key);  // later lookups retry instead of caching the error
+  bool from_disk = false;
+  if (store_ != nullptr) {
+    model = store_->load(key);
+    from_disk = model != nullptr;
+  }
+  if (!from_disk) {
+    if (built != nullptr) *built = true;
+    try {
+      model = build();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.failed_builds;
+        slots_.erase(key);  // later lookups retry instead of caching the error
+      }
+      promise.set_exception(std::current_exception());
+      throw;
     }
-    promise.set_exception(std::current_exception());
-    throw;
   }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (from_disk) {
+      // A disk hit skips the whole phase-1 build — credit what it saved.
+      stats_.saved_seconds += model->build_seconds;
+    } else {
+      ++stats_.builds;
+    }
     Slot& slot = slots_[key];
     lru_.push_front(key);
     slot.lru = lru_.begin();
     slot.ready = true;
-    while (lru_.size() > capacity_) {
-      slots_.erase(lru_.back());
-      lru_.pop_back();
-      ++stats_.evictions;
-    }
+    evict_to_capacity_locked(&key);
   }
+  // Unblock the waiters before touching the disk: the model is usable the
+  // moment it exists, and the persist is best-effort bookkeeping (an
+  // unwritable directory just forfeits the disk tier for this model).
+  // The builder pays the write, exactly as it paid the build.
   promise.set_value(model);
+  if (!from_disk && store_ != nullptr) (void)store_->store(key, *model);
   return model;
 }
 
 ModelCacheStats ModelCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ModelCacheStats stats = stats_;
+  stats.resident = slots_.size();
+  stats.in_flight = slots_.size() - lru_.size();
+  if (store_ != nullptr) {
+    const ModelStoreStats disk = store_->stats();
+    stats.disk_hits = disk.hits;
+    stats.disk_misses = disk.misses;
+    stats.disk_load_errors = disk.load_errors;
+    stats.disk_stores = disk.stores;
+    stats.disk_store_failures = disk.store_failures;
+  }
+  return stats;
 }
 
 std::size_t ModelCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  return slots_.size();
 }
 
 void ModelCache::clear() {

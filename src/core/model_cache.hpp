@@ -12,6 +12,14 @@
 // one key build the model exactly once (the losers wait on the winner's
 // future), and an LRU bound keeps residency predictable on long sweeps.
 //
+// Two tiers.  The memory tier above is per process; an optional disk tier
+// (ModelStore, model_store.hpp) persists models under the same key, so a
+// memory miss consults the store before building — successive CLI
+// invocations and CI bench shards sharing one `--model-cache-dir` skip
+// phase 1 after the first warm run.  Disk problems of any kind (corrupt
+// file, version mismatch, unwritable directory) degrade to a rebuild,
+// never to an error.
+//
 // Keying.  The digest is the canonical `.g` serialisation of the STG
 // (stg::write_g, which pins the initial code) concatenated with
 // ModelOptions::fingerprint().  Entries are compared by the *full* key
@@ -25,6 +33,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -36,19 +45,36 @@
 
 namespace punt::core {
 
+class ModelStore;  // model_store.hpp
+
 /// Lookup statistics, folded into the timing reports of the benches.
+/// Mostly monotonic counters; `in_flight` and `resident` are gauges
+/// snapshotted when stats() is called, and the disk_* fields mirror the
+/// attached ModelStore's counters (all zero without a store).
 struct ModelCacheStats {
   /// Lookups served without building: completed-entry hits plus successful
   /// joins of an in-flight build (a join that ends in a build failure is
   /// counted by the builder's failed_builds, not as a hit).
   std::size_t hits = 0;
-  std::size_t misses = 0;         // lookups that had to build
+  std::size_t misses = 0;         // lookups that had to leave the memory tier
+  std::size_t builds = 0;         // models actually constructed (memory AND
+                                  // disk both missed); phase-1 rebuilds
   std::size_t evictions = 0;      // completed entries dropped by the LRU bound
   std::size_t failed_builds = 0;  // builds that threw (slot removed, retried)
-  /// Sum of build_seconds over completed-entry hits: the wall-clock model
-  /// construction the cache saved its callers.  Joins of an in-flight build
-  /// are not credited — the joiner waits the build out rather than skips it.
+  std::size_t in_flight = 0;      // gauge: builds running right now
+  std::size_t resident = 0;       // gauge: slots held (ready + in-flight)
+  /// Sum of build_seconds over completed-entry hits and disk hits: the
+  /// wall-clock model construction the cache saved its callers.  Joins of an
+  /// in-flight build are not credited — the joiner waits the build out
+  /// rather than skips it.
   double saved_seconds = 0;
+
+  // Disk tier (mirrors ModelStore::stats() of the attached store).
+  std::size_t disk_hits = 0;
+  std::size_t disk_misses = 0;
+  std::size_t disk_load_errors = 0;
+  std::size_t disk_stores = 0;
+  std::size_t disk_store_failures = 0;
 
   /// hits / (hits + misses); 0 when the cache was never consulted.
   double hit_rate() const {
@@ -57,15 +83,24 @@ struct ModelCacheStats {
   }
 };
 
-/// Hash-keyed, LRU-bounded, thread-safe cache of semantic models.
+/// Hash-keyed, LRU-bounded, thread-safe, two-tier cache of semantic models.
 class ModelCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 128;
 
-  /// `capacity`: maximum number of *completed* models kept resident (≥ 1).
-  /// In-flight builds are not counted — they cannot be evicted while other
-  /// callers may still be waiting on them.
-  explicit ModelCache(std::size_t capacity = kDefaultCapacity);
+  /// Builds the model for a key the cache has never seen (or lost).  The
+  /// stg-based lookup_or_build passes SemanticModel::build; tests inject
+  /// blocking builders to pin in-flight slots.
+  using Builder = std::function<std::shared_ptr<const SemanticModel>()>;
+
+  /// `capacity`: maximum number of slots resident in memory (≥ 1).  Both
+  /// completed models and in-flight builds count — N concurrent distinct-key
+  /// builds occupy N slots — but only completed entries can be *evicted*, so
+  /// residency exceeds the bound transiently while more than `capacity`
+  /// builds are genuinely running at once.  `store` attaches the optional
+  /// disk tier (shared so several caches may use one directory).
+  explicit ModelCache(std::size_t capacity = kDefaultCapacity,
+                      std::shared_ptr<ModelStore> store = nullptr);
 
   ModelCache(const ModelCache&) = delete;
   ModelCache& operator=(const ModelCache&) = delete;
@@ -76,14 +111,23 @@ class ModelCache {
   /// A build failure propagates to the builder *and* every waiter, and the
   /// slot is removed so later lookups retry rather than cache the error.
   /// When `built` is given it is set to true iff *this* call constructed
-  /// the model (i.e. it was the miss).
+  /// the model (false on memory AND disk hits).
   std::shared_ptr<const SemanticModel> lookup_or_build(const stg::Stg& stg,
                                                        const SynthesisOptions& options,
                                                        bool* built = nullptr);
 
+  /// The underlying lookup: same semantics, but the caller supplies the key
+  /// and the builder.  On a memory miss the disk tier is consulted first;
+  /// only when both tiers miss does `build` run (and its result is then
+  /// persisted to the store, best-effort).
+  std::shared_ptr<const SemanticModel> lookup_or_build_keyed(const std::string& key,
+                                                             const Builder& build,
+                                                             bool* built = nullptr);
+
   ModelCacheStats stats() const;
-  std::size_t size() const;  // completed models currently resident
+  std::size_t size() const;  // resident slots: completed + in-flight
   std::size_t capacity() const { return capacity_; }
+  ModelStore* store() const { return store_.get(); }
   void clear();
 
   /// The exact cache key: canonical `.g` text + model-options fingerprint.
@@ -99,8 +143,14 @@ class ModelCache {
     std::list<std::string>::iterator lru; // valid only when ready
   };
 
+  /// Drops LRU-tail completed entries while total residency (completed +
+  /// in-flight) exceeds capacity; never evicts `protect` (the key being
+  /// published).  Caller holds mutex_.
+  void evict_to_capacity_locked(const std::string* protect = nullptr);
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
+  std::shared_ptr<ModelStore> store_;  // disk tier; may be null
   std::unordered_map<std::string, Slot> slots_;
   std::list<std::string> lru_;  // most recently used first; completed only
   ModelCacheStats stats_;

@@ -1,0 +1,304 @@
+#include "src/core/model_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <utility>
+
+#include "src/sg/serialize.hpp"
+#include "src/stg/serialize.hpp"
+#include "src/unfolding/serialize.hpp"
+#include "src/util/binio.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'P', 'U', 'N', 'T', 'M', 'O', 'D', 'L'};
+constexpr std::size_t kHeaderBytes = sizeof kMagic + 4;  // magic + version
+constexpr std::uint64_t kMaxTargets = 1u << 20;
+
+std::string read_file_binary(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path.string() + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) throw Error("failed reading '" + path.string() + "'");
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+std::string serialize_model(const SemanticModel& model, const std::string& key) {
+  util::BinaryWriter payload;
+  payload.str(key);
+  // The STG is serialised structurally (stg/serialize.hpp), not as `.g`
+  // text: parse_g assigns transition ids in parse order, and the segment/SG
+  // payloads below reference transitions by id.
+  stg::write_stg(model.stg, payload);
+  payload.u8(static_cast<std::uint8_t>(model.options.kind));
+  payload.u8(model.options.check_persistency ? 1 : 0);
+  payload.u64(model.options.state_budget);
+  payload.u64(model.options.event_budget);
+  payload.u8(static_cast<std::uint8_t>(model.options.cutoff));
+  payload.u64(model.targets.size());
+  for (const stg::SignalId target : model.targets) payload.u32(target.value);
+  payload.f64(model.build_seconds);
+  payload.u64(model.unfold_stats.events);
+  payload.u64(model.unfold_stats.conditions);
+  payload.u64(model.unfold_stats.cutoffs);
+  payload.u64(model.sg_states);
+  if (model.options.kind == ModelOptions::Kind::Unfolding) {
+    if (model.unfolding == nullptr) {
+      throw ValidationError("serialize_model: an Unfolding-kind model carries no segment");
+    }
+    unf::write_unfolding(*model.unfolding, payload);
+  } else {
+    if (model.sgraph == nullptr) {
+      throw ValidationError("serialize_model: a StateGraph-kind model carries no graph");
+    }
+    sg::write_state_graph(*model.sgraph, payload);
+  }
+
+  util::BinaryWriter image;
+  image.raw(std::string_view(kMagic, sizeof kMagic));
+  image.u32(ModelStore::kFormatVersion);
+  image.raw(payload.data());
+  image.u64(util::fnv1a64(payload.data()));
+  return image.take();
+}
+
+std::shared_ptr<const SemanticModel> deserialize_model(std::string_view image,
+                                                       const std::string* expected_key) {
+  if (image.size() < kHeaderBytes + 8) {
+    throw ParseError("model image truncated: " + std::to_string(image.size()) +
+                     " byte(s) cannot hold the header and checksum");
+  }
+  if (image.substr(0, sizeof kMagic) != std::string_view(kMagic, sizeof kMagic)) {
+    throw ParseError("model image is not a punt model file (bad magic)");
+  }
+  const std::uint32_t version = util::BinaryReader(image.substr(sizeof kMagic, 4)).u32();
+  if (version != ModelStore::kFormatVersion) {
+    throw ParseError("model image has format version " + std::to_string(version) +
+                     "; this build reads version " +
+                     std::to_string(ModelStore::kFormatVersion));
+  }
+  const std::string_view payload =
+      image.substr(kHeaderBytes, image.size() - kHeaderBytes - 8);
+  util::BinaryReader trailer(image.substr(image.size() - 8));
+  if (trailer.u64() != util::fnv1a64(payload)) {
+    throw ParseError("model image checksum mismatch: the file is corrupt");
+  }
+
+  util::BinaryReader in(payload);
+  const std::string key = in.str();
+  if (expected_key != nullptr && key != *expected_key) return nullptr;
+
+  auto model = std::make_shared<SemanticModel>();
+  model->stg = stg::read_stg(in);
+  model->options.kind = static_cast<ModelOptions::Kind>(in.u8());
+  model->options.check_persistency = in.u8() != 0;
+  model->options.state_budget = in.u64();
+  model->options.event_budget = in.u64();
+  model->options.cutoff = static_cast<unf::UnfoldOptions::CutoffPolicy>(in.u8());
+  const std::size_t target_count = in.count(kMaxTargets, "target");
+  model->targets.reserve(target_count);
+  for (std::size_t t = 0; t < target_count; ++t) {
+    const stg::SignalId target(in.u32());
+    if (!target.valid() || target.index() >= model->stg.signal_count()) {
+      throw ValidationError("model image corrupt: target signal " +
+                            std::to_string(target.value) + " is outside the STG");
+    }
+    model->targets.push_back(target);
+  }
+  model->build_seconds = in.f64();
+  model->unfold_stats.events = in.u64();
+  model->unfold_stats.conditions = in.u64();
+  model->unfold_stats.cutoffs = in.u64();
+  model->sg_states = in.u64();
+  if (model->options.kind == ModelOptions::Kind::Unfolding) {
+    auto stg_copy = std::make_shared<const stg::Stg>(model->stg);
+    model->unfolding = std::make_unique<const unf::Unfolding>(
+        unf::read_unfolding(in, std::move(stg_copy)));
+  } else if (model->options.kind == ModelOptions::Kind::StateGraph) {
+    model->sgraph = std::make_unique<const sg::StateGraph>(
+        sg::read_state_graph(in, model->stg));
+  } else {
+    throw ParseError("model image corrupt: unknown model kind " +
+                     std::to_string(static_cast<int>(model->options.kind)));
+  }
+  if (!in.at_end()) {
+    throw ParseError("model image corrupt: " + std::to_string(in.remaining()) +
+                     " trailing byte(s) after the model payload");
+  }
+  return model;
+}
+
+ModelStore::ModelStore(std::string directory) : directory_(std::move(directory)) {
+  std::random_device entropy;
+  temp_token_ = (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy();
+}
+
+std::string ModelStore::filename_of(const std::string& key) {
+  char hash[17];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(util::fnv1a64(key)));
+  return std::string(hash) + "-" + std::to_string(key.size()) + kFileSuffix;
+}
+
+std::shared_ptr<const SemanticModel> ModelStore::load(const std::string& key) {
+  const fs::path path = fs::path(directory_) / filename_of(key);
+  std::string image;
+  try {
+    image = read_file_binary(path);
+  } catch (...) {
+    // An absent file is the ordinary cold-cache miss; failing to read a
+    // file that *exists* (EACCES, I/O error) is a load error — the
+    // distinction points a debugging operator at file permissions instead
+    // of at the cache key.
+    std::error_code probe;
+    const bool exists = fs::exists(path, probe);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (exists) {
+      ++stats_.load_errors;
+    } else {
+      ++stats_.misses;
+    }
+    return nullptr;
+  }
+  try {
+    std::shared_ptr<const SemanticModel> model = deserialize_model(image, &key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (model == nullptr) {
+      // A filename-hash collision with a different key: a miss by contract —
+      // the full-text comparison makes a wrong hit impossible.
+      ++stats_.misses;
+    } else {
+      ++stats_.hits;
+    }
+    return model;
+  } catch (const std::exception&) {
+    // Corrupt / truncated / version-mismatched file: rebuild rather than
+    // fail — the cache is an accelerator, never a correctness dependency.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.load_errors;
+    return nullptr;
+  }
+}
+
+bool ModelStore::store(const std::string& key, const SemanticModel& model) {
+  std::uint64_t sequence = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sequence = ++temp_counter_;
+  }
+  try {
+    const std::string image = serialize_model(model, key);
+    fs::create_directories(directory_);
+    const fs::path final_path = fs::path(directory_) / filename_of(key);
+    // Unique temp name per store instance *and* per store call, so
+    // concurrent shards (and concurrent builders within one process) never
+    // clobber each other's half-written temp; rename() then publishes
+    // atomically.  The random token covers processes whose pids coincide —
+    // two containers mounting one shared cache directory both run as pid 1.
+    char token[17];
+    std::snprintf(token, sizeof token, "%016llx",
+                  static_cast<unsigned long long>(temp_token_));
+    const fs::path temp_path = fs::path(directory_) /
+        (filename_of(key) + ".tmp-" +
+         std::to_string(static_cast<unsigned long>(::getpid())) + "-" + token + "-" +
+         std::to_string(sequence));
+    {
+      std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+      if (!out) throw Error("cannot open temp file '" + temp_path.string() + "'");
+      out.write(image.data(), static_cast<std::streamsize>(image.size()));
+      if (!out) throw Error("failed writing '" + temp_path.string() + "'");
+    }
+    std::error_code rename_error;
+    fs::rename(temp_path, final_path, rename_error);
+    if (rename_error) {
+      std::error_code ignored;
+      fs::remove(temp_path, ignored);
+      throw Error("cannot publish '" + final_path.string() +
+                  "': " + rename_error.message());
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+    return true;
+  } catch (const std::exception&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.store_failures;
+    return false;
+  }
+}
+
+ModelStoreStats ModelStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<StoredModelInfo> ModelStore::scan(const std::string& directory) {
+  std::vector<StoredModelInfo> entries;
+  std::error_code listing_error;
+  fs::directory_iterator it(directory, listing_error);
+  if (listing_error) return entries;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file() || entry.path().extension() != kFileSuffix) continue;
+    StoredModelInfo info;
+    info.file = entry.path().filename().string();
+    std::error_code size_error;
+    info.bytes = entry.file_size(size_error);
+    if (size_error) info.bytes = 0;  // e.g. the file vanished under a racing purge
+    try {
+      const std::shared_ptr<const SemanticModel> model =
+          deserialize_model(read_file_binary(entry.path()), nullptr);
+      info.ok = true;
+      info.model = model->stg.name();
+      if (model->options.kind == ModelOptions::Kind::Unfolding) {
+        info.kind = "unfolding";
+        info.events = model->unfold_stats.events;
+      } else {
+        info.kind = "state-graph";
+        info.states = model->sg_states;
+      }
+    } catch (const std::exception& e) {
+      info.error = e.what();
+    }
+    entries.push_back(std::move(info));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const StoredModelInfo& a, const StoredModelInfo& b) {
+              return a.file < b.file;
+            });
+  return entries;
+}
+
+std::size_t ModelStore::purge(const std::string& directory) {
+  std::size_t removed = 0;
+  std::error_code listing_error;
+  fs::directory_iterator it(directory, listing_error);
+  if (listing_error) return removed;
+  const std::string temp_marker = std::string(kFileSuffix) + ".tmp-";
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    // Published models, plus temp files leaked by writers that died between
+    // open and rename (a killed CI shard) — those would otherwise
+    // accumulate forever, invisible to scan().
+    const bool model = entry.path().extension() == kFileSuffix;
+    const bool stale_temp = name.find(temp_marker) != std::string::npos;
+    if (!model && !stale_temp) continue;
+    std::error_code remove_error;
+    if (fs::remove(entry.path(), remove_error)) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace punt::core

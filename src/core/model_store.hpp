@@ -1,0 +1,127 @@
+// ModelStore — the on-disk tier of the semantic-model cache (DESIGN.md §8).
+//
+// The in-process ModelCache amortises phase-1 (unfolding-segment / SG
+// construction) within one process; every fresh CLI invocation and every CI
+// bench shard still paid it again.  The store persists a versioned binary
+// serialisation of SemanticModel keyed by the *same* canonical key the
+// memory tier uses (stg::write_g digest + ModelOptions fingerprint), so
+// successive processes sharing one `--model-cache-dir` skip phase 1 after
+// the first warm run.
+//
+// File layout (one file per model, inside the store directory):
+//
+//   <fnv1a64(key) as 16 hex digits>-<key length>.puntmodel
+//
+//   "PUNTMODL"            8-byte magic
+//   u32 format version    (kFormatVersion; bumped on any layout change)
+//   payload               key text, canonical `.g`, options, targets,
+//                         per-layer segment/SG payload, build stats
+//   u64 checksum          FNV-1a over the payload bytes
+//
+// The filename hash is for addressing only: load() compares the *full* key
+// text stored in the payload, so a hash collision degrades to a miss, never
+// to a wrong model.  Atomicity: store() writes to a unique temp file in the
+// same directory and `rename`s it over the final name, so concurrent bench
+// shards sharing a directory each publish a complete file and the last
+// writer wins — readers never observe a half-written model.
+//
+// Failure contract: the store never throws across its API.  A missing,
+// truncated, corrupt, version-mismatched or key-mismatched file is a miss
+// (counted in ModelStoreStats) and the caller rebuilds; an unwritable
+// directory degrades to build-without-persist.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+
+namespace punt::core {
+
+struct ModelStoreStats {
+  std::size_t hits = 0;            // load() returned a model
+  std::size_t misses = 0;          // no file for the key (or a filename-hash
+                                   // collision, i.e. a different key's file)
+  std::size_t load_errors = 0;     // corrupt / truncated / version mismatch
+  std::size_t stores = 0;          // models published (temp + rename)
+  std::size_t store_failures = 0;  // publish failed (e.g. read-only directory)
+};
+
+/// Serialises a model (with its cache key) into the store's file image:
+/// magic, version, payload, trailing checksum.  Exposed for tests.
+std::string serialize_model(const SemanticModel& model, const std::string& key);
+
+/// Parses serialize_model() output.  Throws ParseError on a damaged or
+/// version-mismatched image and ValidationError on inconsistent contents.
+/// When `expected_key` is non-null and the stored key differs, returns
+/// nullptr (a filename collision is a miss, not corruption).
+std::shared_ptr<const SemanticModel> deserialize_model(std::string_view image,
+                                                       const std::string* expected_key);
+
+/// One model file as seen by `punt cache stats` / the scan() helper.
+struct StoredModelInfo {
+  std::string file;          // filename within the directory
+  std::uintmax_t bytes = 0;  // file size
+  bool ok = false;           // deserialised cleanly
+  std::string model;         // STG name (when ok)
+  std::string kind;          // "unfolding" | "state-graph" (when ok)
+  std::size_t events = 0;    // segment events (unfolding kind)
+  std::size_t states = 0;    // SG states (state-graph kind)
+  std::string error;         // diagnostic (when !ok)
+};
+
+/// Thread-safe on-disk model store rooted at one directory.
+class ModelStore {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr const char* kFileSuffix = ".puntmodel";
+
+  /// Uses `directory` (created on first store() if absent).  Constructing
+  /// never fails: an unusable path simply yields misses and store failures.
+  explicit ModelStore(std::string directory);
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  const std::string& directory() const { return directory_; }
+
+  /// Loads the model stored under `key`, or nullptr on miss/corruption/
+  /// version mismatch (the caller rebuilds).  Never throws.
+  std::shared_ptr<const SemanticModel> load(const std::string& key);
+
+  /// Atomically publishes `model` under `key` (write temp + rename).
+  /// Returns false — without throwing — when the directory is unwritable.
+  bool store(const std::string& key, const SemanticModel& model);
+
+  ModelStoreStats stats() const;
+
+  /// The store filename for a key (hash + length + suffix, no directory).
+  static std::string filename_of(const std::string& key);
+
+  /// Inventories every *.puntmodel file of `directory` (deserialising each
+  /// to classify it) — the substrate of `punt cache stats`.  A missing
+  /// directory is an empty inventory.
+  static std::vector<StoredModelInfo> scan(const std::string& directory);
+
+  /// Deletes every *.puntmodel file of `directory`, plus any
+  /// *.puntmodel.tmp-* leftovers of writers that died before their rename
+  /// (other files are left alone); returns how many were removed.
+  /// `punt cache purge`.
+  static std::size_t purge(const std::string& directory);
+
+ private:
+  std::string directory_;
+  mutable std::mutex mutex_;  // guards stats_ and the temp-name counter
+  ModelStoreStats stats_;
+  std::uint64_t temp_token_ = 0;  // per-instance entropy for temp names:
+                                  // pids alone collide across containers
+                                  // sharing one cache directory
+  std::uint64_t temp_counter_ = 0;
+};
+
+}  // namespace punt::core

@@ -110,13 +110,18 @@ std::shared_ptr<const SemanticModel> SemanticModel::build(
 
 PipelineContext PipelineContext::build(const stg::Stg& stg,
                                        const SynthesisOptions& options,
-                                       ModelCache* cache) {
+                                       ModelCache* cache, const std::string* key) {
   Stopwatch resolve;
   PipelineContext context;
   context.options = options;
   if (cache != nullptr) {
     bool built = false;
-    context.model = cache->lookup_or_build(stg, options, &built);
+    if (key != nullptr) {
+      context.model = cache->lookup_or_build_keyed(
+          *key, [&] { return SemanticModel::build(stg, options); }, &built);
+    } else {
+      context.model = cache->lookup_or_build(stg, options, &built);
+    }
     context.model_from_cache = !built;
   } else {
     context.model = SemanticModel::build(stg, options);
@@ -309,6 +314,7 @@ namespace {
 /// built) and must not move while the graph runs.
 struct EntryPlan {
   const stg::Stg* stg = nullptr;
+  std::string cache_key;               // ModelCache::key_of ("" without a cache)
   PipelineContext context;             // filled by the model node
   std::vector<DeriveTask> derive;      // one slot per target signal
   std::vector<MinimizeTask> minimize;  // parallel to `derive`
@@ -345,7 +351,8 @@ void emit_entry(util::TaskGraph& graph, EntryPlan& plan,
   plan.model_node = graph.add(
       "model", name, repeat_key ? kPriorityModelRepeat : kPriorityModel,
       std::move(model_deps), [&plan, &stg, options, cache] {
-        plan.context = PipelineContext::build(stg, options, cache);
+        plan.context = PipelineContext::build(
+            stg, options, cache, plan.cache_key.empty() ? nullptr : &plan.cache_key);
       });
 
   std::vector<util::TaskGraph::NodeId> assembly_deps;
@@ -441,7 +448,10 @@ BatchResult synthesize_batch(std::span<const stg::Stg> stgs,
     bool repeat_key = false;
     std::vector<util::TaskGraph::NodeId> model_deps;
     if (options.cache != nullptr) {
-      const std::string key = ModelCache::key_of(stgs[i], options.synthesis);
+      // Computed once per entry: the same text keys the in-batch dedup here
+      // and, via EntryPlan, the model node's cache lookup.
+      plans[i].cache_key = ModelCache::key_of(stgs[i], options.synthesis);
+      const std::string& key = plans[i].cache_key;
       const auto [it, inserted] = first_by_key.try_emplace(key, 0);
       if (!inserted) {
         repeat_key = true;

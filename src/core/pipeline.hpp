@@ -110,8 +110,13 @@ struct PipelineContext {
 
   /// Resolves the model — through `cache` when given (lookup-or-build),
   /// otherwise by building it fresh — and stamps the derivation options.
+  /// `key`, when given with a cache, is the precomputed ModelCache::key_of
+  /// text: the batch front end already serialises every entry's STG for
+  /// in-batch dedup, and passing the key down avoids a second write_g per
+  /// lookup (the dominant cost of an all-hit run).
   static PipelineContext build(const stg::Stg& stg, const SynthesisOptions& options,
-                               ModelCache* cache = nullptr);
+                               ModelCache* cache = nullptr,
+                               const std::string* key = nullptr);
 };
 
 /// Phase 2 for one signal: cover derivation, refinement, exact fallback and

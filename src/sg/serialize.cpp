@@ -1,0 +1,110 @@
+#include "src/sg/serialize.hpp"
+
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace punt::sg {
+namespace {
+
+/// Plausibility ceiling for any element count in an SG payload; the default
+/// state budget is 2e6, so 2^28 never rejects a legitimate graph but stops a
+/// corrupt length from driving a huge allocation.
+constexpr std::uint64_t kMaxElements = 1u << 28;
+
+}  // namespace
+
+void write_state_graph(const StateGraph& graph, util::BinaryWriter& out) {
+  const std::size_t states = graph.markings_.size();
+  out.u64(graph.signal_count_);
+  out.u64(states);
+  for (std::size_t s = 0; s < states; ++s) {
+    const pn::Marking& marking = graph.markings_[s];
+    out.u64(marking.place_count());
+    for (std::size_t p = 0; p < marking.place_count(); ++p) {
+      out.u32(marking.tokens(pn::PlaceId(static_cast<std::uint32_t>(p))));
+    }
+    out.u64(graph.codes_[s].size());
+    for (const std::uint8_t bit : graph.codes_[s]) out.u8(bit);
+    out.u64(graph.arcs_[s].size());
+    for (const Arc& arc : graph.arcs_[s]) {
+      out.u32(arc.transition.value);
+      out.u64(arc.target);
+    }
+  }
+  out.u64(graph.excited_.size());
+  for (const std::uint8_t bit : graph.excited_) out.u8(bit);
+}
+
+StateGraph read_state_graph(util::BinaryReader& in, const stg::Stg& stg) {
+  const std::size_t net_transitions = stg.net().transition_count();
+  const std::size_t net_places = stg.net().place_count();
+
+  StateGraph graph;
+  graph.signal_count_ = in.count(kMaxElements, "signal");
+  if (graph.signal_count_ != stg.signal_count()) {
+    throw ValidationError("state-graph payload corrupt: " +
+                          std::to_string(graph.signal_count_) +
+                          " signal(s) recorded but the STG has " +
+                          std::to_string(stg.signal_count()));
+  }
+  const std::size_t states = in.count(kMaxElements, "state");
+  graph.markings_.reserve(states);
+  graph.codes_.reserve(states);
+  graph.arcs_.reserve(states);
+  for (std::size_t s = 0; s < states; ++s) {
+    const std::size_t places = in.count(kMaxElements, "marking place");
+    if (places != net_places) {
+      throw ValidationError("state-graph payload corrupt: a marking covers " +
+                            std::to_string(places) + " place(s) but the STG has " +
+                            std::to_string(net_places));
+    }
+    pn::Marking marking(places);
+    for (std::size_t p = 0; p < places; ++p) {
+      marking.set_tokens(pn::PlaceId(static_cast<std::uint32_t>(p)), in.u32());
+    }
+    graph.markings_.push_back(std::move(marking));
+
+    const std::size_t bits = in.count(kMaxElements, "code bit");
+    if (bits != graph.signal_count_) {
+      throw ValidationError("state-graph payload corrupt: a state code carries " +
+                            std::to_string(bits) + " bit(s), expected " +
+                            std::to_string(graph.signal_count_));
+    }
+    stg::Code code(bits);
+    for (std::size_t b = 0; b < bits; ++b) code[b] = in.u8();
+    graph.codes_.push_back(std::move(code));
+
+    const std::size_t arc_count = in.count(kMaxElements, "arc");
+    std::vector<Arc> arcs;
+    arcs.reserve(arc_count);
+    for (std::size_t a = 0; a < arc_count; ++a) {
+      Arc arc;
+      arc.transition = pn::TransitionId(in.u32());
+      arc.target = in.count(kMaxElements, "arc target");
+      if (!arc.transition.valid() || arc.transition.index() >= net_transitions ||
+          arc.target >= states) {
+        throw ValidationError("state-graph payload corrupt: an arc references "
+                              "transition " + std::to_string(arc.transition.value) +
+                              " / state " + std::to_string(arc.target) +
+                              " outside the graph");
+      }
+      arcs.push_back(arc);
+    }
+    graph.arcs_.push_back(std::move(arcs));
+  }
+
+  // Bounded by its own expected size, not kMaxElements: the flattened
+  // states × signals table legitimately exceeds any per-dimension ceiling.
+  const std::size_t excited = in.count(states * graph.signal_count_, "excitation flag");
+  if (excited != states * graph.signal_count_) {
+    throw ValidationError("state-graph payload corrupt: the excitation table holds " +
+                          std::to_string(excited) + " flag(s), expected " +
+                          std::to_string(states * graph.signal_count_));
+  }
+  graph.excited_.reserve(excited);
+  for (std::size_t i = 0; i < excited; ++i) graph.excited_.push_back(in.u8());
+  return graph;
+}
+
+}  // namespace punt::sg

@@ -1,0 +1,27 @@
+// Binary (de)serialisation of the explicit state graph.
+//
+// The SG counterpart of src/unfolding/serialize.hpp: the on-disk model
+// store persists the reachability graph (markings, codes, arcs, excitation
+// table) so StateGraph-method runs skip re-exploration.  The STG is not part
+// of this payload — the store serialises it once at the model level and the
+// reader receives the parsed copy for id-bound validation.
+//
+// A damaged payload throws ParseError / ValidationError (the store converts
+// either into a rebuild), never yields a malformed graph.
+#pragma once
+
+#include "src/sg/state_graph.hpp"
+#include "src/util/binio.hpp"
+
+namespace punt::sg {
+
+/// Appends the graph's full state to `out`.
+void write_state_graph(const StateGraph& graph, util::BinaryWriter& out);
+
+/// Rebuilds a graph from write_state_graph() output.  `stg` is the STG the
+/// graph was built from; its signal/place/transition counts bound every id
+/// in the payload.  Throws ParseError on truncation, ValidationError on
+/// out-of-range ids or inconsistent table sizes.
+StateGraph read_state_graph(util::BinaryReader& in, const stg::Stg& stg);
+
+}  // namespace punt::sg

@@ -1,0 +1,121 @@
+#include "src/stg/serialize.hpp"
+
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace punt::stg {
+namespace {
+
+constexpr std::uint64_t kMaxElements = 1u << 24;
+
+}  // namespace
+
+void write_stg(const Stg& stg, util::BinaryWriter& out) {
+  out.str(stg.name());
+
+  out.u64(stg.signal_count());
+  for (std::size_t s = 0; s < stg.signal_count(); ++s) {
+    const SignalId id(static_cast<std::uint32_t>(s));
+    out.str(stg.signal_name(id));
+    out.u8(static_cast<std::uint8_t>(stg.signal_kind(id)));
+    out.u8(stg.initial_value(id));
+  }
+
+  const pn::PetriNet& net = stg.net();
+  out.u64(net.transition_count());
+  for (std::size_t t = 0; t < net.transition_count(); ++t) {
+    const Label& label = stg.label(pn::TransitionId(static_cast<std::uint32_t>(t)));
+    out.u32(label.signal.value);
+    out.u8(static_cast<std::uint8_t>(label.polarity));
+    out.u8(label.dummy ? 1 : 0);
+  }
+
+  out.u64(net.place_count());
+  for (std::size_t p = 0; p < net.place_count(); ++p) {
+    const pn::PlaceId id(static_cast<std::uint32_t>(p));
+    out.str(net.place_name(id));
+    out.u32(net.initial_marking().tokens(id));
+  }
+
+  // Arcs, grouped per transition (preset then postset) in id order — the
+  // replay order is immaterial for ids but kept deterministic anyway.
+  for (std::size_t t = 0; t < net.transition_count(); ++t) {
+    const pn::TransitionId id(static_cast<std::uint32_t>(t));
+    out.u64(net.pre(id).size());
+    for (const pn::PlaceId p : net.pre(id)) out.u32(p.value);
+    out.u64(net.post(id).size());
+    for (const pn::PlaceId p : net.post(id)) out.u32(p.value);
+  }
+}
+
+Stg read_stg(util::BinaryReader& in) {
+  Stg stg;
+  stg.set_name(in.str());
+
+  const std::size_t signals = in.count(kMaxElements, "signal");
+  for (std::size_t s = 0; s < signals; ++s) {
+    const std::string name = in.str();
+    const auto kind = static_cast<SignalKind>(in.u8());
+    if (kind != SignalKind::Input && kind != SignalKind::Output &&
+        kind != SignalKind::Internal && kind != SignalKind::Dummy) {
+      throw ParseError("STG payload corrupt: unknown signal kind for '" + name + "'");
+    }
+    const SignalId id = stg.add_signal(name, kind);
+    const std::uint8_t initial = in.u8();
+    if (initial > 1) {
+      throw ParseError("STG payload corrupt: initial value of '" + name +
+                       "' is " + std::to_string(initial) + ", expected 0 or 1");
+    }
+    // Unconditional (dummies included): the writer records every signal's
+    // bit, and codes serialised elsewhere embed it.
+    stg.set_initial_value(id, initial);
+  }
+
+  const std::size_t transitions = in.count(kMaxElements, "transition");
+  for (std::size_t t = 0; t < transitions; ++t) {
+    const SignalId signal(in.u32());
+    const std::uint8_t polarity = in.u8();
+    const bool dummy = in.u8() != 0;
+    if (!signal.valid() || signal.index() >= signals || polarity > 1) {
+      throw ParseError("STG payload corrupt: transition " + std::to_string(t) +
+                       " has an out-of-range label");
+    }
+    // Replaying add_transition in id order regenerates the ids 0..n-1 and
+    // the astg-convention instance names ("a+", "a+/2", ...).
+    if (dummy) {
+      stg.add_dummy_transition(signal);
+    } else {
+      stg.add_transition(signal, static_cast<Polarity>(polarity));
+    }
+  }
+
+  pn::PetriNet& net = stg.net();
+  const std::size_t places = in.count(kMaxElements, "place");
+  for (std::size_t p = 0; p < places; ++p) {
+    const std::string name = in.str();
+    const pn::PlaceId id = net.add_place(name);
+    net.set_initial_tokens(id, in.u32());
+  }
+
+  for (std::size_t t = 0; t < transitions; ++t) {
+    const pn::TransitionId id(static_cast<std::uint32_t>(t));
+    const auto read_place = [&](const char* what) {
+      const pn::PlaceId p(in.u32());
+      if (!p.valid() || p.index() >= places) {
+        throw ParseError("STG payload corrupt: " + std::string(what) +
+                         " arc of transition " + std::to_string(t) +
+                         " names place " + std::to_string(p.value) + " of " +
+                         std::to_string(places));
+      }
+      return p;
+    };
+    const std::size_t pre = in.count(kMaxElements, "preset arc");
+    for (std::size_t k = 0; k < pre; ++k) net.add_arc(read_place("preset"), id);
+    const std::size_t post = in.count(kMaxElements, "postset arc");
+    for (std::size_t k = 0; k < post; ++k) net.add_arc(id, read_place("postset"));
+  }
+  return stg;
+}
+
+}  // namespace punt::stg

@@ -1,0 +1,27 @@
+// Binary (de)serialisation of an STG, preserving element ids exactly.
+//
+// The on-disk model store cannot persist the STG as `.g` text: parse_g
+// assigns transition ids in parse order, which differs from the original
+// construction order, and the persisted unfolding/state-graph payloads
+// reference transitions *by id*.  This writer dumps the STG structurally —
+// signals, transitions, places, arcs and the initial state in id order —
+// and the reader replays the same construction through the public builder
+// API, so every SignalId / TransitionId / PlaceId of the rebuilt STG equals
+// its original.
+//
+// A damaged payload throws ParseError / ValidationError, never yields a
+// malformed STG (the builder API re-validates names and ids as it replays).
+#pragma once
+
+#include "src/stg/stg.hpp"
+#include "src/util/binio.hpp"
+
+namespace punt::stg {
+
+/// Appends the STG's full structure to `out`.
+void write_stg(const Stg& stg, util::BinaryWriter& out);
+
+/// Rebuilds an STG from write_stg() output with identical ids throughout.
+Stg read_stg(util::BinaryReader& in);
+
+}  // namespace punt::stg

@@ -1,0 +1,38 @@
+// Binary (de)serialisation of the STG-unfolding segment.
+//
+// The unfolding is the expensive phase-1 artefact of the synthesis flow, and
+// the on-disk model store (core/model_store.*) persists it so successive CLI
+// invocations and CI shards skip re-unfolding.  The writer dumps the
+// segment's dense vectors (per-event/per-condition data, local-configuration
+// and concurrency bitsets) verbatim; the reader rebuilds an Unfolding that
+// is indistinguishable from a freshly built one.
+//
+// The STG itself is NOT part of this payload: the store serialises it once
+// (as canonical `.g` text) at the model level, and the reader receives the
+// parsed copy — the segment's ids index into it unchanged.
+//
+// Corruption handling: the reader bounds-checks every id and cross-checks
+// the vector sizes; a damaged payload throws ParseError / ValidationError
+// (which the store converts into a rebuild), never yields a malformed
+// segment.
+#pragma once
+
+#include <memory>
+
+#include "src/unfolding/unfolding.hpp"
+#include "src/util/binio.hpp"
+
+namespace punt::unf {
+
+/// Appends the segment's full state (events, conditions, relations, stats)
+/// to `out`.
+void write_unfolding(const Unfolding& unf, util::BinaryWriter& out);
+
+/// Rebuilds a segment from write_unfolding() output.  `stg` is the STG the
+/// segment was built from (ids must match — the model store guarantees this
+/// by persisting the canonical `.g` text alongside).  Throws ParseError on a
+/// truncated payload and ValidationError on out-of-range ids or
+/// inconsistent sizes.
+Unfolding read_unfolding(util::BinaryReader& in, std::shared_ptr<const stg::Stg> stg);
+
+}  // namespace punt::unf

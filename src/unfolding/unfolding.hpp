@@ -29,6 +29,11 @@
 #include "src/stg/stg.hpp"
 #include "src/util/bitset.hpp"
 
+namespace punt::util {
+class BinaryReader;  // binio.hpp
+class BinaryWriter;
+}  // namespace punt::util
+
 namespace punt::unf {
 
 struct UnfoldOptions {
@@ -164,6 +169,11 @@ class Unfolding {
 
  private:
   friend class Unfolder;
+  // Binary (de)serialisation (serialize.hpp) — the disk tier of the model
+  // cache persists the segment verbatim instead of re-unfolding.
+  friend void write_unfolding(const Unfolding& unf, util::BinaryWriter& out);
+  friend Unfolding read_unfolding(util::BinaryReader& in,
+                                  std::shared_ptr<const stg::Stg> stg);
   Unfolding() = default;
 
   std::shared_ptr<const stg::Stg> stg_;

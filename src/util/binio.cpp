@@ -1,0 +1,85 @@
+#include "src/util/binio.hpp"
+
+#include <cstring>
+
+#include "src/util/error.hpp"
+
+namespace punt::util {
+
+void BinaryWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void BinaryReader::need(std::size_t bytes) const {
+  if (data_.size() - pos_ < bytes) {
+    throw ParseError("binary payload truncated: need " + std::to_string(bytes) +
+                     " byte(s) at offset " + std::to_string(pos_) + " of " +
+                     std::to_string(data_.size()));
+  }
+}
+
+std::uint8_t BinaryReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t BinaryReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_++])) << shift;
+  }
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_++])) << shift;
+  }
+  return v;
+}
+
+double BinaryReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::str() {
+  const std::uint64_t length = u64();
+  if (length > data_.size() - pos_) {
+    throw ParseError("binary payload truncated: string of " + std::to_string(length) +
+                     " byte(s) at offset " + std::to_string(pos_) + " overruns the " +
+                     std::to_string(data_.size()) + "-byte payload");
+  }
+  std::string out(data_.substr(pos_, static_cast<std::size_t>(length)));
+  pos_ += static_cast<std::size_t>(length);
+  return out;
+}
+
+std::size_t BinaryReader::count(std::uint64_t max, const char* what) {
+  const std::uint64_t n = u64();
+  if (n > max) {
+    throw ParseError("binary payload corrupt: " + std::string(what) + " count " +
+                     std::to_string(n) + " exceeds the plausible bound " +
+                     std::to_string(max));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace punt::util

@@ -1,0 +1,92 @@
+// Bounds-checked binary (de)serialisation primitives.
+//
+// The on-disk SemanticModel store (core/model_store.*) persists the
+// unfolding-segment / state-graph layers as fixed-width little-endian
+// fields.  BinaryWriter appends to a growable byte string; BinaryReader
+// walks a string_view and throws ParseError on any read past the end, so a
+// truncated cache file surfaces as a diagnosable error (which the store
+// turns into a rebuild), never as garbage data or UB.
+//
+// Encoding: u8/u32/u64 little-endian, f64 as the IEEE-754 bit pattern in a
+// u64, strings and byte blobs as u64 length + raw bytes.  The format is a
+// cache interchange between builds of this code base on one machine — not a
+// network protocol — so no varints, no alignment games.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace punt::util {
+
+/// Appends fixed-width little-endian fields to a byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      out_.push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      out_.push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+  }
+
+  /// IEEE-754 bit pattern; exact round-trip, no text formatting loss.
+  void f64(double v);
+
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view text) {
+    u64(text.size());
+    out_.append(text);
+  }
+
+  /// Raw bytes with no length prefix — for fixed-size framing (magic
+  /// numbers, pre-serialised payloads) whose extent the reader knows.
+  void raw(std::string_view bytes) { out_.append(bytes); }
+
+  const std::string& data() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Reads BinaryWriter output back; every accessor throws ParseError("…
+/// truncated …") when fewer bytes remain than the field needs.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  /// u64 count with an upper bound: serialized containers are length-
+  /// prefixed, and a corrupt length must fail loudly instead of driving a
+  /// multi-gigabyte reserve().  `what` names the field in the diagnostic.
+  std::size_t count(std::uint64_t max, const char* what);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t bytes) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit over a byte range — the store's corruption checksum and
+/// its key → filename hash.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace punt::util

@@ -2,8 +2,29 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "src/util/error.hpp"
 
 namespace punt {
+
+Bitset Bitset::from_words(std::size_t size, std::vector<std::uint64_t> words) {
+  if (words.size() != word_count(size)) {
+    throw ValidationError("Bitset::from_words: " + std::to_string(words.size()) +
+                          " word(s) cannot carry a bitset of " + std::to_string(size) +
+                          " bit(s); the serialisation is corrupt");
+  }
+  const std::size_t used = size & 63;
+  if (!words.empty() && used != 0 &&
+      (words.back() & ~((std::uint64_t{1} << used) - 1)) != 0) {
+    throw ValidationError("Bitset::from_words: a bit beyond the declared size of " +
+                          std::to_string(size) + " is set; the serialisation is corrupt");
+  }
+  Bitset bits;
+  bits.size_ = size;
+  bits.words_ = std::move(words);
+  return bits;
+}
 
 void Bitset::resize(std::size_t size) {
   size_ = size;

@@ -1,0 +1,19 @@
+// Shared JSON string escaping.
+//
+// Three writers emit JSON by hand — the schedule-trace dump
+// (util/task_graph.cpp), the Table-1 report writer (benchmarks/report.cpp)
+// and `punt cache stats` — and each needs the same escaping of quotes,
+// backslashes and control characters.  One definition keeps the escapes (and
+// their edge cases, e.g. \u00XX for raw control bytes) from drifting apart.
+#pragma once
+
+#include <string>
+
+namespace punt::util {
+
+/// Escapes `text` for embedding inside a JSON string literal (the quotes
+/// themselves are the caller's).  Control characters below 0x20 without a
+/// short escape become \u00XX; everything else passes through verbatim.
+std::string json_escape(const std::string& text);
+
+}  // namespace punt::util

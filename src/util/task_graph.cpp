@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/util/json.hpp"
 #include "src/util/stopwatch.hpp"
 
 namespace punt::util {
@@ -36,29 +37,6 @@ bool dispatches_before(const ReadyEntry& a, const ReadyEntry& b) { return b > a;
 
 using ReadyQueue =
     std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, std::greater<ReadyEntry>>;
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 const char* status_name(TaskStatus status) {
   switch (status) {

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <latch>
 #include <memory>
 #include <string>
 #include <thread>
@@ -153,6 +154,99 @@ TEST(ModelCache, LruEvictsTheLeastRecentlyUsedModel) {
   EXPECT_EQ(model_a.get(), again_a.get());  // survived the eviction
   (void)cache.lookup_or_build(b, options, &built);
   EXPECT_TRUE(built);  // b was evicted and had to be rebuilt
+}
+
+/// Regression: capacity bounding and size() used to consult only the
+/// ready-entry LRU list, so N concurrent distinct-key in-flight builds grew
+/// the slot map unboundedly past the capacity and size() under-reported
+/// residency.  In-flight slots now count: installing one evicts completed
+/// entries to make room, and size()/stats() report them.
+TEST(ModelCache, InFlightBuildsCountAgainstCapacityAndAreReported) {
+  ModelCache cache(2);
+  const SynthesisOptions options;
+  const Stg warm_a = stg::make_paper_fig1();
+  const Stg warm_b = stg::make_muller_pipeline(2);
+  (void)cache.lookup_or_build(warm_a, options);
+  (void)cache.lookup_or_build(warm_b, options);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Hold three distinct-key builds in flight (one past capacity) behind a
+  // latch; the keyed API lets the test inject blocking builders.
+  constexpr std::size_t kBuilders = 3;
+  std::latch started(kBuilders);
+  std::latch release(1);
+  const Stg payload = stg::make_muller_pipeline(3);
+  std::vector<std::thread> threads;
+  threads.reserve(kBuilders);
+  for (std::size_t t = 0; t < kBuilders; ++t) {
+    threads.emplace_back([&, t] {
+      (void)cache.lookup_or_build_keyed("in-flight-key-" + std::to_string(t), [&] {
+        started.count_down();
+        release.wait();
+        return SemanticModel::build(payload, options);
+      });
+    });
+  }
+  started.wait();
+
+  // Residency is truthfully reported while the builds run: three in-flight
+  // slots occupy the whole (exceeded) capacity, and installing them evicted
+  // both completed entries.
+  ModelCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.in_flight, kBuilders);
+  EXPECT_EQ(stats.resident, kBuilders);
+  EXPECT_EQ(cache.size(), kBuilders);
+  EXPECT_EQ(stats.evictions, 2u);
+
+  release.count_down();
+  for (std::thread& thread : threads) thread.join();
+
+  // Published: the bound holds again and no in-flight slots linger.
+  stats = cache.stats();
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_EQ(stats.builds, 2u + kBuilders);
+
+  // The evicted warm entries rebuild on the next lookup (they were dropped,
+  // not corrupted).
+  bool built = false;
+  (void)cache.lookup_or_build(warm_a, options, &built);
+  EXPECT_TRUE(built);
+}
+
+/// When older in-flight builds occupy the whole capacity, a freshly
+/// published model must not evict *itself* to honour the bound — it is
+/// pinned, the bound stays transiently exceeded, and the model is reusable.
+TEST(ModelCache, PublishingUnderFullInFlightResidencyKeepsTheNewModel) {
+  ModelCache cache(1);
+  const SynthesisOptions options;
+  const Stg stg = stg::make_paper_fig1();
+
+  std::latch started(1);
+  std::latch release(1);
+  std::thread holder([&] {
+    (void)cache.lookup_or_build_keyed("held-key", [&] {
+      started.count_down();
+      release.wait();
+      return SemanticModel::build(stg, options);
+    });
+  });
+  started.wait();  // the in-flight slot now occupies the whole capacity
+
+  bool built = false;
+  (void)cache.lookup_or_build(stg, options, &built);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(cache.size(), 2u);  // transiently over: pinned publish + in-flight
+
+  // The published model survived its own publish-time eviction pass.
+  (void)cache.lookup_or_build(stg, options, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  release.count_down();
+  holder.join();
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().in_flight, 0u);
 }
 
 TEST(ModelCache, FailedBuildPropagatesAndIsNotCached) {

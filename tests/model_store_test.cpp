@@ -1,0 +1,449 @@
+// Tests for the on-disk model store: serialisation round-trip fidelity
+// (registry-wide, both model kinds), the failure modes the disk tier must
+// degrade through (truncation, corruption, version bumps, filename-hash
+// collisions, read-only directories, racing writers), and the scan/purge
+// helpers behind `punt cache stats` / `punt cache purge`.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/benchmarks/registry.hpp"
+#include "src/core/model_cache.hpp"
+#include "src/core/model_store.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/stg/g_format.hpp"
+#include "src/stg/generators.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::core {
+namespace {
+
+namespace fs = std::filesystem;
+using stg::Stg;
+
+/// A fresh, unique temp directory per test (removed on destruction).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = fs::temp_directory_path() /
+            ("punt-model-store-test-" + tag + "-" +
+             std::to_string(static_cast<unsigned long>(::getpid())));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ignored;
+    fs::permissions(path_, fs::perms::owner_all, fs::perm_options::add, ignored);
+    fs::remove_all(path_, ignored);
+  }
+  const fs::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string out((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return out;
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Structural equality of two models, down to the semantic substrate the
+/// derivation stage reads.  (Synthesis-output equality is asserted
+/// separately, registry-wide.)
+void expect_models_equal(const SemanticModel& a, const SemanticModel& b) {
+  EXPECT_EQ(stg::write_g(a.stg), stg::write_g(b.stg));
+  EXPECT_EQ(a.options.fingerprint(), b.options.fingerprint());
+  EXPECT_EQ(a.targets, b.targets);
+  EXPECT_DOUBLE_EQ(a.build_seconds, b.build_seconds);
+  EXPECT_EQ(a.unfold_stats.events, b.unfold_stats.events);
+  EXPECT_EQ(a.unfold_stats.conditions, b.unfold_stats.conditions);
+  EXPECT_EQ(a.unfold_stats.cutoffs, b.unfold_stats.cutoffs);
+  EXPECT_EQ(a.sg_states, b.sg_states);
+  ASSERT_EQ(a.unfolding != nullptr, b.unfolding != nullptr);
+  ASSERT_EQ(a.sgraph != nullptr, b.sgraph != nullptr);
+  if (a.unfolding != nullptr) {
+    const unf::Unfolding& ua = *a.unfolding;
+    const unf::Unfolding& ub = *b.unfolding;
+    ASSERT_EQ(ua.event_count(), ub.event_count());
+    ASSERT_EQ(ua.condition_count(), ub.condition_count());
+    for (std::size_t e = 0; e < ua.event_count(); ++e) {
+      const unf::EventId id(static_cast<std::uint32_t>(e));
+      EXPECT_EQ(ua.transition(id), ub.transition(id));
+      EXPECT_EQ(ua.preset(id), ub.preset(id));
+      EXPECT_EQ(ua.postset(id), ub.postset(id));
+      EXPECT_TRUE(ua.local_config(id) == ub.local_config(id));
+      EXPECT_EQ(ua.config_size(id), ub.config_size(id));
+      EXPECT_EQ(ua.code(id), ub.code(id));
+      EXPECT_EQ(ua.final_marking(id), ub.final_marking(id));
+      EXPECT_EQ(ua.is_cutoff(id), ub.is_cutoff(id));
+      if (ua.is_cutoff(id)) EXPECT_EQ(ua.cutoff_image(id), ub.cutoff_image(id));
+    }
+    for (std::size_t c = 0; c < ua.condition_count(); ++c) {
+      const unf::ConditionId id(static_cast<std::uint32_t>(c));
+      EXPECT_EQ(ua.place(id), ub.place(id));
+      EXPECT_EQ(ua.producer(id), ub.producer(id));
+      EXPECT_EQ(ua.consumers(id), ub.consumers(id));
+      for (std::size_t d = 0; d < c; ++d) {
+        EXPECT_EQ(ua.co(id, unf::ConditionId(static_cast<std::uint32_t>(d))),
+                  ub.co(id, unf::ConditionId(static_cast<std::uint32_t>(d))));
+      }
+    }
+  }
+  if (a.sgraph != nullptr) {
+    const sg::StateGraph& ga = *a.sgraph;
+    const sg::StateGraph& gb = *b.sgraph;
+    ASSERT_EQ(ga.state_count(), gb.state_count());
+    ASSERT_EQ(ga.arc_count(), gb.arc_count());
+    for (std::size_t s = 0; s < ga.state_count(); ++s) {
+      EXPECT_EQ(ga.marking(s), gb.marking(s));
+      EXPECT_EQ(ga.code(s), gb.code(s));
+      ASSERT_EQ(ga.arcs(s).size(), gb.arcs(s).size());
+      for (std::size_t k = 0; k < ga.arcs(s).size(); ++k) {
+        EXPECT_EQ(ga.arcs(s)[k].transition, gb.arcs(s)[k].transition);
+        EXPECT_EQ(ga.arcs(s)[k].target, gb.arcs(s)[k].target);
+      }
+      for (std::size_t sig = 0; sig < a.stg.signal_count(); ++sig) {
+        const stg::SignalId id(static_cast<std::uint32_t>(sig));
+        EXPECT_EQ(ga.excited(s, id), gb.excited(s, id));
+      }
+    }
+  }
+}
+
+TEST(ModelStoreSerialize, UnfoldingModelRoundTripsStructurally) {
+  const Stg stg = stg::make_vme_bus();
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+  const auto model = SemanticModel::build(stg, options);
+
+  const std::string image = serialize_model(*model, key);
+  const auto loaded = deserialize_model(image, &key);
+  ASSERT_NE(loaded, nullptr);
+  expect_models_equal(*model, *loaded);
+}
+
+TEST(ModelStoreSerialize, StateGraphModelRoundTripsStructurally) {
+  const Stg stg = stg::make_muller_pipeline(3);
+  SynthesisOptions options;
+  options.method = Method::StateGraph;
+  const std::string key = ModelCache::key_of(stg, options);
+  const auto model = SemanticModel::build(stg, options);
+
+  const std::string image = serialize_model(*model, key);
+  const auto loaded = deserialize_model(image, &key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_NE(loaded->sgraph, nullptr);
+  expect_models_equal(*model, *loaded);
+}
+
+TEST(ModelStoreSerialize, KeyMismatchIsAMissNotAnError) {
+  const Stg stg = stg::make_paper_fig1();
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+  const std::string image = serialize_model(*SemanticModel::build(stg, options), key);
+
+  const std::string other_key = key + "-but-different";
+  EXPECT_EQ(deserialize_model(image, &other_key), nullptr);
+  EXPECT_NE(deserialize_model(image, &key), nullptr);
+  EXPECT_NE(deserialize_model(image, nullptr), nullptr);  // unchecked read
+}
+
+TEST(ModelStoreSerialize, TruncationAtEveryPrefixThrowsNeverCrashes) {
+  const Stg stg = stg::make_paper_fig1();
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+  const std::string image = serialize_model(*SemanticModel::build(stg, options), key);
+
+  // Every strict prefix must fail loudly (ParseError/ValidationError), and
+  // in particular must not return a half-read model.  Step 7 keeps the test
+  // fast while still probing unaligned cuts through every section.
+  for (std::size_t cut = 0; cut < image.size(); cut += 7) {
+    EXPECT_THROW((void)deserialize_model(image.substr(0, cut), &key), Error)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(ModelStoreSerialize, BitFlipsAreDetected) {
+  const Stg stg = stg::make_paper_fig1();
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+  const std::string image = serialize_model(*SemanticModel::build(stg, options), key);
+
+  // The trailing checksum catches any payload flip; header flips trip the
+  // magic/version checks.  (Stride keeps the loop cheap.)
+  for (std::size_t at = 0; at < image.size(); at += 11) {
+    std::string corrupt = image;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x20);
+    EXPECT_THROW((void)deserialize_model(corrupt, &key), Error) << "flip at " << at;
+  }
+}
+
+TEST(ModelStoreSerialize, FormatVersionBumpIsRejected) {
+  const Stg stg = stg::make_paper_fig1();
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+  std::string image = serialize_model(*SemanticModel::build(stg, options), key);
+
+  // Byte 8 is the low byte of the little-endian format version.
+  image[8] = static_cast<char>(ModelStore::kFormatVersion + 1);
+  try {
+    (void)deserialize_model(image, &key);
+    FAIL() << "a bumped format version must not deserialise";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ModelStore, StoreThenLoadAcrossStoreInstances) {
+  TempDir dir("roundtrip");
+  const Stg stg = stg::make_vme_bus();
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+  const auto model = SemanticModel::build(stg, options);
+
+  {
+    ModelStore writer(dir.str());
+    EXPECT_TRUE(writer.store(key, *model));
+    EXPECT_EQ(writer.stats().stores, 1u);
+  }
+  ModelStore reader(dir.str());  // a later process
+  const auto loaded = reader.load(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(reader.stats().hits, 1u);
+  expect_models_equal(*model, *loaded);
+
+  // No leftover temp files: publish is write-temp + rename.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ModelStore::kFileSuffix) << entry.path();
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(ModelStore, MissingCorruptAndStaleFilesDegradeToNull) {
+  TempDir dir("degrade");
+  const Stg stg = stg::make_paper_fig1();
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+  ModelStore store(dir.str());
+
+  // Absent file: a plain miss.
+  EXPECT_EQ(store.load(key), nullptr);
+  EXPECT_EQ(store.stats().misses, 1u);
+
+  // Truncated file: a load error, still null, never a throw.
+  ASSERT_TRUE(store.store(key, *SemanticModel::build(stg, options)));
+  const fs::path path = dir.path() / ModelStore::filename_of(key);
+  const std::string image = read_file(path);
+  write_file(path, image.substr(0, image.size() / 2));
+  EXPECT_EQ(store.load(key), nullptr);
+  EXPECT_EQ(store.stats().load_errors, 1u);
+
+  // Version-bumped file: same degradation.
+  std::string stale = image;
+  stale[8] = static_cast<char>(ModelStore::kFormatVersion + 1);
+  write_file(path, stale);
+  EXPECT_EQ(store.load(key), nullptr);
+  EXPECT_EQ(store.stats().load_errors, 2u);
+
+  // Intact again: loads.
+  write_file(path, image);
+  EXPECT_NE(store.load(key), nullptr);
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST(ModelStore, ReadOnlyDirectoryDegradesToBuildWithoutPersist) {
+  TempDir dir("readonly");
+  const Stg stg = stg::make_paper_fig1();
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+
+  fs::permissions(dir.path(), fs::perms::owner_read | fs::perms::owner_exec,
+                  fs::perm_options::replace);
+  if (::access(dir.str().c_str(), W_OK) == 0) {
+    // e.g. running as root, which bypasses permission bits entirely.
+    GTEST_SKIP() << "running as a user the directory permissions cannot restrict";
+  }
+
+  auto store = std::make_shared<ModelStore>(dir.str());
+  EXPECT_FALSE(store->store(key, *SemanticModel::build(stg, options)));
+  EXPECT_EQ(store->stats().store_failures, 1u);
+
+  // Through the cache: the lookup still succeeds (build-without-persist).
+  ModelCache cache(ModelCache::kDefaultCapacity, store);
+  bool built = false;
+  const auto model = cache.lookup_or_build(stg, options, &built);
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(cache.stats().disk_store_failures, 2u);
+  EXPECT_EQ(cache.stats().builds, 1u);
+}
+
+TEST(ModelStore, RacingWritersOnOneKeyBothSucceedOneWins) {
+  TempDir dir("race");
+  const Stg stg = stg::make_muller_pipeline(2);
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+  const auto model = SemanticModel::build(stg, options);
+
+  // Two store instances simulate two processes publishing the same key into
+  // one shared directory: both writes succeed (each through its own temp
+  // file), the directory ends with exactly one complete model, and a reader
+  // sees a loadable file.
+  ModelStore a(dir.str());
+  ModelStore b(dir.str());
+  EXPECT_TRUE(a.store(key, *model));
+  EXPECT_TRUE(b.store(key, *model));
+
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ModelStore::kFileSuffix) << entry.path();
+  }
+  EXPECT_EQ(files, 1u);
+  ModelStore reader(dir.str());
+  EXPECT_NE(reader.load(key), nullptr);
+}
+
+TEST(ModelStore, ScanInventoriesAndPurgeRemovesOnlyModelFiles) {
+  TempDir dir("scan");
+  const SynthesisOptions options;
+  const Stg a = stg::make_paper_fig1();
+  const Stg b = stg::make_muller_pipeline(2);
+  ModelStore store(dir.str());
+  ASSERT_TRUE(store.store(ModelCache::key_of(a, options), *SemanticModel::build(a, options)));
+  ASSERT_TRUE(store.store(ModelCache::key_of(b, options), *SemanticModel::build(b, options)));
+  write_file(dir.path() / "unrelated.txt", "not a model");
+  write_file(dir.path() / ("bogus" + std::string(ModelStore::kFileSuffix)), "garbage");
+  // A writer killed between open and rename leaves a temp file behind;
+  // scan() ignores it, purge() must clean it up.
+  write_file(dir.path() / ("dead" + std::string(ModelStore::kFileSuffix) + ".tmp-1-1"),
+             "half-written");
+
+  const std::vector<StoredModelInfo> scanned = ModelStore::scan(dir.str());
+  ASSERT_EQ(scanned.size(), 3u);  // two models + the bogus .puntmodel
+  std::size_t ok = 0, corrupt = 0;
+  for (const StoredModelInfo& info : scanned) {
+    if (info.ok) {
+      ++ok;
+      EXPECT_EQ(info.kind, "unfolding");
+      EXPECT_GT(info.events, 0u);
+      EXPECT_FALSE(info.model.empty());
+    } else {
+      ++corrupt;
+      EXPECT_FALSE(info.error.empty());
+    }
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(corrupt, 1u);
+
+  EXPECT_EQ(ModelStore::purge(dir.str()), 4u);  // 3 .puntmodel + 1 stale temp
+  EXPECT_TRUE(ModelStore::scan(dir.str()).empty());
+  EXPECT_TRUE(fs::exists(dir.path() / "unrelated.txt"));  // non-models untouched
+
+  // Scanning/purging a directory that does not exist is empty, not an error.
+  EXPECT_TRUE(ModelStore::scan(dir.str() + "-nonexistent").empty());
+  EXPECT_EQ(ModelStore::purge(dir.str() + "-nonexistent"), 0u);
+}
+
+TEST(ModelStoreCache, SecondCacheOverWarmDirectoryServesFromDisk) {
+  TempDir dir("two-tier");
+  const Stg stg = stg::make_vme_bus();
+  const SynthesisOptions options;
+
+  {
+    ModelCache cold(ModelCache::kDefaultCapacity,
+                    std::make_shared<ModelStore>(dir.str()));
+    bool built = false;
+    (void)cold.lookup_or_build(stg, options, &built);
+    EXPECT_TRUE(built);
+    const ModelCacheStats stats = cold.stats();
+    EXPECT_EQ(stats.builds, 1u);
+    EXPECT_EQ(stats.disk_stores, 1u);
+  }
+
+  // A fresh cache (a new process) over the same directory: disk hit, no
+  // phase-1 rebuild, and the saving is credited.
+  ModelCache warm(ModelCache::kDefaultCapacity, std::make_shared<ModelStore>(dir.str()));
+  bool built = true;
+  const auto model = warm.lookup_or_build(stg, options, &built);
+  ASSERT_NE(model, nullptr);
+  EXPECT_FALSE(built);
+  const ModelCacheStats stats = warm.stats();
+  EXPECT_EQ(stats.builds, 0u);
+  EXPECT_EQ(stats.disk_hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);  // it *was* a memory miss
+  EXPECT_GE(stats.saved_seconds, 0.0);
+
+  // And the disk-loaded model is a memory hit from then on.
+  (void)warm.lookup_or_build(stg, options, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(warm.stats().hits, 1u);
+}
+
+/// The PR's acceptance criterion: synthesis from a disk-loaded model is
+/// byte-identical to a cold build, across the whole Table-1 registry.
+TEST(ModelStoreCache, DiskLoadedModelsSynthesiseIdenticallyAcrossTheRegistry) {
+  TempDir dir("registry");
+  const auto& registry = benchmarks::table1();
+  std::vector<Stg> stgs;
+  for (const auto& bench : registry) stgs.push_back(bench.make());
+
+  // Pass 1 (cold): build every model, persisting each to the directory.
+  BatchOptions cold_options;
+  cold_options.jobs = 2;
+  ModelCache cold(ModelCache::kDefaultCapacity, std::make_shared<ModelStore>(dir.str()));
+  cold_options.cache = &cold;
+  const BatchResult cold_run = synthesize_batch(stgs, cold_options);
+  EXPECT_EQ(cold.stats().builds, registry.size());
+  EXPECT_EQ(cold.stats().disk_stores, registry.size());
+
+  // Pass 2 (warm, fresh memory): every model must come from disk...
+  BatchOptions warm_options;
+  warm_options.jobs = 2;
+  ModelCache warm(ModelCache::kDefaultCapacity, std::make_shared<ModelStore>(dir.str()));
+  warm_options.cache = &warm;
+  const BatchResult warm_run = synthesize_batch(stgs, warm_options);
+  const ModelCacheStats stats = warm.stats();
+  EXPECT_EQ(stats.disk_hits, registry.size());
+  EXPECT_EQ(stats.builds, 0u) << "a warm directory must not rebuild phase 1";
+  EXPECT_EQ(stats.disk_load_errors, 0u);
+
+  // ...and synthesis from the deserialised models must match byte-for-byte.
+  ASSERT_EQ(cold_run.entries.size(), warm_run.entries.size());
+  for (std::size_t i = 0; i < cold_run.entries.size(); ++i) {
+    ASSERT_TRUE(cold_run.entries[i].ok) << registry[i].name << ": "
+                                        << cold_run.entries[i].error;
+    ASSERT_TRUE(warm_run.entries[i].ok) << registry[i].name << ": "
+                                        << warm_run.entries[i].error;
+    const auto& a = cold_run.entries[i].result.signals;
+    const auto& b = warm_run.entries[i].result.signals;
+    ASSERT_EQ(a.size(), b.size()) << registry[i].name;
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      EXPECT_TRUE(a[s].same_logic(b[s]))
+          << registry[i].name << " signal " << a[s].name << " (cold vs disk-loaded)";
+    }
+    EXPECT_EQ(cold_run.entries[i].result.literal_count(),
+              warm_run.entries[i].result.literal_count())
+        << registry[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace punt::core

@@ -253,7 +253,7 @@ TEST(Report, WeightedShardsPartitionTheRegistryExactly) {
   // Whatever the weight profile, the n weighted shard runs must cover the
   // registry exactly once — the contract `punt bench merge` enforces.
   Table1Report weights = synthetic_full_report();
-  weights.rows[4].ok = false;  // failed rows weigh zero, they still partition
+  weights.rows[4].ok = false;  // failed rows weigh the mean, they still partition
   weights.rows[4].error = "CSC conflict";
   const std::size_t registry_size = table1().size();
   for (const std::size_t count : {1u, 2u, 3u, 4u, 7u}) {
@@ -299,6 +299,59 @@ TEST(Report, WeightedShardsBalanceSkewedCosts) {
   // the dominant entry's own weight (the LPT optimum here).
   ASSERT_EQ(heavy_shard_positions, std::vector<std::size_t>{0});
   EXPECT_DOUBLE_EQ(max_load, 100.0);
+}
+
+TEST(Report, WeightedShardsSpreadFailedRowsByMeanWeight) {
+  // Regression: failed rows used to weigh 0.0, so after the successful rows
+  // were placed, every failed entry chased the (then fixed) least-loaded
+  // shard and piled onto it as free riders — four failures, one unlucky
+  // shard re-attempting all of them.  A failed row now weighs the mean
+  // successful-row weight, so LPT spreads failures like ordinary entries.
+  Table1Report weights = synthetic_full_report();
+  for (Table1Row& row : weights.rows) row.total_seconds = 10.0;
+  for (std::size_t p = 1; p <= 4; ++p) {
+    weights.rows[p].ok = false;
+    weights.rows[p].error = "CSC conflict";
+    weights.rows[p].total_seconds = 0.0;  // meaningless, as punt reports it
+  }
+
+  const std::size_t count = 4;
+  std::size_t max_failed_on_one_shard = 0;
+  for (std::size_t index = 0; index < count; ++index) {
+    const std::vector<std::size_t> positions =
+        weighted_shard_positions(Shard{index, count}, weights);
+    std::size_t failed_here = 0;
+    for (const std::size_t p : positions) {
+      if (p >= 1 && p <= 4) ++failed_here;
+    }
+    max_failed_on_one_shard = std::max(max_failed_on_one_shard, failed_here);
+  }
+  // With uniform successful weights the mean equals them, so the four failed
+  // entries land one per shard (the zero-weight bug put all four on one).
+  EXPECT_EQ(max_failed_on_one_shard, 1u);
+
+  // Degenerate case: every row failed.  The fallback must be a *positive*
+  // equal weight — with zero weights the greedy loop would never change a
+  // load and every entry would land on shard 0 — so the partition is exact
+  // AND evenly sized (LPT deals equal weights round-robin).
+  Table1Report all_failed = synthetic_full_report();
+  for (Table1Row& row : all_failed.rows) {
+    row.ok = false;
+    row.error = "capacity";
+  }
+  std::set<std::size_t> seen;
+  const std::size_t even_share = (table1().size() + count - 1) / count;
+  for (std::size_t index = 0; index < count; ++index) {
+    const std::vector<std::size_t> positions =
+        weighted_shard_positions(Shard{index, count}, all_failed);
+    EXPECT_LE(positions.size(), even_share) << "shard " << index << " is overloaded";
+    EXPECT_GE(positions.size(), table1().size() / count - 1)
+        << "shard " << index << " is starved";
+    for (const std::size_t p : positions) {
+      EXPECT_TRUE(seen.insert(p).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), table1().size());
 }
 
 TEST(Report, WeightedShardsAreDeterministicUnderUniformWeights) {

@@ -1,7 +1,15 @@
-// Unit tests for the util substrate: Bitset, strings, xorshift.
+// Unit tests for the util substrate: Bitset, binary I/O, JSON escaping,
+// strings, xorshift.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/util/binio.hpp"
 #include "src/util/bitset.hpp"
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/xorshift.hpp"
 
@@ -135,6 +143,72 @@ TEST(Strings, LogicalLinesStripsCarriageReturn) {
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0], "a");
   EXPECT_EQ(lines[1], "b");
+}
+
+TEST(Bitset, WordsRoundTripThroughFromWords) {
+  Bitset b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  const Bitset rebuilt = Bitset::from_words(b.size(), b.words());
+  EXPECT_TRUE(rebuilt == b);
+
+  // Size/word-count mismatches and stray tail bits are corruption, not data.
+  EXPECT_THROW((void)Bitset::from_words(200, b.words()), ValidationError);
+  std::vector<std::uint64_t> tail = b.words();
+  tail.back() |= std::uint64_t{1} << 10;  // bit 138 > size 130
+  EXPECT_THROW((void)Bitset::from_words(130, std::move(tail)), ValidationError);
+}
+
+TEST(BinIo, FieldsRoundTripExactly) {
+  util::BinaryWriter out;
+  out.u8(0xab);
+  out.u32(0xdeadbeef);
+  out.u64(0x0123456789abcdefull);
+  out.f64(-1234.5678e-9);
+  out.f64(std::numeric_limits<double>::infinity());
+  out.str("hello \x1f world");
+  out.str("");
+
+  util::BinaryReader in(out.data());
+  EXPECT_EQ(in.u8(), 0xab);
+  EXPECT_EQ(in.u32(), 0xdeadbeefu);
+  EXPECT_EQ(in.u64(), 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(in.f64(), -1234.5678e-9);
+  EXPECT_EQ(in.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(in.str(), "hello \x1f world");
+  EXPECT_EQ(in.str(), "");
+  EXPECT_TRUE(in.at_end());
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(BinIo, ReadsPastTheEndThrowParseError) {
+  util::BinaryWriter out;
+  out.u32(7);
+  util::BinaryReader in(out.data());
+  (void)in.u32();
+  EXPECT_THROW((void)in.u8(), ParseError);
+
+  // A length prefix overrunning the payload is truncation, not a crash.
+  util::BinaryWriter bad;
+  bad.u64(1000);  // claims a 1000-byte string, provides none
+  util::BinaryReader str_in(bad.data());
+  EXPECT_THROW((void)str_in.str(), ParseError);
+
+  // count() bounds corrupt container lengths before any allocation.
+  util::BinaryWriter huge;
+  huge.u64(std::numeric_limits<std::uint64_t>::max());
+  util::BinaryReader count_in(huge.data());
+  EXPECT_THROW((void)count_in.count(1 << 20, "element"), ParseError);
+}
+
+TEST(Json, EscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(util::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(util::json_escape("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(util::json_escape(std::string("nul\x01") + "byte"), "nul\\u0001byte");
+  EXPECT_EQ(util::json_escape("unit\x1fsep"), "unit\\u001fsep");
 }
 
 TEST(XorShift, DeterministicForFixedSeed) {

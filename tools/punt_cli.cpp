@@ -2,14 +2,15 @@
 //
 //   punt synth <file.g> [--method=approx|exact|sg] [--arch=acg|c|rs]
 //              [--eqn] [--verilog] [--dot] [--unfolding-dot] [--no-minimize]
-//              [--jobs=N] [--trace-schedule=<file>]
-//   punt check <file.g>            verify the general correctness criteria
+//              [--jobs=N] [--trace-schedule=<file>] [--model-cache-dir=<dir>]
+//   punt check <file.g> [--model-cache-dir=<dir>]
+//                                  verify the general correctness criteria
 //   punt resolve <file.g>          repair CSC conflicts by signal insertion
 //   punt bench list                list the Table-1 registry
 //   punt bench dump <name>         print a registry entry as .g text
 //   punt bench run [--jobs=N] [--method=...] [--arch=...]
 //                  [--shard=i/n] [--weights=<report.json>] [--report=json]
-//                  [--trace-schedule=<file>]
+//                  [--trace-schedule=<file>] [--model-cache-dir=<dir>]
 //                                  synthesise the registry (or one shard of
 //                                  it) through the task-graph executor;
 //                                  Table-1 table with paper columns, or JSON.
@@ -23,14 +24,28 @@
 //                                  combine per-shard JSON reports into the
 //                                  full Table-1 table, verifying that the
 //                                  shards cover the registry exactly once
+//   punt cache stats --model-cache-dir=<dir>
+//                                  inventory the on-disk model cache as JSON
+//   punt cache purge --model-cache-dir=<dir>
+//                                  delete every persisted model in the dir
+//
+// --model-cache-dir persists the phase-1 semantic models (unfolding segment
+// or state graph) under the canonical STG digest, so successive punt
+// invocations — and CI bench shards sharing one directory — skip phase 1
+// after the first warm run.  Corrupt or version-mismatched cache files fall
+// back to a rebuild; an unwritable directory degrades to build-without-
+// persist.  Commands that used the cache print a hit/build summary (memory
+// hits, disk hits, rebuilds) to stderr.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 when the specification is
 // not implementable (with a diagnostic on stderr).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,6 +54,7 @@
 #include "src/benchmarks/report.hpp"
 #include "src/core/csc_resolve.hpp"
 #include "src/core/model_cache.hpp"
+#include "src/core/model_store.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
 #include "src/netlist/netlist.hpp"
@@ -49,6 +65,7 @@
 #include "src/unfolding/dot.hpp"
 #include "src/unfolding/unfolding.hpp"
 #include "src/util/error.hpp"
+#include "src/util/json.hpp"
 #include "src/util/task_graph.hpp"
 
 namespace {
@@ -59,18 +76,24 @@ int usage() {
                "  punt synth <file.g> [--method=approx|exact|sg] [--arch=acg|c|rs]\n"
                "             [--eqn] [--verilog] [--dot] [--unfolding-dot]\n"
                "             [--no-minimize] [--jobs=N] [--trace-schedule=<file>]\n"
-               "  punt check <file.g>\n"
+               "             [--model-cache-dir=<dir>]\n"
+               "  punt check <file.g> [--model-cache-dir=<dir>]\n"
                "  punt resolve <file.g>\n"
                "  punt bench list | punt bench dump <name>\n"
                "  punt bench run [--jobs=N] [--method=...] [--arch=...]\n"
                "                 [--shard=i/n] [--weights=<report.json>]\n"
                "                 [--report=json] [--trace-schedule=<file>]\n"
+               "                 [--model-cache-dir=<dir>]\n"
                "  punt bench merge <report.json...>\n"
+               "  punt cache stats --model-cache-dir=<dir>\n"
+               "  punt cache purge --model-cache-dir=<dir>\n"
                "(--jobs: worker threads; 0 = one per hardware thread)\n"
                "(--shard=i/n: registry entries at positions p with p %% n == i,\n"
                " or balanced by measured per-entry TotTim with --weights)\n"
                "(--trace-schedule: write the executed task graph as JSON and\n"
-               " print its critical-path summary to stderr)\n");
+               " print its critical-path summary to stderr)\n"
+               "(--model-cache-dir: persist phase-1 semantic models on disk so\n"
+               " later invocations sharing the directory skip rebuilding them)\n");
   return 1;
 }
 
@@ -143,6 +166,58 @@ std::string trace_schedule_path(const std::vector<std::string>& args) {
   return std::string();
 }
 
+/// The payload of `--model-cache-dir=<dir>`, or empty when absent.
+std::string model_cache_dir(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--model-cache-dir=", 0) == 0) {
+      const std::string dir = arg.substr(18);
+      if (dir.empty()) {
+        throw punt::Error("--model-cache-dir needs a directory path "
+                          "(e.g. --model-cache-dir=.punt-cache)");
+      }
+      return dir;
+    }
+  }
+  return std::string();
+}
+
+/// A ModelCache with the on-disk tier under `dir`, or a memory-only one for
+/// an empty dir (check) / nullptr where the cache itself is optional.
+std::unique_ptr<punt::core::ModelCache> make_cache(const std::string& dir) {
+  if (dir.empty()) return nullptr;
+  return std::make_unique<punt::core::ModelCache>(
+      punt::core::ModelCache::kDefaultCapacity,
+      std::make_shared<punt::core::ModelStore>(dir));
+}
+
+/// One stderr line summarising where the models of this run came from; the
+/// acceptance signal for a warm `--model-cache-dir` is "N disk hit(s), 0
+/// rebuild(s)".
+void print_cache_summary(const punt::core::ModelCache& cache) {
+  const punt::core::ModelCacheStats s = cache.stats();
+  const std::string failed =
+      s.failed_builds == 0
+          ? std::string()
+          : " (" + std::to_string(s.failed_builds) + " failed)";
+  std::fprintf(stderr,
+               "model cache: %zu lookup(s): %zu memory hit(s), %zu disk hit(s), "
+               "%zu rebuild(s)%s; saved %.3fs; disk: %zu stored, %zu load error(s), "
+               "%zu store failure(s)\n",
+               s.hits + s.misses, s.hits, s.disk_hits, s.builds, failed.c_str(),
+               s.saved_seconds, s.disk_stores, s.disk_load_errors,
+               s.disk_store_failures);
+}
+
+/// Prints the summary when the enclosing command exits — error paths
+/// included (a CSC failure over a warm cache is exactly the run where
+/// knowing whether phase 1 came from a stale cached model helps).
+struct CacheSummaryGuard {
+  const punt::core::ModelCache* cache = nullptr;
+  ~CacheSummaryGuard() {
+    if (cache != nullptr) print_cache_summary(*cache);
+  }
+};
+
 /// Writes the executed schedule as JSON and prints the critical-path summary
 /// to stderr (stderr so `--report=json` output stays parseable).
 void dump_trace(const punt::util::TaskTrace& trace, const std::string& path) {
@@ -158,9 +233,11 @@ int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
   const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
   const punt::core::SynthesisOptions options = parse_options(args);
   const std::string trace_path = trace_schedule_path(args);
+  const std::unique_ptr<punt::core::ModelCache> cache = make_cache(model_cache_dir(args));
+  const CacheSummaryGuard summary{cache.get()};
   punt::util::TaskTrace trace;
   const punt::core::SynthesisResult result = punt::core::synthesize(
-      stg, options, nullptr, trace_path.empty() ? nullptr : &trace);
+      stg, options, cache.get(), trace_path.empty() ? nullptr : &trace);
   if (!trace_path.empty()) dump_trace(trace, trace_path);
   const punt::net::Netlist netlist = punt::net::Netlist::from_synthesis(stg, result);
 
@@ -182,12 +259,17 @@ int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_check(const std::string& path) {
+int cmd_check(const std::string& path, const std::vector<std::string>& args) {
   const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
   // One ModelCache shared between the criteria checks and the CSC synthesis
   // run below: the unfolding segment is built exactly once (the seed built
-  // it twice — once for the checks, once inside synthesize()).
-  punt::core::ModelCache cache;
+  // it twice — once for the checks, once inside synthesize()).  With
+  // --model-cache-dir a warm directory skips even that one build.
+  const std::string cache_dir = model_cache_dir(args);
+  punt::core::ModelCache cache(
+      punt::core::ModelCache::kDefaultCapacity,
+      cache_dir.empty() ? nullptr : std::make_shared<punt::core::ModelStore>(cache_dir));
+  const CacheSummaryGuard summary{cache_dir.empty() ? nullptr : &cache};
   punt::core::SynthesisOptions options;
   options.throw_on_csc = false;
   // Persistency is reported below, not thrown, so the check prints a full
@@ -212,9 +294,17 @@ int cmd_check(const std::string& path) {
   }
   if (csc_ok) std::printf("complete state coding       : yes\n");
   const punt::core::ModelCacheStats stats = cache.stats();
-  std::printf("semantic model              : built once, reused %zu time(s) "
+  // The displayed rate counts disk hits as reuse, matching the "reused"
+  // figure on the same line (hit_rate() alone is the memory tier's view and
+  // would read 0% on a warm directory).
+  const std::size_t lookups = stats.hits + stats.misses;
+  const double reuse_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.hits + stats.disk_hits) /
+                         static_cast<double>(lookups);
+  std::printf("semantic model              : built %zu time(s), reused %zu time(s) "
               "(%.0f%% cache hit rate)\n",
-              stats.hits, stats.hit_rate() * 100.0);
+              stats.builds, stats.hits + stats.disk_hits, reuse_rate * 100.0);
   return csc_ok && persistency.empty() ? 0 : 2;
 }
 
@@ -264,6 +354,13 @@ int cmd_bench_run(const std::vector<std::string>& args) {
   const std::string trace_path = trace_schedule_path(args);
   punt::util::TaskTrace trace;
   if (!trace_path.empty()) batch_options.trace = &trace;
+  // With --model-cache-dir, phase 1 of every registry entry is served from
+  // (and persisted to) the shared directory: a second run over a warm dir
+  // reports all disk hits and zero rebuilds.  CI's bench shards share one
+  // directory through actions/cache.
+  const std::unique_ptr<punt::core::ModelCache> cache = make_cache(model_cache_dir(args));
+  batch_options.cache = cache.get();
+  const CacheSummaryGuard summary{cache.get()};
 
   const auto& registry = punt::benchmarks::table1();
   std::vector<std::size_t> positions;
@@ -335,6 +432,59 @@ int cmd_bench_merge(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_cache(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string dir = model_cache_dir({args.begin() + 1, args.end()});
+  if (dir.empty()) {
+    throw punt::Error("punt cache " + args[0] +
+                      " needs --model-cache-dir=<dir> naming the cache directory");
+  }
+  if (args[0] == "purge") {
+    const std::size_t removed = punt::core::ModelStore::purge(dir);
+    std::printf("purged %zu model file(s) from %s\n", removed, dir.c_str());
+    return 0;
+  }
+  if (args[0] == "stats") {
+    // JSON so the CI cache-stats step (and scripts) can consume it; the
+    // stderr summaries of synth/bench cover the human glance.
+    const std::vector<punt::core::StoredModelInfo> entries =
+        punt::core::ModelStore::scan(dir);
+    std::uintmax_t bytes = 0;
+    std::size_t corrupt = 0;
+    for (const auto& entry : entries) {
+      bytes += entry.bytes;
+      if (!entry.ok) ++corrupt;
+    }
+    std::printf("{\n");
+    std::printf("  \"schema\": \"punt-cache-stats\",\n");
+    std::printf("  \"version\": 1,\n");
+    std::printf("  \"directory\": \"%s\",\n", punt::util::json_escape(dir).c_str());
+    std::printf("  \"models\": %zu,\n", entries.size());
+    std::printf("  \"bytes\": %llu,\n", static_cast<unsigned long long>(bytes));
+    std::printf("  \"corrupt\": %zu,\n", corrupt);
+    std::printf("  \"entries\": [\n");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto& entry = entries[i];
+      std::printf("    {\"file\": \"%s\", \"bytes\": %llu, \"ok\": %s",
+                  punt::util::json_escape(entry.file).c_str(),
+                  static_cast<unsigned long long>(entry.bytes),
+                  entry.ok ? "true" : "false");
+      if (entry.ok) {
+        std::printf(", \"model\": \"%s\", \"kind\": \"%s\", \"events\": %zu, "
+                    "\"states\": %zu",
+                    punt::util::json_escape(entry.model).c_str(), entry.kind.c_str(),
+                    entry.events, entry.states);
+      } else {
+        std::printf(", \"error\": \"%s\"", punt::util::json_escape(entry.error).c_str());
+      }
+      std::printf("}%s\n", i + 1 < entries.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return corrupt == 0 ? 0 : 2;
+  }
+  return usage();
+}
+
 int cmd_bench(const std::vector<std::string>& args) {
   if (!args.empty() && args[0] == "run") {
     return cmd_bench_run({args.begin() + 1, args.end()});
@@ -366,9 +516,12 @@ int main(int argc, char** argv) {
     if (command == "synth" && args.size() >= 2) {
       return cmd_synth(args[1], {args.begin() + 2, args.end()});
     }
-    if (command == "check" && args.size() >= 2) return cmd_check(args[1]);
+    if (command == "check" && args.size() >= 2) {
+      return cmd_check(args[1], {args.begin() + 2, args.end()});
+    }
     if (command == "resolve" && args.size() >= 2) return cmd_resolve(args[1]);
     if (command == "bench") return cmd_bench({args.begin() + 1, args.end()});
+    if (command == "cache") return cmd_cache({args.begin() + 1, args.end()});
     return usage();
   } catch (const punt::CscError& e) {
     std::fprintf(stderr, "CSC conflict: %s\n(try `punt resolve`)\n", e.what());
