@@ -11,251 +11,43 @@
 #include "src/benchmarks/registry.hpp"
 #include "src/util/error.hpp"
 #include "src/util/json.hpp"
+#include "src/util/strings.hpp"
 
 namespace punt::benchmarks {
 namespace {
 
-std::string printf_string(const char* format, ...) __attribute__((format(printf, 1, 2)));
-std::string printf_string(const char* format, ...) {
-  va_list args;
-  va_start(args, format);
-  char buffer[512];
-  const int n = std::vsnprintf(buffer, sizeof buffer, format, args);
-  va_end(args);
-  if (n < 0) return std::string();
-  if (static_cast<std::size_t>(n) < sizeof buffer) return std::string(buffer, n);
-  // Too long for the stack buffer (e.g. a JSON row embedding a long error
-  // message): size exactly and format again — truncation here would emit
-  // malformed JSON.
-  std::string out(static_cast<std::size_t>(n), '\0');
-  va_start(args, format);
-  std::vsnprintf(out.data(), out.size() + 1, format, args);
-  va_end(args);
-  return out;
-}
+using punt::printf_string;
 
 // --- Minimal JSON layer -------------------------------------------------------
 //
-// The report schema needs objects, arrays, strings, numbers and booleans —
-// nothing else — so a ~100-line recursive-descent parser keeps the repo free
-// of a JSON dependency.  Errors carry the byte offset for diagnosis.
-// String escaping is the shared util::json_escape.
+// Parsing and escaping are the shared util/json layer; these thin wrappers
+// pin the document name (for diagnostics) so the accessors below read as
+// they did when the parser lived here.
 
 using util::json_escape;
+using util::JsonValue;
 
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Array, Object };
-  Type type = Type::Null;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
+constexpr const char* kDocument = "report JSON (is this a punt-table1-report?)";
 
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after the JSON value");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw ParseError("malformed report JSON at byte " + std::to_string(pos_) + ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool try_consume(char c) {
-    if (pos_ < text_.size() && peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue value;
-      value.type = JsonValue::Type::String;
-      value.string = parse_string();
-      return value;
-    }
-    if (c == 't' || c == 'f') return parse_keyword(c == 't' ? "true" : "false");
-    if (c == 'n') return parse_keyword("null");
-    return parse_number();
-  }
-
-  JsonValue parse_keyword(std::string_view keyword) {
-    if (text_.substr(pos_, keyword.size()) != keyword) {
-      fail("unrecognised literal");
-    }
-    pos_ += keyword.size();
-    JsonValue value;
-    if (keyword == "true" || keyword == "false") {
-      value.type = JsonValue::Type::Bool;
-      value.boolean = keyword == "true";
-    }
-    return value;
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
-            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
-            text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue value;
-    value.type = JsonValue::Type::Number;
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    value.number = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') fail("invalid number '" + token + "'");
-    return value;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("invalid \\u escape");
-          }
-          // BMP-only UTF-8 encoding; the report never emits surrogates.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue value;
-    value.type = JsonValue::Type::Array;
-    if (try_consume(']')) return value;
-    while (true) {
-      value.array.push_back(parse_value());
-      if (try_consume(']')) return value;
-      expect(',');
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue value;
-    value.type = JsonValue::Type::Object;
-    if (try_consume('}')) return value;
-    while (true) {
-      std::string key = parse_string();
-      expect(':');
-      value.object.emplace_back(std::move(key), parse_value());
-      if (try_consume('}')) return value;
-      expect(',');
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-/// Field accessors that fail with the *path* of the missing/mistyped field.
 const JsonValue& require(const JsonValue& object, const std::string& key,
-                         JsonValue::Type type, const char* what) {
-  const JsonValue* value = object.find(key);
-  if (value == nullptr || value->type != type) {
-    throw ParseError("report JSON is missing " + std::string(what) + " field '" + key +
-                     "' (is this a punt-table1-report?)");
-  }
-  return *value;
+                         JsonValue::Type type) {
+  return util::json_require(object, key, type, kDocument);
 }
 
 double number_field(const JsonValue& object, const std::string& key) {
-  return require(object, key, JsonValue::Type::Number, "numeric").number;
+  return util::json_number(object, key, kDocument);
 }
 
 std::size_t count_field(const JsonValue& object, const std::string& key) {
-  const double n = number_field(object, key);
-  if (n < 0) throw ParseError("report JSON field '" + key + "' is negative");
-  return static_cast<std::size_t>(n);
+  return util::json_count(object, key, kDocument);
 }
 
 std::string string_field(const JsonValue& object, const std::string& key) {
-  return require(object, key, JsonValue::Type::String, "string").string;
+  return util::json_string(object, key, kDocument);
 }
 
 bool bool_field(const JsonValue& object, const std::string& key) {
-  return require(object, key, JsonValue::Type::Bool, "boolean").boolean;
+  return util::json_bool(object, key, kDocument);
 }
 
 }  // namespace
@@ -532,7 +324,7 @@ std::string to_json(const Table1Report& report) {
 }
 
 Table1Report report_from_json(std::string_view text) {
-  const JsonValue root = JsonParser(text).parse();
+  const JsonValue root = util::parse_json(text);
   if (root.type != JsonValue::Type::Object) {
     throw ParseError("report JSON must be an object");
   }
@@ -547,7 +339,7 @@ Table1Report report_from_json(std::string_view text) {
   }
 
   Table1Report report;
-  const JsonValue& shard = require(root, "shard", JsonValue::Type::Object, "object");
+  const JsonValue& shard = require(root, "shard", JsonValue::Type::Object);
   report.shard.index = count_field(shard, "index");
   report.shard.count = count_field(shard, "count");
   if (report.shard.count == 0 || report.shard.index >= report.shard.count) {
@@ -559,7 +351,7 @@ Table1Report report_from_json(std::string_view text) {
   report.jobs = count_field(root, "jobs");
   report.wall_seconds = number_field(root, "wall_seconds");
 
-  const JsonValue& rows = require(root, "rows", JsonValue::Type::Array, "array");
+  const JsonValue& rows = require(root, "rows", JsonValue::Type::Array);
   report.rows.reserve(rows.array.size());
   for (const JsonValue& entry : rows.array) {
     if (entry.type != JsonValue::Type::Object) {

@@ -4,8 +4,39 @@
 
 #include "src/core/model_store.hpp"
 #include "src/stg/g_format.hpp"
+#include "src/util/strings.hpp"
 
 namespace punt::core {
+
+ModelCacheStats delta_stats(const ModelCacheStats& before, const ModelCacheStats& after) {
+  ModelCacheStats delta;
+  delta.hits = after.hits - before.hits;
+  delta.misses = after.misses - before.misses;
+  delta.builds = after.builds - before.builds;
+  delta.evictions = after.evictions - before.evictions;
+  delta.failed_builds = after.failed_builds - before.failed_builds;
+  delta.saved_seconds = after.saved_seconds - before.saved_seconds;
+  delta.disk_hits = after.disk_hits - before.disk_hits;
+  delta.disk_misses = after.disk_misses - before.disk_misses;
+  delta.disk_load_errors = after.disk_load_errors - before.disk_load_errors;
+  delta.disk_stores = after.disk_stores - before.disk_stores;
+  delta.disk_store_failures = after.disk_store_failures - before.disk_store_failures;
+  delta.in_flight = after.in_flight;  // gauges: a difference is meaningless
+  delta.resident = after.resident;
+  return delta;
+}
+
+std::string summarize(const ModelCacheStats& s) {
+  const std::string failed =
+      s.failed_builds == 0 ? std::string()
+                           : " (" + std::to_string(s.failed_builds) + " failed)";
+  return printf_string(
+      "model cache: %zu lookup(s): %zu memory hit(s), %zu disk hit(s), "
+      "%zu rebuild(s)%s; saved %.3fs; disk: %zu stored, %zu load error(s), "
+      "%zu store failure(s)\n",
+      s.hits + s.misses, s.hits, s.disk_hits, s.builds, failed.c_str(),
+      s.saved_seconds, s.disk_stores, s.disk_load_errors, s.disk_store_failures);
+}
 
 ModelCache::ModelCache(std::size_t capacity, std::shared_ptr<ModelStore> store)
     : capacity_(capacity == 0 ? 1 : capacity), store_(std::move(store)) {}

@@ -83,6 +83,19 @@ struct ModelCacheStats {
   }
 };
 
+/// Counter difference `after - before` (gauges are taken from `after`): the
+/// per-request view the serve daemon reports for one request against its
+/// long-lived resident cache.  Concurrent requests can inflate each other's
+/// deltas — the counters are cache-wide — so the line is attribution for a
+/// human, not an exact per-request ledger.
+ModelCacheStats delta_stats(const ModelCacheStats& before, const ModelCacheStats& after);
+
+/// The one-line human summary ("model cache: N lookup(s): ...\n") printed
+/// to stderr by the CLI after a cached run and appended to the daemon's
+/// per-request log.  One definition so the acceptance grep ("0 rebuild(s)")
+/// matches both surfaces.
+std::string summarize(const ModelCacheStats& stats);
+
 /// Hash-keyed, LRU-bounded, thread-safe, two-tier cache of semantic models.
 class ModelCache {
  public:

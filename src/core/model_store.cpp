@@ -199,6 +199,12 @@ bool ModelStore::store(const std::string& key, const SemanticModel& model) {
     std::lock_guard<std::mutex> lock(mutex_);
     sequence = ++temp_counter_;
   }
+  // Declared outside the try so the catch can clean up whatever temp file a
+  // failed write (ENOSPC, RLIMIT_FSIZE, I/O error) left behind; the
+  // rename-failure path used to be the only one that removed it, and the
+  // throw on a short write leaked the half-written temp forever — invisible
+  // to scan(), reclaimed only by purge().
+  fs::path temp_path;
   try {
     const std::string image = serialize_model(model, key);
     fs::create_directories(directory_);
@@ -211,7 +217,7 @@ bool ModelStore::store(const std::string& key, const SemanticModel& model) {
     char token[17];
     std::snprintf(token, sizeof token, "%016llx",
                   static_cast<unsigned long long>(temp_token_));
-    const fs::path temp_path = fs::path(directory_) /
+    temp_path = fs::path(directory_) /
         (filename_of(key) + ".tmp-" +
          std::to_string(static_cast<unsigned long>(::getpid())) + "-" + token + "-" +
          std::to_string(sequence));
@@ -219,13 +225,18 @@ bool ModelStore::store(const std::string& key, const SemanticModel& model) {
       std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
       if (!out) throw Error("cannot open temp file '" + temp_path.string() + "'");
       out.write(image.data(), static_cast<std::streamsize>(image.size()));
+      // Flush before checking: ofstream buffers, so a short write (full
+      // disk, file-size limit) may only surface at flush time — and a
+      // failure the destructor would swallow must not let a truncated temp
+      // get renamed over the final name.
+      out.flush();
       if (!out) throw Error("failed writing '" + temp_path.string() + "'");
+      out.close();
+      if (out.fail()) throw Error("failed writing '" + temp_path.string() + "'");
     }
     std::error_code rename_error;
     fs::rename(temp_path, final_path, rename_error);
     if (rename_error) {
-      std::error_code ignored;
-      fs::remove(temp_path, ignored);
       throw Error("cannot publish '" + final_path.string() +
                   "': " + rename_error.message());
     }
@@ -233,6 +244,10 @@ bool ModelStore::store(const std::string& key, const SemanticModel& model) {
     ++stats_.stores;
     return true;
   } catch (const std::exception&) {
+    if (!temp_path.empty()) {
+      std::error_code ignored;  // best-effort: the failure already counts
+      fs::remove(temp_path, ignored);
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.store_failures;
     return false;
@@ -248,7 +263,15 @@ std::vector<StoredModelInfo> ModelStore::scan(const std::string& directory) {
   std::vector<StoredModelInfo> entries;
   std::error_code listing_error;
   fs::directory_iterator it(directory, listing_error);
-  if (listing_error) return entries;
+  if (listing_error) {
+    // A directory that cannot be *listed* (nonexistent — a typo'd
+    // --model-cache-dir — or EACCES) must not masquerade as an empty cache:
+    // `punt cache stats` would report zero models and exit 0, hiding the
+    // typo.  An existing-but-empty directory iterates cleanly and stays an
+    // empty inventory.
+    throw Error("cannot list model cache directory '" + directory +
+                "': " + listing_error.message());
+  }
   for (const fs::directory_entry& entry : it) {
     if (!entry.is_regular_file() || entry.path().extension() != kFileSuffix) continue;
     StoredModelInfo info;
@@ -284,7 +307,12 @@ std::size_t ModelStore::purge(const std::string& directory) {
   std::size_t removed = 0;
   std::error_code listing_error;
   fs::directory_iterator it(directory, listing_error);
-  if (listing_error) return removed;
+  if (listing_error) {
+    // Same contract as scan(): purging a directory that cannot be listed is
+    // an error the operator must see, not a successful no-op.
+    throw Error("cannot list model cache directory '" + directory +
+                "': " + listing_error.message());
+  }
   const std::string temp_marker = std::string(kFileSuffix) + ".tmp-";
   for (const fs::directory_entry& entry : it) {
     if (!entry.is_regular_file()) continue;

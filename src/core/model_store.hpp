@@ -25,10 +25,13 @@
 // shards sharing a directory each publish a complete file and the last
 // writer wins — readers never observe a half-written model.
 //
-// Failure contract: the store never throws across its API.  A missing,
-// truncated, corrupt, version-mismatched or key-mismatched file is a miss
-// (counted in ModelStoreStats) and the caller rebuilds; an unwritable
-// directory degrades to build-without-persist.
+// Failure contract: load() and store() never throw — a missing, truncated,
+// corrupt, version-mismatched or key-mismatched file is a miss (counted in
+// ModelStoreStats) and the caller rebuilds; an unwritable directory degrades
+// to build-without-persist, and a failed write removes its own temp file.
+// The scan()/purge() tooling helpers are the exception: a directory that
+// cannot be listed throws Error, because `punt cache stats` on a typo'd
+// path must fail loudly rather than report an empty cache.
 #pragma once
 
 #include <cstddef>
@@ -104,13 +107,16 @@ class ModelStore {
   static std::string filename_of(const std::string& key);
 
   /// Inventories every *.puntmodel file of `directory` (deserialising each
-  /// to classify it) — the substrate of `punt cache stats`.  A missing
-  /// directory is an empty inventory.
+  /// to classify it) — the substrate of `punt cache stats`.  An existing
+  /// but empty directory is an empty inventory; a directory that cannot be
+  /// listed (nonexistent, unreadable) throws Error — a typo'd path must not
+  /// report an empty cache.
   static std::vector<StoredModelInfo> scan(const std::string& directory);
 
   /// Deletes every *.puntmodel file of `directory`, plus any
   /// *.puntmodel.tmp-* leftovers of writers that died before their rename
   /// (other files are left alone); returns how many were removed.
+  /// Throws Error, like scan(), when the directory cannot be listed.
   /// `punt cache purge`.
   static std::size_t purge(const std::string& directory);
 

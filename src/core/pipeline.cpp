@@ -292,7 +292,10 @@ void Executor::run(util::TaskGraph& graph) {
     graph.execute_inline();
     return;
   }
-  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+  // call_once so concurrent first runs (daemon requests arriving together on
+  // a freshly started server) race to create exactly one pool; after that,
+  // any number of graphs execute over it concurrently (TaskGraph contract).
+  std::call_once(pool_once_, [this] { pool_ = std::make_unique<util::ThreadPool>(jobs_); });
   graph.execute(*pool_);
 }
 
@@ -428,7 +431,10 @@ std::exception_ptr entry_failure(const util::TaskGraph& graph, const EntryPlan& 
 BatchResult synthesize_batch(std::span<const stg::Stg> stgs,
                              const BatchOptions& options) {
   Stopwatch wall;
-  Executor executor(options.jobs);
+  // A resident executor (the daemon's) wins over the per-call jobs policy:
+  // its pool is already warm, and its width is the server's to decide.
+  Executor local(options.executor != nullptr ? 1 : options.jobs);
+  Executor& executor = options.executor != nullptr ? *options.executor : local;
   BatchResult batch;
   batch.jobs = executor.jobs();
   batch.entries.resize(stgs.size());

@@ -32,6 +32,7 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -154,6 +155,13 @@ struct MinimizeTask {
 /// Worker-count policy plus the (lazily created) pool that task graphs run
 /// on.  Replaces the flat index Scheduler: instead of `run(count, fn)` over
 /// independent indices, callers emit a TaskGraph and hand it here.
+///
+/// An Executor may be shared: run() is thread-safe (any number of graphs
+/// can execute over the one pool concurrently — the TaskGraph contract),
+/// which is what lets the serve daemon keep a single warm pool resident and
+/// dispatch every client request through it.  Note that with jobs() == 1
+/// graphs run inline on each *calling* thread, so sharing a 1-job executor
+/// across threads serialises nothing.
 class Executor {
  public:
   /// `jobs`: 1 = inline on the calling thread (no pool); 0 = one worker per
@@ -169,10 +177,12 @@ class Executor {
   /// Executes `graph` to completion: inline in deterministic (priority, id)
   /// order when jobs() == 1, otherwise across the shared worker pool.
   /// Node failures are captured in the graph, never thrown from here.
+  /// Safe to call from several threads at once (each with its own graph).
   void run(util::TaskGraph& graph);
 
  private:
   std::size_t jobs_ = 1;
+  std::once_flag pool_once_;                // guards racing first parallel runs
   std::unique_ptr<util::ThreadPool> pool_;  // created on first parallel run
 };
 
@@ -196,6 +206,12 @@ struct BatchOptions {
   /// When set, receives the executed schedule (node timings, workers,
   /// critical path) — what `--trace-schedule` serialises.  Not owned.
   util::TaskTrace* trace = nullptr;
+  /// Optional resident executor.  When set, the batch runs over *its* pool
+  /// (the `jobs` field above is ignored) instead of a per-call one — the
+  /// serve daemon passes the executor it keeps warm across requests, so
+  /// concurrent client batches interleave on one pool with no per-request
+  /// thread spin-up.  Not owned; must outlive the call.
+  Executor* executor = nullptr;
 };
 
 /// One input STG's outcome.  Failures (CSC conflicts, capacity blowups, …)

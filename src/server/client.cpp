@@ -1,0 +1,55 @@
+#include "src/server/client.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+
+#include "src/util/error.hpp"
+
+namespace punt::server {
+
+Client::Client(const std::string& socket_path) {
+  // A daemon dying mid-exchange must surface as the Error below (or an
+  // EPIPE throw from write_frame), not kill the client with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  sockaddr_un address = unix_address(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw Error("cannot create socket: " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address), sizeof address) != 0) {
+    const std::string why(std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot connect to '" + socket_path + "': " + why +
+                " (is `punt serve --socket=" + socket_path + "` running?)");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::request(const Request& request) {
+  write_frame(fd_, to_json(request));
+  std::string payload;
+  if (read_frame(fd_, payload) == FrameStatus::Eof) {
+    throw Error("the server closed the connection without answering");
+  }
+  Response response = response_from_json(payload);
+  if (!response.ok) {
+    throw Error("the server refused the request: " + response.error);
+  }
+  return response;
+}
+
+Response request_once(const std::string& socket_path, const Request& request) {
+  Client client(socket_path);
+  return client.request(request);
+}
+
+}  // namespace punt::server

@@ -1,0 +1,261 @@
+#include "src/server/server.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "src/core/model_store.hpp"
+#include "src/server/protocol.hpp"
+#include "src/server/service.hpp"
+#include "src/util/error.hpp"
+
+namespace punt::server {
+namespace {
+
+/// How often the accept loop re-checks the stop flag.  Short enough that
+/// SIGTERM feels immediate, long enough that an idle daemon costs nothing.
+constexpr int kPollMillis = 100;
+
+/// Per-write() send timeout on every connection.  A client that stops
+/// reading (suspended mid-response with a full socket buffer) would
+/// otherwise park its handler in write_exact forever — and the shutdown
+/// drain joins handlers without a timeout, so one stuck reader could pin
+/// the daemon past any number of SIGTERMs.  The clock resets on every
+/// successful write, so a merely *slow* reader making progress is fine.
+constexpr time_t kSendTimeoutSeconds = 30;
+
+std::string errno_text() { return std::string(std::strerror(errno)); }
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_shared<core::ModelCache>(
+          options_.cache_capacity == 0 ? core::ModelCache::kDefaultCapacity
+                                       : options_.cache_capacity,
+          options_.model_cache_dir.empty()
+              ? nullptr
+              : std::make_shared<core::ModelStore>(options_.model_cache_dir))),
+      executor_(options_.jobs) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  reap_connections(true);
+  release_ownership();
+}
+
+void Server::start() {
+  // A client vanishing mid-response must surface as an EPIPE write error on
+  // that one connection, not kill the whole daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Path ownership is an flock on <socket>.lock, not a connect probe: a
+  // probe-then-unlink has a window in which two concurrently starting
+  // daemons both see a dead socket and one unlinks the other's fresh bind.
+  // The lock dies with its holder, so a crashed server's path is reclaimed
+  // without any staleness heuristic, and the lock file itself is never
+  // unlinked (removing it would hand a second daemon a different inode to
+  // lock, reopening the race).
+  sockaddr_un address = unix_address(options_.socket_path);
+  const std::string lock_path = options_.socket_path + ".lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    throw Error("serve: cannot open lock file '" + lock_path + "': " + errno_text());
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw Error("serve: a server is already listening on '" + options_.socket_path +
+                "' (shut it down first, or pick another --socket path)");
+  }
+
+  // Holding the lock, any file at the socket path is ours to replace: a
+  // previous owner either exited (unlinking it) or crashed (leaving it
+  // stale).
+  ::unlink(options_.socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    const std::string why = errno_text();
+    release_ownership();
+    throw Error("serve: cannot create socket: " + why);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address), sizeof address) != 0) {
+    const std::string why = errno_text();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    release_ownership();
+    throw Error("serve: cannot bind '" + options_.socket_path + "': " + why);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string why = errno_text();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    release_ownership();
+    throw Error("serve: cannot listen on '" + options_.socket_path + "': " + why);
+  }
+}
+
+void Server::release_ownership() {
+  if (lock_fd_ >= 0) {
+    ::close(lock_fd_);  // closing drops the flock
+    lock_fd_ = -1;
+  }
+}
+
+void Server::serve() {
+  if (listen_fd_ < 0) throw Error("serve: start() the server before serve()");
+  while (!stop_.load(std::memory_order_relaxed)) {
+    reap_connections(false);
+    pollfd poll_fd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&poll_fd, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // a signal; the loop re-checks stop_
+      throw Error("serve: poll failed: " + errno_text());
+    }
+    if (ready == 0) continue;  // timeout: just re-check the stop flag
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        // Transient resource pressure — often fd exhaustion from the
+        // daemon's own concurrent connections.  Dying here would throw
+        // away the warm cache exactly when load is highest; back off one
+        // poll interval and let finishing connections free the resources.
+        std::this_thread::sleep_for(std::chrono::milliseconds(kPollMillis));
+        continue;
+      }
+      throw Error("serve: accept failed: " + errno_text());
+    }
+    const timeval send_timeout{kSendTimeoutSeconds, 0};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout, sizeof send_timeout);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, fd, done] {
+      handle_connection(fd);
+      done->store(true, std::memory_order_release);
+    });
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(Connection{std::move(thread), std::move(done), fd});
+  }
+  // Drain: no new connections; every accepted request runs to completion
+  // (its graph finishes on the resident pool) before the socket goes away.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  reap_connections(true);
+  ::unlink(options_.socket_path.c_str());
+  release_ownership();
+}
+
+void Server::reap_connections(bool all) {
+  std::vector<Connection> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (all || it->done->load(std::memory_order_acquire)) {
+        if (all) {
+          // Half-close the read side: a handler parked in read_frame
+          // between requests wakes with EOF and winds down, while one mid-
+          // request keeps its write side to deliver the response.  The fd
+          // stays valid (owned here, closed after the join below), so this
+          // cannot race a close-and-reuse.
+          ::shutdown(it->fd, SHUT_RD);
+        }
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: a drain join can wait on a whole synthesis run,
+  // and new connections must not block on it (they only do during `all`,
+  // when accepting already stopped).
+  for (Connection& connection : finished) {
+    connection.thread.join();
+    ::close(connection.fd);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  std::string payload;
+  while (true) {
+    // Frame or protocol errors answer best-effort and close the connection
+    // (the stream cannot be trusted past a framing fault); request-level
+    // failures are ordinary ok-responses carrying the CLI's exit code.
+    try {
+      if (read_frame(fd, payload) == FrameStatus::Eof) break;
+    } catch (const std::exception& e) {
+      Response refusal;
+      refusal.error = e.what();
+      try {
+        write_frame(fd, to_json(refusal));
+      } catch (...) {
+        // The peer is gone; nothing left to tell it.
+      }
+      break;
+    }
+    Response response;
+    bool shutdown = false;
+    try {
+      const Request request = request_from_json(payload);
+      switch (request.op) {
+        case Op::Synth:
+          response = run_synth(request, cache_.get(), &executor_);
+          break;
+        case Op::Check:
+          response = run_check(request, *cache_, &executor_);
+          break;
+        case Op::CacheStats:
+          response.ok = true;
+          response.output = cache_stats_json(cache_->stats(), requests_served(),
+                                             executor_.jobs(), options_.model_cache_dir);
+          break;
+        case Op::Ping:
+          response.ok = true;
+          response.output = "pong\n";
+          break;
+        case Op::Shutdown:
+          response.ok = true;
+          shutdown = true;
+          break;
+      }
+    } catch (const std::exception& e) {
+      response = Response{};
+      response.error = e.what();
+    }
+    try {
+      write_frame(fd, to_json(response));
+    } catch (...) {
+      break;  // the peer is gone; drop the connection, keep the server
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (shutdown) {
+      // Acknowledge first (the frame above), then stop: the accept loop
+      // drains every other in-flight connection before the socket is
+      // unlinked, so a shutdown never truncates a neighbour's synthesis.
+      request_stop();
+      break;
+    }
+    if (!response.ok) break;  // framing/JSON fault: resync is impossible
+  }
+  // The fd is closed by the reaper after this thread is joined — closing it
+  // here would race the drain's ::shutdown() against kernel fd reuse.
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace punt::server

@@ -1,0 +1,117 @@
+// The `punt serve` daemon (DESIGN.md §9): a Unix-domain-socket server that
+// keeps one two-tier ModelCache and one Executor (thread pool) resident
+// across requests, so repeated synthesis of the same STG pays neither
+// process startup nor phase-1 reconstruction nor even disk deserialisation —
+// the regime where the unfolding-segment approach amortises best.
+//
+// Concurrency model: an accept loop (poll with a short timeout, so the stop
+// flag is honoured promptly) hands each connection to its own thread; every
+// connection thread parses frames, dispatches into server/service.hpp over
+// the *shared* cache and executor, and writes response frames.  Synthesis
+// graphs of concurrent requests interleave on the one pool — the TaskGraph
+// contract that any number of graphs may execute over one pool is exactly
+// what makes thread-per-connection safe here at a fixed worker budget.
+//
+// Lifecycle: serve() accepts until stop is requested — by a client
+// {"op":"shutdown"} (acknowledged before the drain begins) or by
+// request_stop() (the CLI's SIGTERM/SIGINT handler).  It then stops
+// accepting, joins every in-flight connection thread (each finishes its
+// request; nothing is aborted mid-graph), unlinks the socket and returns.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/model_cache.hpp"
+#include "src/core/pipeline.hpp"
+
+namespace punt::server {
+
+struct ServerOptions {
+  std::string socket_path;      // required; at most ~100 bytes (sun_path)
+  std::size_t jobs = 1;         // executor width; 0 = hardware default
+  std::string model_cache_dir;  // optional disk tier under the resident cache
+  std::size_t cache_capacity = core::ModelCache::kDefaultCapacity;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on the socket path.  Ownership of the path is
+  /// arbitrated by an flock on `<socket>.lock` (released automatically if
+  /// the holder dies), so a stale socket file left by a crashed server is
+  /// reclaimed while a path another daemon owns — live or mid-start —
+  /// throws Error; concurrent starts cannot unlink each other's socket.
+  /// The small .lock file itself is deliberately never deleted: unlinking
+  /// it would reopen the very race it closes.
+  void start();
+
+  /// The accept loop; blocks until shutdown is requested, then drains
+  /// in-flight connections and removes the socket file.  start() first.
+  void serve();
+
+  /// Asks serve() to stop accepting and drain.  Async-signal-safe in the
+  /// only way that matters: it just stores an atomic flag the poll loop
+  /// reads, so the CLI's SIGTERM handler may call it directly.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  core::ModelCache& cache() { return *cache_; }
+  std::size_t jobs() const { return executor_.jobs(); }
+
+  /// Requests fully handled (response frame written) since start().
+  std::size_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  /// Connections currently being handled — what tests poll to order a
+  /// shutdown *behind* an in-flight request deterministically.
+  std::size_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One connection's frame loop; runs on its own thread.  The fd is owned
+  /// by the Connection record (closed by the reaper after the join), so the
+  /// drain can safely ::shutdown() it while the handler still runs.
+  void handle_connection(int fd);
+
+  /// Drops the <socket>.lock flock (the file stays; see start()).
+  void release_ownership();
+
+  /// Joins finished connection threads (all of them when `all`, otherwise
+  /// just the ones whose handler already returned) and closes their fds.
+  /// The `all` drain first half-closes every connection's read side, so a
+  /// handler idling in read_frame between requests wakes with EOF and
+  /// finishes — in-flight *requests* complete, idle keep-alives don't stall
+  /// the shutdown forever.
+  void reap_connections(bool all);
+
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+    int fd = -1;
+  };
+
+  ServerOptions options_;
+  std::shared_ptr<core::ModelCache> cache_;
+  core::Executor executor_;
+  int listen_fd_ = -1;
+  int lock_fd_ = -1;  // flock'd <socket>.lock; held for the server's lifetime
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> requests_served_{0};
+  std::atomic<std::size_t> active_connections_{0};
+  std::mutex connections_mutex_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace punt::server

@@ -1,0 +1,197 @@
+#include "src/server/service.hpp"
+
+#include <exception>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/core/model_cache.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/stg/g_format.hpp"
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+#include "src/util/strings.hpp"
+
+namespace punt::server {
+namespace {
+
+// Non-truncating (util/strings.hpp): an STG name or diagnostic longer than
+// any stack buffer must still match the direct CLI's printf byte for byte.
+using punt::printf_string;
+
+core::SynthesisOptions options_of(const Request& request) {
+  core::SynthesisOptions options;
+  if (request.method == "exact") {
+    options.method = core::Method::UnfoldingExact;
+  } else if (request.method == "sg") {
+    options.method = core::Method::StateGraph;
+  } else {
+    options.method = core::Method::UnfoldingApprox;
+  }
+  if (request.arch == "c") {
+    options.architecture = core::Architecture::StandardC;
+  } else if (request.arch == "rs") {
+    options.architecture = core::Architecture::RsLatch;
+  } else {
+    options.architecture = core::Architecture::ComplexGate;
+  }
+  options.minimize = request.minimize;
+  return options;
+}
+
+/// Runs one STG through the pipeline on the (possibly resident) executor
+/// and rethrows the entry's own typed exception on failure — the shape the
+/// CLI-identical catch blocks below expect.
+core::SynthesisResult synthesize_on(const stg::Stg& stg,
+                                    const core::SynthesisOptions& options,
+                                    core::ModelCache* cache,
+                                    core::Executor* executor) {
+  core::BatchOptions batch_options;
+  batch_options.synthesis = options;
+  batch_options.jobs = 1;  // executor (when given) supersedes this
+  batch_options.cache = cache;
+  batch_options.executor = executor;
+  const std::span<const stg::Stg> one(&stg, 1);
+  core::BatchResult batch = core::synthesize_batch(one, batch_options);
+  core::BatchEntry& entry = batch.entries.front();
+  if (!entry.ok) {
+    if (entry.exception) std::rethrow_exception(entry.exception);
+    throw Error(entry.error);
+  }
+  return std::move(entry.result);
+}
+
+/// The snapshot the per-request delta is computed against; zeros without a
+/// cache (no summary line is emitted then).
+core::ModelCacheStats snapshot(const core::ModelCache* cache) {
+  return cache != nullptr ? cache->stats() : core::ModelCacheStats{};
+}
+
+void append_cache_summary(Response& response, const core::ModelCache* cache,
+                          const core::ModelCacheStats& before) {
+  if (cache == nullptr) return;
+  response.log += core::summarize(core::delta_stats(before, cache->stats()));
+}
+
+}  // namespace
+
+Response run_synth(const Request& request, core::ModelCache* cache,
+                   core::Executor* executor) {
+  Response response;
+  response.ok = true;
+  const core::ModelCacheStats before = snapshot(cache);
+  try {
+    const stg::Stg stg = stg::parse_g(request.g_text);
+    const core::SynthesisOptions options = options_of(request);
+    const core::SynthesisResult result = synthesize_on(stg, options, cache, executor);
+    const net::Netlist netlist = net::Netlist::from_synthesis(stg, result);
+
+    // Byte-for-byte the stdout of a direct `punt synth` (tools/punt_cli.cpp
+    // cmd_synth); the server_test and the CI smoke job compare the two.
+    response.output += printf_string("# %s: %zu signals, %zu literals\n",
+                                   stg.name().c_str(), stg.signal_count(),
+                                   netlist.literal_count());
+    response.output += printf_string(
+        "# unfold %.4fs derive %.4fs minimise %.4fs total %.4fs\n",
+        result.unfold_seconds, result.derive_seconds, result.minimize_seconds,
+        result.total_seconds);
+    const bool any_writer = request.eqn || request.verilog;
+    if (request.eqn || !any_writer) response.output += netlist.to_eqn();
+    if (request.verilog) response.output += netlist.to_verilog(stg.name());
+    response.exit_code = 0;
+  } catch (const CscError& e) {
+    response.log += printf_string("CSC conflict: %s\n(try `punt resolve`)\n", e.what());
+    response.exit_code = 2;
+  } catch (const Error& e) {
+    response.log += printf_string("error: %s\n", e.what());
+    response.exit_code = 2;
+  }
+  append_cache_summary(response, cache, before);
+  return response;
+}
+
+Response run_check(const Request& request, core::ModelCache& cache,
+                   core::Executor* executor, bool summarize_cache) {
+  Response response;
+  response.ok = true;
+  const core::ModelCacheStats before = cache.stats();
+  try {
+    const stg::Stg stg = stg::parse_g(request.g_text);
+    core::SynthesisOptions options;
+    options.throw_on_csc = false;
+    // Persistency is reported below, not thrown, so the check prints a full
+    // verdict for non-semi-modular STGs too (mirrors cmd_check).
+    options.check_persistency = false;
+    const auto model = cache.lookup_or_build(stg, options);
+    const unf::Unfolding& unfolding = *model->unfolding;
+    response.output += "consistent state assignment : yes (segment built)\n";
+    response.output += printf_string(
+        "bounded / safe              : yes (%zu events, %zu conditions)\n",
+        unfolding.stats().events, unfolding.stats().conditions);
+    const auto persistency = unf::segment_persistency_violations(unfolding);
+    response.output += printf_string(
+        "output persistency          : %s\n",
+        persistency.empty() ? "yes" : persistency.front().describe(unfolding).c_str());
+    const core::SynthesisResult result = synthesize_on(stg, options, &cache, executor);
+    bool csc_ok = true;
+    for (const auto& impl : result.signals) {
+      if (impl.csc_conflict) {
+        csc_ok = false;
+        response.output += printf_string("complete state coding       : conflict on '%s'\n",
+                                       stg.signal_name(impl.signal).c_str());
+      }
+    }
+    if (csc_ok) response.output += "complete state coding       : yes\n";
+    // This *request's* share of the resident cache: on a cold daemon the
+    // delta equals what a direct `punt check` reports; on a warm one it
+    // truthfully reads "built 0 time(s)" — the saving the daemon exists to
+    // deliver.  (The displayed rate counts disk hits as reuse, matching
+    // cmd_check.)
+    const core::ModelCacheStats stats = core::delta_stats(before, cache.stats());
+    const std::size_t lookups = stats.hits + stats.misses;
+    const double reuse_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(stats.hits + stats.disk_hits) /
+                           static_cast<double>(lookups);
+    response.output += printf_string(
+        "semantic model              : built %zu time(s), reused %zu time(s) "
+        "(%.0f%% cache hit rate)\n",
+        stats.builds, stats.hits + stats.disk_hits, reuse_rate * 100.0);
+    response.exit_code = csc_ok && persistency.empty() ? 0 : 2;
+  } catch (const Error& e) {
+    response.log += printf_string("error: %s\n", e.what());
+    response.exit_code = 2;
+  }
+  if (summarize_cache) append_cache_summary(response, &cache, before);
+  return response;
+}
+
+std::string cache_stats_json(const core::ModelCacheStats& stats,
+                             std::size_t requests_served, std::size_t jobs,
+                             const std::string& model_cache_dir) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"punt-serve-stats\",\n";
+  out += "  \"version\": 1,\n";
+  out += printf_string("  \"requests\": %zu,\n", requests_served);
+  out += printf_string("  \"jobs\": %zu,\n", jobs);
+  out += "  \"model_cache_dir\": \"" + util::json_escape(model_cache_dir) + "\",\n";
+  out += printf_string("  \"hits\": %zu,\n", stats.hits);
+  out += printf_string("  \"misses\": %zu,\n", stats.misses);
+  out += printf_string("  \"builds\": %zu,\n", stats.builds);
+  out += printf_string("  \"evictions\": %zu,\n", stats.evictions);
+  out += printf_string("  \"failed_builds\": %zu,\n", stats.failed_builds);
+  out += printf_string("  \"in_flight\": %zu,\n", stats.in_flight);
+  out += printf_string("  \"resident\": %zu,\n", stats.resident);
+  out += printf_string("  \"saved_seconds\": %.17g,\n", stats.saved_seconds);
+  out += printf_string("  \"disk_hits\": %zu,\n", stats.disk_hits);
+  out += printf_string("  \"disk_misses\": %zu,\n", stats.disk_misses);
+  out += printf_string("  \"disk_load_errors\": %zu,\n", stats.disk_load_errors);
+  out += printf_string("  \"disk_stores\": %zu,\n", stats.disk_stores);
+  out += printf_string("  \"disk_store_failures\": %zu\n", stats.disk_store_failures);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace punt::server

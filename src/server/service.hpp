@@ -1,0 +1,54 @@
+// Request handlers behind `punt serve`: one function per traffic-bearing op,
+// mapping a decoded protocol::Request onto the synthesis pipeline and
+// rendering the exact stdout/stderr text (and exit code) the equivalent
+// direct `punt` invocation produces.  Keeping the rendering here — not in
+// the connection loop — is what makes the daemon's responses byte-comparable
+// to the CLI and lets tests drive the handlers without a socket.
+//
+// Handlers never throw: every failure (unparseable .g text, CSC conflict,
+// capacity blowup) becomes a Response with ok=true, a nonzero exit code and
+// the same diagnostic a direct invocation prints to stderr.  Protocol-level
+// failures are the caller's (the connection loop's) concern.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/server/protocol.hpp"
+
+namespace punt::core {
+class Executor;
+class ModelCache;
+struct ModelCacheStats;
+}  // namespace punt::core
+
+namespace punt::server {
+
+/// Handles {"op":"synth"}.  `cache` (nullable) resolves phase 1; when given,
+/// the per-request cache delta summary is appended to the response log —
+/// the line a `--connect` client streams to its stderr.  `executor`
+/// (nullable) runs the graph; the daemon passes its resident one, a null
+/// falls back to an inline single-job run.
+Response run_synth(const Request& request, core::ModelCache* cache,
+                   core::Executor* executor);
+
+/// Handles {"op":"check"} — and IS the direct `punt check` implementation
+/// (tools/punt_cli.cpp prints the returned output/log verbatim), so the
+/// daemon's byte-parity with the CLI holds by construction rather than by
+/// hand-maintained duplication.  The cache is required (the checks and the
+/// embedded synthesis run share one semantic model through it — the same
+/// single-build guarantee `punt check` has); the "semantic model" verdict
+/// line reports this *request's* cache delta, so a warm daemon truthfully
+/// prints "built 0 time(s)".  `summarize_cache` controls the trailing
+/// per-request summary line in the log: the daemon always wants it, the
+/// direct CLI only when `--model-cache-dir` was given.
+Response run_check(const Request& request, core::ModelCache& cache,
+                   core::Executor* executor, bool summarize_cache = true);
+
+/// The {"op":"cache-stats"} payload: resident two-tier counters plus the
+/// server identity fields ("punt-serve-stats" schema, version 1).
+std::string cache_stats_json(const core::ModelCacheStats& stats,
+                             std::size_t requests_served, std::size_t jobs,
+                             const std::string& model_cache_dir);
+
+}  // namespace punt::server

@@ -1,6 +1,10 @@
 #include "src/util/json.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "src/util/error.hpp"
 
 namespace punt::util {
 
@@ -25,6 +29,257 @@ std::string json_escape(const std::string& text) {
     }
   }
   return out;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Nesting bound for arrays/objects.  The parser recurses once per level,
+/// and since the serve protocol feeds it untrusted socket input, unbounded
+/// nesting ("[[[[..." inside one legal-sized frame) would overflow the
+/// connection thread's stack and kill the whole daemon.  Every punt schema
+/// nests < 8 deep; 64 is comfortably above any legitimate document.
+constexpr std::size_t kMaxJsonDepth = 64;
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after the JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("malformed JSON at byte " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue value;
+      value.type = JsonValue::Type::String;
+      value.string = parse_string();
+      return value;
+    }
+    if (c == 't' || c == 'f') return parse_keyword(c == 't' ? "true" : "false");
+    if (c == 'n') return parse_keyword("null");
+    return parse_number();
+  }
+
+  JsonValue parse_keyword(std::string_view keyword) {
+    if (text_.substr(pos_, keyword.size()) != keyword) {
+      fail("unrecognised literal");
+    }
+    pos_ += keyword.size();
+    JsonValue value;
+    if (keyword == "true" || keyword == "false") {
+      value.type = JsonValue::Type::Bool;
+      value.boolean = keyword == "true";
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue value;
+    value.type = JsonValue::Type::Number;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    value.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("invalid number '" + token + "'");
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // BMP-only UTF-8 encoding; the punt writers never emit surrogates.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    const DepthGuard guard(this);
+    JsonValue value;
+    value.type = JsonValue::Type::Array;
+    if (try_consume(']')) return value;
+    while (true) {
+      value.array.push_back(parse_value());
+      if (try_consume(']')) return value;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    const DepthGuard guard(this);
+    JsonValue value;
+    value.type = JsonValue::Type::Object;
+    if (try_consume('}')) return value;
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      value.object.emplace_back(std::move(key), parse_value());
+      if (try_consume('}')) return value;
+      expect(',');
+    }
+  }
+
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser* parser) : parser(parser) {
+      if (++parser->depth_ > kMaxJsonDepth) {
+        parser->fail("nesting deeper than " + std::to_string(kMaxJsonDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser->depth_; }
+    JsonParser* parser;
+  };
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+const char* type_name(JsonValue::Type type) {
+  switch (type) {
+    case JsonValue::Type::Null: return "null";
+    case JsonValue::Type::Bool: return "boolean";
+    case JsonValue::Type::Number: return "numeric";
+    case JsonValue::Type::String: return "string";
+    case JsonValue::Type::Array: return "array";
+    case JsonValue::Type::Object: return "object";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return JsonParser(text).parse(); }
+
+const JsonValue& json_require(const JsonValue& object, const std::string& key,
+                              JsonValue::Type type, const char* what) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type != type) {
+    throw ParseError(std::string(what) + " is missing " + type_name(type) + " field '" +
+                     key + "'");
+  }
+  return *value;
+}
+
+double json_number(const JsonValue& object, const std::string& key, const char* what) {
+  return json_require(object, key, JsonValue::Type::Number, what).number;
+}
+
+std::size_t json_count(const JsonValue& object, const std::string& key, const char* what) {
+  const double n = json_number(object, key, what);
+  // Bound before the cast: parse_number accepts 1e999 (strtod yields inf)
+  // and a double-to-size_t conversion outside the representable range is
+  // undefined behaviour, not a big number.  2^53 is the largest range in
+  // which doubles hold every integer exactly — far above any real count.
+  constexpr double kMaxExactCount = 9007199254740992.0;  // 2^53
+  if (!(n >= 0) || n > kMaxExactCount) {
+    throw ParseError(std::string(what) + " field '" + key +
+                     "' is not a representable non-negative count");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::string json_string(const JsonValue& object, const std::string& key, const char* what) {
+  return json_require(object, key, JsonValue::Type::String, what).string;
+}
+
+bool json_bool(const JsonValue& object, const std::string& key, const char* what) {
+  return json_require(object, key, JsonValue::Type::Bool, what).boolean;
 }
 
 }  // namespace punt::util

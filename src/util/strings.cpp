@@ -1,6 +1,27 @@
 #include "src/util/strings.hpp"
 
+#include <cstdarg>
+#include <cstdio>
+
 namespace punt {
+
+std::string printf_string(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buffer[512];
+  const int n = std::vsnprintf(buffer, sizeof buffer, format, args);
+  va_end(args);
+  if (n < 0) return std::string();
+  if (static_cast<std::size_t>(n) < sizeof buffer) return std::string(buffer, n);
+  // Too long for the stack buffer (e.g. a JSON row embedding a long error
+  // message): size exactly and format again — truncation here would emit
+  // malformed JSON or break daemon/CLI output parity.
+  std::string out(static_cast<std::size_t>(n), '\0');
+  va_start(args, format);
+  std::vsnprintf(out.data(), out.size() + 1, format, args);
+  va_end(args);
+  return out;
+}
 
 std::vector<std::string> split(std::string_view text, std::string_view delims) {
   std::vector<std::string> out;

@@ -20,4 +20,9 @@ bool starts_with(std::string_view text, std::string_view prefix);
 /// (the `.g` format's continuation convention).  '\r' is stripped.
 std::vector<std::string> logical_lines(std::string_view text);
 
+/// printf into a std::string.  Never truncates: output longer than the
+/// stack buffer is measured and formatted again at exact size (truncation
+/// would corrupt the JSON and CLI-parity lines this backs).
+std::string printf_string(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
 }  // namespace punt

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/util/error.hpp"
+
 namespace punt::util {
 namespace {
 
@@ -21,18 +23,35 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // idempotent: a second call (or the destructor
+                            // after an explicit shutdown) has nothing to do
     stopping_ = true;
   }
   wake_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 void ThreadPool::post(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Enqueueing into a stopped pool used to silently park the task in a
+    // queue no worker will ever drain again — reject loudly instead.  The
+    // worker-thread exemption keeps the drain contract intact: during
+    // shutdown() workers run until the queue is empty, so a draining task's
+    // continuation (the task graph posts dependents from inside nodes) is
+    // still executed; but once the workers are joined no worker thread
+    // exists to pass this test, so a post into the dead queue — a lifecycle
+    // bug such as a daemon request racing its own teardown — always throws.
+    if (stopping_ && current_worker_index() < 0) {
+      throw Error("ThreadPool::post after shutdown: the pool no longer runs tasks");
+    }
     queue_.push_back(std::move(task));
   }
   wake_.notify_one();

@@ -39,9 +39,21 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Drains the queue and joins the workers; idempotent (the destructor
+  /// calls it).  After shutdown() the pool accepts no further work —
+  /// post()/submit() throw — which is what lets a long-lived holder (the
+  /// serve daemon) drain deterministically before tearing state down.
+  void shutdown();
+
   /// Enqueues `task` fire-and-forget.  The task must not throw — there is
   /// no future to carry the exception, so a throw would terminate the
   /// worker (the task graph catches everything inside the node body).
+  /// Throws Error when a non-worker thread posts after shutdown began: the
+  /// queue is (or is about to be) dead, and a silent enqueue would drop
+  /// the task on the floor.  Posts from a pool worker stay legal even
+  /// mid-drain — shutdown() runs the queue dry before joining, so a
+  /// draining task's continuations still execute ("tasks may enqueue
+  /// tasks" holds to the very end).
   void post(std::function<void()> task);
 
   /// Enqueues `task`; the returned future completes when the task ran and

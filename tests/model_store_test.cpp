@@ -5,8 +5,10 @@
 // helpers behind `punt cache stats` / `punt cache purge`.
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
@@ -354,12 +356,61 @@ TEST(ModelStore, ScanInventoriesAndPurgeRemovesOnlyModelFiles) {
   EXPECT_EQ(corrupt, 1u);
 
   EXPECT_EQ(ModelStore::purge(dir.str()), 4u);  // 3 .puntmodel + 1 stale temp
-  EXPECT_TRUE(ModelStore::scan(dir.str()).empty());
+  EXPECT_TRUE(ModelStore::scan(dir.str()).empty());  // existing + empty: fine
   EXPECT_TRUE(fs::exists(dir.path() / "unrelated.txt"));  // non-models untouched
+}
 
-  // Scanning/purging a directory that does not exist is empty, not an error.
-  EXPECT_TRUE(ModelStore::scan(dir.str() + "-nonexistent").empty());
-  EXPECT_EQ(ModelStore::purge(dir.str() + "-nonexistent"), 0u);
+TEST(ModelStore, ScanAndPurgeOfAnUnlistableDirectoryFailLoudly) {
+  // A typo'd --model-cache-dir used to report an empty inventory (exit 0),
+  // hiding the typo; the listing error must surface.  (The load()/store()
+  // I/O paths keep degrading silently — only the *tooling* helpers, where
+  // the directory is the user's explicit input, throw.)
+  TempDir dir("unlistable");
+  const std::string missing = dir.str() + "-nonexistent";
+  EXPECT_THROW((void)ModelStore::scan(missing), Error);
+  EXPECT_THROW((void)ModelStore::purge(missing), Error);
+  try {
+    (void)ModelStore::scan(missing);
+    FAIL() << "scanning a nonexistent directory must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos) << e.what();
+  }
+  // An existing-but-empty directory stays a successful empty inventory.
+  EXPECT_TRUE(ModelStore::scan(dir.str()).empty());
+  EXPECT_EQ(ModelStore::purge(dir.str()), 0u);
+}
+
+TEST(ModelStore, FailedWriteLeavesNoTempResidue) {
+  // Regression: the throw on a failed temp-file write skipped the cleanup
+  // that the rename-failure path ran, leaking a `.tmp-*` per failed store.
+  // RLIMIT_FSIZE=0 makes every write fail with EFBIG (SIGXFSZ ignored), the
+  // portable stand-in for a full disk.
+  TempDir dir("short-write");
+  const Stg stg = stg::make_vme_bus();
+  const SynthesisOptions options;
+  const std::string key = ModelCache::key_of(stg, options);
+  const auto model = SemanticModel::build(stg, options);
+  ModelStore store(dir.str());
+
+  struct rlimit old_limit {};
+  ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  void (*old_handler)(int) = std::signal(SIGXFSZ, SIG_IGN);
+  struct rlimit tiny {0, old_limit.rlim_max};
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &tiny), 0);
+  const bool stored = store.store(key, *model);
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  std::signal(SIGXFSZ, old_handler);
+
+  EXPECT_FALSE(stored);
+  EXPECT_EQ(store.stats().store_failures, 1u);
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    ADD_FAILURE() << "failed store left residue: " << entry.path();
+  }
+
+  // The store recovers once writes succeed again, over the same temp-name
+  // sequence.
+  EXPECT_TRUE(store.store(key, *model));
+  ASSERT_NE(store.load(key), nullptr);
 }
 
 TEST(ModelStoreCache, SecondCacheOverWarmDirectoryServesFromDisk) {

@@ -1,0 +1,474 @@
+// Tests for the `punt serve` daemon: protocol framing and JSON round-trips,
+// byte-identity of daemon responses with direct invocation (N concurrent
+// clients included), the warm-cache property a resident daemon exists for
+// (second request = pure memory hit, zero rebuilds, zero disk loads),
+// resilience to malformed/oversized frames, and graceful shutdown draining
+// in-flight work.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchmarks/registry.hpp"
+#include "src/core/model_cache.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/server/client.hpp"
+#include "src/server/protocol.hpp"
+#include "src/server/server.hpp"
+#include "src/server/service.hpp"
+#include "src/stg/g_format.hpp"
+#include "src/stg/generators.hpp"
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+
+namespace punt::server {
+namespace {
+
+namespace fs = std::filesystem;
+using stg::Stg;
+
+/// A fresh, unique temp directory per test (removed on destruction).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = fs::temp_directory_path() /
+            ("punt-server-test-" + tag + "-" +
+             std::to_string(static_cast<unsigned long>(::getpid())));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ignored;
+    fs::remove_all(path_, ignored);
+  }
+  const fs::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// start()s the server and runs serve() on a background thread; the
+/// destructor stops and joins, so a failing test never hangs the suite.
+struct RunningServer {
+  explicit RunningServer(ServerOptions options) : server(std::move(options)) {
+    server.start();
+    thread = std::thread([this] { server.serve(); });
+  }
+  ~RunningServer() {
+    server.request_stop();
+    if (thread.joinable()) thread.join();
+  }
+  Server server;
+  std::thread thread;
+};
+
+/// A raw connected socket, for driving the protocol below the Client layer
+/// (split send/receive, deliberately broken frames).
+int connect_raw(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof address), 0)
+      << "cannot connect to " << path;
+  return fd;
+}
+
+Request synth_request(const Stg& stg) {
+  Request request;
+  request.op = Op::Synth;
+  request.g_text = stg::write_g(stg);
+  return request;
+}
+
+/// The deterministic part of a synth response: everything but the
+/// "# unfold ..." timing line (wall-clock numbers differ run to run).
+std::string strip_timing(const std::string& text) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size() - 1;
+    const std::string_view line(text.data() + start, end - start + 1);
+    if (line.rfind("# unfold ", 0) != 0) out.append(line);
+    start = end + 1;
+  }
+  return out;
+}
+
+/// What a direct `punt synth <file.g>` prints to stdout, minus the timing
+/// line — built from the same primitives the CLI uses, independently of the
+/// server/service code under test.
+std::string direct_synth_output(const Stg& stg) {
+  const core::SynthesisResult result = core::synthesize(stg);
+  const net::Netlist netlist = net::Netlist::from_synthesis(stg, result);
+  char head[128];
+  std::snprintf(head, sizeof head, "# %s: %zu signals, %zu literals\n",
+                stg.name().c_str(), stg.signal_count(), netlist.literal_count());
+  return std::string(head) + netlist.to_eqn();
+}
+
+// --- Protocol unit tests ------------------------------------------------------
+
+TEST(ServerProtocol, RequestJsonRoundTrips) {
+  Request request;
+  request.op = Op::Synth;
+  request.g_text = ".model x\n.inputs a\n";
+  request.method = "exact";
+  request.arch = "rs";
+  request.minimize = false;
+  request.eqn = true;
+  request.verilog = true;
+  const Request parsed = request_from_json(to_json(request));
+  EXPECT_EQ(parsed.op, Op::Synth);
+  EXPECT_EQ(parsed.g_text, request.g_text);
+  EXPECT_EQ(parsed.method, "exact");
+  EXPECT_EQ(parsed.arch, "rs");
+  EXPECT_FALSE(parsed.minimize);
+  EXPECT_TRUE(parsed.eqn);
+  EXPECT_TRUE(parsed.verilog);
+
+  for (const Op op : {Op::Check, Op::CacheStats, Op::Ping, Op::Shutdown}) {
+    Request probe;
+    probe.op = op;
+    probe.g_text = op == Op::Check ? "text" : "";
+    EXPECT_EQ(request_from_json(to_json(probe)).op, op);
+  }
+}
+
+TEST(ServerProtocol, ResponseJsonRoundTrips) {
+  Response response;
+  response.ok = true;
+  response.exit_code = 2;
+  response.output = "line \"quoted\"\n";
+  response.log = "summary\n";
+  const Response parsed = response_from_json(to_json(response));
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.exit_code, 2);
+  EXPECT_EQ(parsed.output, response.output);
+  EXPECT_EQ(parsed.log, response.log);
+
+  Response refusal;
+  refusal.error = "bad frame";
+  const Response parsed_refusal = response_from_json(to_json(refusal));
+  EXPECT_FALSE(parsed_refusal.ok);
+  EXPECT_EQ(parsed_refusal.error, "bad frame");
+}
+
+TEST(ServerProtocol, MalformedRequestsAreRejected) {
+  EXPECT_THROW((void)request_from_json("not json"), ParseError);
+  EXPECT_THROW((void)request_from_json("[1,2]"), ParseError);
+  EXPECT_THROW((void)request_from_json(R"({"op": "fry"})"), ParseError);
+  EXPECT_THROW((void)request_from_json(R"({"op": "synth"})"), ParseError);  // no g
+  EXPECT_THROW((void)request_from_json(R"({"op": "synth", "g": "x", "method": "vhdl"})"),
+               ParseError);
+  EXPECT_THROW((void)request_from_json(R"({"op": "synth", "g": "x", "arch": "fpga"})"),
+               ParseError);
+  EXPECT_THROW((void)request_from_json(R"({"op": "synth", "g": "x", "eqn": 1})"),
+               ParseError);
+}
+
+TEST(ServerProtocol, FramesRoundTripOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string body = R"({"op": "ping"})";
+  write_frame(fds[1], body);
+  std::string payload;
+  EXPECT_EQ(read_frame(fds[0], payload), FrameStatus::Ok);
+  EXPECT_EQ(payload, body);
+  ::close(fds[1]);
+  EXPECT_EQ(read_frame(fds[0], payload), FrameStatus::Eof);  // clean close
+  ::close(fds[0]);
+}
+
+TEST(ServerProtocol, TruncatedAndOversizedFramesThrow) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Length prefix promising 100 bytes, then EOF after 3: mid-frame close.
+  const unsigned char prefix[4] = {100, 0, 0, 0};
+  ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+  ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+  ::close(fds[1]);
+  std::string payload;
+  EXPECT_THROW((void)read_frame(fds[0], payload), Error);
+  ::close(fds[0]);
+
+  // A length above the limit is refused before any body is buffered.
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  unsigned char huge_prefix[4] = {
+      static_cast<unsigned char>(huge & 0xFF),
+      static_cast<unsigned char>((huge >> 8) & 0xFF),
+      static_cast<unsigned char>((huge >> 16) & 0xFF),
+      static_cast<unsigned char>((huge >> 24) & 0xFF),
+  };
+  ASSERT_EQ(::write(fds[1], huge_prefix, 4), 4);
+  try {
+    (void)read_frame(fds[0], payload);
+    FAIL() << "an oversized frame must be refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos) << e.what();
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- Server end-to-end --------------------------------------------------------
+
+TEST(Server, PingPongAndCacheStats) {
+  TempDir dir("ping");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  RunningServer running(options);
+
+  const Response pong = request_once(options.socket_path, Request{});
+  EXPECT_EQ(pong.exit_code, 0);
+  EXPECT_EQ(pong.output, "pong\n");
+
+  Request stats_request;
+  stats_request.op = Op::CacheStats;
+  const Response stats = request_once(options.socket_path, stats_request);
+  const util::JsonValue root = util::parse_json(stats.output);
+  EXPECT_EQ(util::json_string(root, "schema", "stats"), "punt-serve-stats");
+  // The ping (the served-count bumps just after its response is written, so
+  // an immediately following request may still read 0 — don't pin it).
+  EXPECT_LE(util::json_count(root, "requests", "stats"), 1u);
+  EXPECT_EQ(util::json_count(root, "builds", "stats"), 0u);
+}
+
+TEST(Server, ConcurrentClientsMatchDirectInvocationByteForByte) {
+  TempDir dir("concurrent");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  options.jobs = 2;
+  RunningServer running(options);
+
+  // Four distinct STGs, each requested by two clients at once: eight
+  // concurrent connections funnel through the one resident cache and pool.
+  const std::vector<Stg> stgs = {stg::make_paper_fig1(), stg::make_muller_pipeline(3),
+                                 stg::make_paper_fig4ab(),
+                                 stg::make_counterflow_pipeline(2)};
+  std::vector<std::string> expected;
+  for (const Stg& stg : stgs) expected.push_back(direct_synth_output(stg));
+
+  constexpr int kClientsPerStg = 2;
+  std::vector<std::thread> clients;
+  std::vector<std::string> got(stgs.size() * kClientsPerStg);
+  std::atomic<int> failures{0};
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        const Response response =
+            request_once(options.socket_path, synth_request(stgs[i % stgs.size()]));
+        if (response.exit_code != 0) failures.fetch_add(1);
+        got[i] = response.output;
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(strip_timing(got[i]), expected[i % stgs.size()])
+        << "client " << i << " diverged from the direct invocation";
+  }
+}
+
+TEST(Server, SecondRequestOnAWarmDaemonIsAPureMemoryHit) {
+  TempDir dir("warm");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  options.model_cache_dir = dir.str() + "/models";  // disk tier attached...
+  RunningServer running(options);
+
+  const Stg stg = stg::make_paper_fig1();
+  const Response first = request_once(options.socket_path, synth_request(stg));
+  EXPECT_EQ(first.exit_code, 0);
+  const core::ModelCacheStats after_first = running.server.cache().stats();
+  EXPECT_EQ(after_first.builds, 1u);
+
+  const Response second = request_once(options.socket_path, synth_request(stg));
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_EQ(strip_timing(second.output), strip_timing(first.output));
+
+  // The acceptance criterion: zero phase-1 rebuilds AND zero disk loads —
+  // the resident memory tier answered.
+  const core::ModelCacheStats delta =
+      core::delta_stats(after_first, running.server.cache().stats());
+  EXPECT_EQ(delta.hits, 1u);
+  EXPECT_EQ(delta.builds, 0u) << "a warm daemon must not rebuild phase 1";
+  EXPECT_EQ(delta.disk_hits, 0u) << "...nor deserialise from the disk tier";
+  EXPECT_EQ(delta.misses, 0u);
+  // The per-request summary the client streams to stderr says the same.
+  EXPECT_NE(second.log.find("1 memory hit(s)"), std::string::npos) << second.log;
+  EXPECT_NE(second.log.find("0 rebuild(s)"), std::string::npos) << second.log;
+}
+
+TEST(Server, CheckReportsItsOwnRequestsCacheDelta) {
+  TempDir dir("check");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  RunningServer running(options);
+
+  Request request;
+  request.op = Op::Check;
+  request.g_text = stg::write_g(stg::make_paper_fig1());
+
+  // Cold daemon: the verdict matches a direct `punt check` (fresh cache):
+  // one build, one reuse from the embedded synthesis run.
+  const Response cold = request_once(options.socket_path, request);
+  EXPECT_EQ(cold.exit_code, 0);
+  EXPECT_NE(cold.output.find("complete state coding       : yes"), std::string::npos)
+      << cold.output;
+  EXPECT_NE(cold.output.find("built 1 time(s), reused 1 time(s)"), std::string::npos)
+      << cold.output;
+
+  // Warm daemon: the same request truthfully reports zero builds — the
+  // line is this request's delta, not the daemon's lifetime counters.
+  const Response warm = request_once(options.socket_path, request);
+  EXPECT_EQ(warm.exit_code, 0);
+  EXPECT_NE(warm.output.find("built 0 time(s), reused 2 time(s)"), std::string::npos)
+      << warm.output;
+}
+
+TEST(Server, SynthesisFailuresAnswerLikeTheCliAndKeepServing) {
+  TempDir dir("csc");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  RunningServer running(options);
+
+  // vme has a genuine CSC conflict: the daemon answers exit 2 with the
+  // CLI's diagnostic — and must survive to serve the next request.
+  const Response conflicted =
+      request_once(options.socket_path, synth_request(stg::make_vme_bus()));
+  EXPECT_EQ(conflicted.exit_code, 2);
+  EXPECT_NE(conflicted.log.find("CSC conflict"), std::string::npos) << conflicted.log;
+
+  Request broken;
+  broken.op = Op::Synth;
+  broken.g_text = "this is not a .g file";
+  const Response unparseable = request_once(options.socket_path, broken);
+  EXPECT_EQ(unparseable.exit_code, 2);
+  EXPECT_NE(unparseable.log.find("error: "), std::string::npos) << unparseable.log;
+
+  const Response pong = request_once(options.socket_path, Request{});
+  EXPECT_EQ(pong.output, "pong\n");
+}
+
+TEST(Server, MalformedAndOversizedFramesDoNotKillTheServer) {
+  TempDir dir("frames");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  RunningServer running(options);
+
+  {
+    // Valid frame, invalid JSON: a protocol refusal, connection closed.
+    const int fd = connect_raw(options.socket_path);
+    write_frame(fd, "this is not JSON");
+    std::string payload;
+    ASSERT_EQ(read_frame(fd, payload), FrameStatus::Ok);
+    const Response refusal = response_from_json(payload);
+    EXPECT_FALSE(refusal.ok);
+    EXPECT_FALSE(refusal.error.empty());
+    ::close(fd);
+  }
+  {
+    // Oversized length prefix: refused without buffering the body.
+    const int fd = connect_raw(options.socket_path);
+    const std::uint32_t huge = kMaxFrameBytes + 7;
+    const unsigned char prefix[4] = {
+        static_cast<unsigned char>(huge & 0xFF),
+        static_cast<unsigned char>((huge >> 8) & 0xFF),
+        static_cast<unsigned char>((huge >> 16) & 0xFF),
+        static_cast<unsigned char>((huge >> 24) & 0xFF),
+    };
+    ASSERT_EQ(::write(fd, prefix, 4), 4);
+    std::string payload;
+    ASSERT_EQ(read_frame(fd, payload), FrameStatus::Ok);
+    const Response refusal = response_from_json(payload);
+    EXPECT_FALSE(refusal.ok);
+    EXPECT_NE(refusal.error.find("exceeds"), std::string::npos) << refusal.error;
+    ::close(fd);
+  }
+  {
+    // A peer that connects and vanishes costs the server nothing.
+    const int fd = connect_raw(options.socket_path);
+    ::close(fd);
+  }
+  // After all three abuses, an honest client still gets served.
+  const Response pong = request_once(options.socket_path, Request{});
+  EXPECT_EQ(pong.output, "pong\n");
+}
+
+TEST(Server, GracefulShutdownDrainsInFlightWork) {
+  TempDir dir("drain");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  options.jobs = 2;
+  Server server(options);
+  server.start();
+  std::thread serving([&server] { server.serve(); });
+
+  // Client A: send a synthesis request but do not read the response yet.
+  const int fd = connect_raw(options.socket_path);
+  write_frame(fd, to_json(synth_request(stg::make_muller_pipeline(4))));
+  // Deterministically order the shutdown *behind* A being in flight.
+  while (server.active_connections() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Client B: shutdown.  The ack arrives before the drain completes.
+  Request shutdown;
+  shutdown.op = Op::Shutdown;
+  const Response ack = request_once(options.socket_path, shutdown);
+  EXPECT_EQ(ack.exit_code, 0);
+
+  // A's response must still arrive complete: the drain waits for it.
+  std::string payload;
+  ASSERT_EQ(read_frame(fd, payload), FrameStatus::Ok);
+  const Response result = response_from_json(payload);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_FALSE(result.output.empty());
+  ::close(fd);
+
+  serving.join();  // serve() returned: drained and unlinked
+  EXPECT_FALSE(fs::exists(options.socket_path));
+  EXPECT_THROW(Client probe(options.socket_path), Error);
+}
+
+TEST(Server, StaleSocketFileIsReclaimedAndLiveOneIsRefused) {
+  TempDir dir("stale");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+
+  {
+    // A dead file at the path (a crashed server's leftover): reclaimed.
+    std::ofstream(options.socket_path) << "";
+    ASSERT_TRUE(fs::exists(options.socket_path));
+    RunningServer running(options);
+    const Response pong = request_once(options.socket_path, Request{});
+    EXPECT_EQ(pong.output, "pong\n");
+
+    // A *live* server on the path: a second one must refuse to start.
+    Server rival(options);
+    EXPECT_THROW(rival.start(), Error);
+  }
+}
+
+}  // namespace
+}  // namespace punt::server

@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "src/util/error.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace punt::util {
@@ -103,6 +106,50 @@ TEST(ThreadPool, TasksMayPostContinuationsIntoTheSamePool) {
     done.get_future().get();  // the caller may block; workers never do
   }
   EXPECT_EQ(generations.load(), 3);
+}
+
+TEST(ThreadPool, ShutdownDrainsAndIsIdempotent) {
+  std::atomic<int> completed{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 32; ++i) {
+    pool.post([&completed] { completed.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(completed.load(), 32);  // everything enqueued before ran
+  pool.shutdown();  // a second call (and the destructor later) is a no-op
+}
+
+TEST(ThreadPool, DrainingTasksMayStillPostContinuations) {
+  // The task graph posts dependents from inside running nodes; a shutdown
+  // overlapping that drain must accept (and run) those worker-originated
+  // posts — only posts from outside the pool are rejected once stopping.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> continuation_ran{false};
+  pool.post([opened] { opened.wait(); });
+  pool.post([&pool, &continuation_ran] {
+    pool.post([&continuation_ran] { continuation_ran = true; });
+  });
+  std::thread stopper([&pool] { pool.shutdown(); });
+  // Give the stopper time to set stopping_ while the worker is parked in
+  // the gated first task; the queue then drains under the stopping flag.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.set_value();
+  stopper.join();
+  EXPECT_TRUE(continuation_ran.load());
+}
+
+TEST(ThreadPool, PostAfterShutdownIsRejectedNotSilentlyDropped) {
+  // A post() into a stopped pool used to land in a queue no worker drains —
+  // the task vanished.  Now that the daemon keeps one pool alive across
+  // requests, a lifecycle bug like that must be loud.
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<bool> ran{false};
+  EXPECT_THROW(pool.post([&ran] { ran = true; }), Error);
+  EXPECT_THROW((void)pool.submit([&ran] { ran = true; }), Error);
+  EXPECT_FALSE(ran.load());
 }
 
 TEST(ThreadPool, WorkerIndexIsVisibleInsideTasksOnly) {

@@ -211,6 +211,31 @@ TEST(Json, EscapeHandlesQuotesBackslashesAndControls) {
   EXPECT_EQ(util::json_escape("unit\x1fsep"), "unit\\u001fsep");
 }
 
+TEST(Json, ParserHandlesTheSchemaShapes) {
+  const util::JsonValue root = util::parse_json(
+      R"({"s": "text", "n": 1.5, "b": true, "a": [1, 2], "o": {"k": "v"}})");
+  ASSERT_EQ(root.type, util::JsonValue::Type::Object);
+  EXPECT_EQ(util::json_string(root, "s", "doc"), "text");
+  EXPECT_DOUBLE_EQ(util::json_number(root, "n", "doc"), 1.5);
+  EXPECT_TRUE(util::json_bool(root, "b", "doc"));
+  EXPECT_EQ(util::json_require(root, "a", util::JsonValue::Type::Array, "doc")
+                .array.size(), 2u);
+  EXPECT_THROW((void)util::json_string(root, "missing", "doc"), ParseError);
+  EXPECT_THROW((void)util::json_count(root, "s", "doc"), ParseError);  // mistyped
+}
+
+TEST(Json, DeeplyNestedInputIsRejectedNotAStackOverflow) {
+  // The serve protocol feeds this parser untrusted socket bytes; without a
+  // depth bound a frame of a million '[' would overflow the stack and kill
+  // the daemon.  The bound must reject far below that, and far above any
+  // legitimate punt schema (which nests < 8 deep).
+  const std::string hostile(1u << 20, '[');
+  EXPECT_THROW((void)util::parse_json(hostile), ParseError);
+  std::string nested_ok = "1";
+  for (int i = 0; i < 8; ++i) nested_ok = "[" + nested_ok + "]";
+  EXPECT_NO_THROW((void)util::parse_json(nested_ok));
+}
+
 TEST(XorShift, DeterministicForFixedSeed) {
   XorShift a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());

@@ -26,8 +26,23 @@
 //                                  shards cover the registry exactly once
 //   punt cache stats --model-cache-dir=<dir>
 //                                  inventory the on-disk model cache as JSON
+//   punt cache stats --connect=<socket>
+//                                  a running daemon's resident cache counters
 //   punt cache purge --model-cache-dir=<dir>
 //                                  delete every persisted model in the dir
+//   punt serve --socket=<path> [--jobs=N] [--model-cache-dir=<dir>]
+//                                  run the warm-model daemon: one resident
+//                                  ModelCache + thread pool across requests;
+//                                  SIGTERM (or a client `punt shutdown`)
+//                                  drains in-flight work and exits cleanly
+//   punt synth <file.g> --connect=<socket> [synth flags]
+//   punt check <file.g> --connect=<socket>
+//                                  delegate to the daemon; the result (and
+//                                  the per-request hit/rebuild summary, on
+//                                  stderr) comes back over the socket
+//   punt ping --connect=<socket>   daemon liveness probe
+//   punt shutdown --connect=<socket>
+//                                  ask the daemon to drain and exit
 //
 // --model-cache-dir persists the phase-1 semantic models (unfolding segment
 // or state graph) under the canonical STG digest, so successive punt
@@ -35,7 +50,9 @@
 // after the first warm run.  Corrupt or version-mismatched cache files fall
 // back to a rebuild; an unwritable directory degrades to build-without-
 // persist.  Commands that used the cache print a hit/build summary (memory
-// hits, disk hits, rebuilds) to stderr.
+// hits, disk hits, rebuilds) to stderr.  `punt serve` goes further: the
+// *in-memory* tier stays warm across client invocations, so a repeated
+// `--connect` synth costs neither a rebuild nor a disk load.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 when the specification is
 // not implementable (with a diagnostic on stderr).
@@ -50,6 +67,8 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+
 #include "src/benchmarks/registry.hpp"
 #include "src/benchmarks/report.hpp"
 #include "src/core/csc_resolve.hpp"
@@ -57,6 +76,10 @@
 #include "src/core/model_store.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
+#include "src/server/client.hpp"
+#include "src/server/protocol.hpp"
+#include "src/server/server.hpp"
+#include "src/server/service.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/sg/analysis.hpp"
 #include "src/sg/state_graph.hpp"
@@ -85,15 +108,20 @@ int usage() {
                "                 [--report=json] [--trace-schedule=<file>]\n"
                "                 [--model-cache-dir=<dir>]\n"
                "  punt bench merge <report.json...>\n"
-               "  punt cache stats --model-cache-dir=<dir>\n"
+               "  punt cache stats --model-cache-dir=<dir> | --connect=<socket>\n"
                "  punt cache purge --model-cache-dir=<dir>\n"
+               "  punt serve --socket=<path> [--jobs=N] [--model-cache-dir=<dir>]\n"
+               "  punt ping --connect=<socket>\n"
+               "  punt shutdown --connect=<socket>\n"
                "(--jobs: worker threads; 0 = one per hardware thread)\n"
                "(--shard=i/n: registry entries at positions p with p %% n == i,\n"
                " or balanced by measured per-entry TotTim with --weights)\n"
                "(--trace-schedule: write the executed task graph as JSON and\n"
                " print its critical-path summary to stderr)\n"
                "(--model-cache-dir: persist phase-1 semantic models on disk so\n"
-               " later invocations sharing the directory skip rebuilding them)\n");
+               " later invocations sharing the directory skip rebuilding them)\n"
+               "(--connect: delegate synth/check to a running `punt serve`\n"
+               " daemon, whose models stay warm in memory across requests)\n");
   return 1;
 }
 
@@ -166,6 +194,21 @@ std::string trace_schedule_path(const std::vector<std::string>& args) {
   return std::string();
 }
 
+/// The payload of `--connect=<socket>`, or empty when absent.
+std::string connect_socket(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--connect=", 0) == 0) {
+      const std::string path = arg.substr(10);
+      if (path.empty()) {
+        throw punt::Error("--connect needs the daemon's socket path "
+                          "(e.g. --connect=/tmp/punt.sock)");
+      }
+      return path;
+    }
+  }
+  return std::string();
+}
+
 /// The payload of `--model-cache-dir=<dir>`, or empty when absent.
 std::string model_cache_dir(const std::vector<std::string>& args) {
   for (const std::string& arg : args) {
@@ -194,18 +237,9 @@ std::unique_ptr<punt::core::ModelCache> make_cache(const std::string& dir) {
 /// acceptance signal for a warm `--model-cache-dir` is "N disk hit(s), 0
 /// rebuild(s)".
 void print_cache_summary(const punt::core::ModelCache& cache) {
-  const punt::core::ModelCacheStats s = cache.stats();
-  const std::string failed =
-      s.failed_builds == 0
-          ? std::string()
-          : " (" + std::to_string(s.failed_builds) + " failed)";
-  std::fprintf(stderr,
-               "model cache: %zu lookup(s): %zu memory hit(s), %zu disk hit(s), "
-               "%zu rebuild(s)%s; saved %.3fs; disk: %zu stored, %zu load error(s), "
-               "%zu store failure(s)\n",
-               s.hits + s.misses, s.hits, s.disk_hits, s.builds, failed.c_str(),
-               s.saved_seconds, s.disk_stores, s.disk_load_errors,
-               s.disk_store_failures);
+  // One shared formatter (core::summarize) keeps this line identical to the
+  // per-request summary a `--connect` client receives from the daemon.
+  std::fprintf(stderr, "%s", punt::core::summarize(cache.stats()).c_str());
 }
 
 /// Prints the summary when the enclosing command exits — error paths
@@ -229,7 +263,65 @@ void dump_trace(const punt::util::TaskTrace& trace, const std::string& path) {
   std::fprintf(stderr, "schedule trace written to %s\n", path.c_str());
 }
 
+// --- Serve-mode client side ---------------------------------------------------
+
+/// Round-trips `request` and replays the daemon's answer as if the work had
+/// run here: response.output to stdout, response.log (the diagnostic and
+/// the per-request hit/rebuild summary) to stderr, exit code passed through.
+int run_client(const std::string& socket, const punt::server::Request& request) {
+  const punt::server::Response response = punt::server::request_once(socket, request);
+  std::fputs(response.output.c_str(), stdout);
+  std::fputs(response.log.c_str(), stderr);
+  return response.exit_code;
+}
+
+/// Flags that make no sense against a daemon (it owns its jobs policy and
+/// cache; the dot writers and schedule trace are direct-mode only).
+void reject_direct_only_flags(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg == "--dot" || arg == "--unfolding-dot" ||
+        arg.rfind("--trace-schedule=", 0) == 0 || arg.rfind("--jobs=", 0) == 0 ||
+        arg.rfind("--model-cache-dir=", 0) == 0) {
+      throw punt::Error("'" + arg.substr(0, arg.find('=')) +
+                        "' cannot be combined with --connect: the daemon owns its "
+                        "worker pool and model cache, and writers beyond "
+                        "--eqn/--verilog run only in direct mode");
+    }
+  }
+}
+
+int delegate_synth(const std::string& socket, const std::string& path,
+                   const std::vector<std::string>& args) {
+  reject_direct_only_flags(args);
+  punt::server::Request request;
+  request.op = punt::server::Op::Synth;
+  request.g_text = read_file(path);
+  for (const std::string& arg : args) {
+    if (arg == "--method=approx") request.method = "approx";
+    else if (arg == "--method=exact") request.method = "exact";
+    else if (arg == "--method=sg") request.method = "sg";
+    else if (arg == "--arch=acg") request.arch = "acg";
+    else if (arg == "--arch=c") request.arch = "c";
+    else if (arg == "--arch=rs") request.arch = "rs";
+    else if (arg == "--no-minimize") request.minimize = false;
+  }
+  request.eqn = has_flag(args, "--eqn");
+  request.verilog = has_flag(args, "--verilog");
+  return run_client(socket, request);
+}
+
+int delegate_check(const std::string& socket, const std::string& path,
+                   const std::vector<std::string>& args) {
+  reject_direct_only_flags(args);
+  punt::server::Request request;
+  request.op = punt::server::Op::Check;
+  request.g_text = read_file(path);
+  return run_client(socket, request);
+}
+
 int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
+  const std::string socket = connect_socket(args);
+  if (!socket.empty()) return delegate_synth(socket, path, args);
   const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
   const punt::core::SynthesisOptions options = parse_options(args);
   const std::string trace_path = trace_schedule_path(args);
@@ -260,52 +352,26 @@ int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
 }
 
 int cmd_check(const std::string& path, const std::vector<std::string>& args) {
-  const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
-  // One ModelCache shared between the criteria checks and the CSC synthesis
-  // run below: the unfolding segment is built exactly once (the seed built
-  // it twice — once for the checks, once inside synthesize()).  With
-  // --model-cache-dir a warm directory skips even that one build.
+  const std::string socket = connect_socket(args);
+  if (!socket.empty()) return delegate_check(socket, path, args);
+  // The direct path runs the same server::run_check the daemon dispatches
+  // to, so `--connect` byte-parity holds by construction: one ModelCache
+  // shared between the criteria checks and the embedded CSC synthesis run
+  // (the unfolding segment is built exactly once; with --model-cache-dir a
+  // warm directory skips even that one build), verdict lines and the
+  // delta-based "semantic model" summary rendered in exactly one place.
   const std::string cache_dir = model_cache_dir(args);
   punt::core::ModelCache cache(
       punt::core::ModelCache::kDefaultCapacity,
       cache_dir.empty() ? nullptr : std::make_shared<punt::core::ModelStore>(cache_dir));
-  const CacheSummaryGuard summary{cache_dir.empty() ? nullptr : &cache};
-  punt::core::SynthesisOptions options;
-  options.throw_on_csc = false;
-  // Persistency is reported below, not thrown, so the check prints a full
-  // verdict for non-semi-modular STGs too.
-  options.check_persistency = false;
-  const auto model = cache.lookup_or_build(stg, options);
-  const punt::unf::Unfolding& unfolding = *model->unfolding;
-  std::printf("consistent state assignment : yes (segment built)\n");
-  std::printf("bounded / safe              : yes (%zu events, %zu conditions)\n",
-              unfolding.stats().events, unfolding.stats().conditions);
-  const auto persistency = punt::unf::segment_persistency_violations(unfolding);
-  std::printf("output persistency          : %s\n",
-              persistency.empty() ? "yes" : persistency.front().describe(unfolding).c_str());
-  const auto result = punt::core::synthesize(stg, options, &cache);
-  bool csc_ok = true;
-  for (const auto& impl : result.signals) {
-    if (impl.csc_conflict) {
-      csc_ok = false;
-      std::printf("complete state coding       : conflict on '%s'\n",
-                  stg.signal_name(impl.signal).c_str());
-    }
-  }
-  if (csc_ok) std::printf("complete state coding       : yes\n");
-  const punt::core::ModelCacheStats stats = cache.stats();
-  // The displayed rate counts disk hits as reuse, matching the "reused"
-  // figure on the same line (hit_rate() alone is the memory tier's view and
-  // would read 0% on a warm directory).
-  const std::size_t lookups = stats.hits + stats.misses;
-  const double reuse_rate =
-      lookups == 0 ? 0.0
-                   : static_cast<double>(stats.hits + stats.disk_hits) /
-                         static_cast<double>(lookups);
-  std::printf("semantic model              : built %zu time(s), reused %zu time(s) "
-              "(%.0f%% cache hit rate)\n",
-              stats.builds, stats.hits + stats.disk_hits, reuse_rate * 100.0);
-  return csc_ok && persistency.empty() ? 0 : 2;
+  punt::server::Request request;
+  request.op = punt::server::Op::Check;
+  request.g_text = read_file(path);
+  const punt::server::Response response = punt::server::run_check(
+      request, cache, nullptr, /*summarize_cache=*/!cache_dir.empty());
+  std::fputs(response.output.c_str(), stdout);
+  std::fputs(response.log.c_str(), stderr);
+  return response.exit_code;
 }
 
 int cmd_resolve(const std::string& path) {
@@ -432,8 +498,101 @@ int cmd_bench_merge(const std::vector<std::string>& args) {
   return 0;
 }
 
+// --- Serve mode ---------------------------------------------------------------
+
+/// The running server, for the signal handlers; handlers only call
+/// request_stop(), which merely stores an atomic flag the accept loop polls.
+punt::server::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  punt::server::ServerOptions options;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--socket=", 0) == 0) {
+      options.socket_path = arg.substr(9);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = parse_jobs(arg.substr(7));
+    } else if (arg.rfind("--model-cache-dir=", 0) == 0) {
+      options.model_cache_dir = model_cache_dir({arg});  // shares the validation
+    } else {
+      // Strict, unlike the synthesis commands: a daemon started with a
+      // typo'd flag would silently serve with the wrong configuration until
+      // someone noticed.
+      throw punt::Error("unknown punt serve flag '" + arg + "'");
+    }
+  }
+  if (options.socket_path.empty()) {
+    throw punt::Error("punt serve needs --socket=<path> naming the Unix socket "
+                      "to listen on (e.g. --socket=/tmp/punt.sock)");
+  }
+  punt::server::Server server(std::move(options));
+  server.start();
+  // RAII so an error path (serve() throwing) also detaches the handlers
+  // before `server` is destroyed — a SIGTERM arriving while the stack
+  // unwinds must not reach request_stop() on a dead object.
+  struct SignalGuard {
+    explicit SignalGuard(punt::server::Server* server) {
+      g_server = server;
+      std::signal(SIGTERM, handle_stop_signal);
+      std::signal(SIGINT, handle_stop_signal);
+    }
+    ~SignalGuard() {
+      std::signal(SIGTERM, SIG_DFL);
+      std::signal(SIGINT, SIG_DFL);
+      g_server = nullptr;
+    }
+  } signal_guard(&server);
+  std::fprintf(stderr, "punt serve: listening on %s, %zu job(s)%s%s\n",
+               server.socket_path().c_str(), server.jobs(),
+               server.cache().store() != nullptr ? ", model cache dir " : "",
+               server.cache().store() != nullptr
+                   ? server.cache().store()->directory().c_str()
+                   : "");
+  server.serve();
+  std::fprintf(stderr, "punt serve: drained; served %zu request(s)\n",
+               server.requests_served());
+  print_cache_summary(server.cache());
+  return 0;
+}
+
+int cmd_ping(const std::vector<std::string>& args) {
+  const std::string socket = connect_socket(args);
+  if (socket.empty()) {
+    throw punt::Error("punt ping needs --connect=<socket> naming the daemon");
+  }
+  punt::server::Request request;
+  request.op = punt::server::Op::Ping;
+  return run_client(socket, request);
+}
+
+int cmd_shutdown(const std::vector<std::string>& args) {
+  const std::string socket = connect_socket(args);
+  if (socket.empty()) {
+    throw punt::Error("punt shutdown needs --connect=<socket> naming the daemon");
+  }
+  punt::server::Request request;
+  request.op = punt::server::Op::Shutdown;
+  const int exit_code = run_client(socket, request);
+  std::fprintf(stderr, "server at %s acknowledged shutdown; it drains in-flight "
+               "requests and exits\n", socket.c_str());
+  return exit_code;
+}
+
 int cmd_cache(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
+  const std::string socket = connect_socket({args.begin() + 1, args.end()});
+  if (!socket.empty()) {
+    if (args[0] != "stats") {
+      throw punt::Error("punt cache " + args[0] + " is not served over --connect; "
+                        "only `punt cache stats` queries a running daemon");
+    }
+    punt::server::Request request;
+    request.op = punt::server::Op::CacheStats;
+    return run_client(socket, request);
+  }
   const std::string dir = model_cache_dir({args.begin() + 1, args.end()});
   if (dir.empty()) {
     throw punt::Error("punt cache " + args[0] +
@@ -522,6 +681,9 @@ int main(int argc, char** argv) {
     if (command == "resolve" && args.size() >= 2) return cmd_resolve(args[1]);
     if (command == "bench") return cmd_bench({args.begin() + 1, args.end()});
     if (command == "cache") return cmd_cache({args.begin() + 1, args.end()});
+    if (command == "serve") return cmd_serve({args.begin() + 1, args.end()});
+    if (command == "ping") return cmd_ping({args.begin() + 1, args.end()});
+    if (command == "shutdown") return cmd_shutdown({args.begin() + 1, args.end()});
     return usage();
   } catch (const punt::CscError& e) {
     std::fprintf(stderr, "CSC conflict: %s\n(try `punt resolve`)\n", e.what());
