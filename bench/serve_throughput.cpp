@@ -1,0 +1,115 @@
+// Experiment SV — serve-mode request fusion under concurrent load.
+//
+// Spins up two in-process `punt serve` daemons over the same warm workload
+// — one with the micro-batching window disabled (--batch-window=0, the
+// pre-fusion daemon: every synth request runs inline on its connection
+// thread) and one with the default 2ms window — and drives each with 8
+// closed-loop clients walking the Table-1 registry.
+//
+// What fusion buys: requests that arrive together run as ONE union task
+// graph over the shared executor, so concurrent clients share scheduling
+// the way `punt bench run` entries do instead of contending request by
+// request.  The experiment hard-asserts the two properties the feature
+// claims (nonzero exit on failure, so CI can gate on it):
+//
+//   1. batches actually form: mean fused batch size > 1 under 8 clients;
+//   2. fusion is not a throughput regression: fused throughput >= 0.9x the
+//      window=0 baseline (the 10% floor absorbs closed-loop run-to-run
+//      variance on small machines; in steady state fusion wins).
+//
+// Set PUNT_BENCH_FULL=1 for a longer (5s per daemon) measurement window.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "src/benchmarks/loadgen.hpp"
+#include "src/benchmarks/report.hpp"
+#include "src/server/server.hpp"
+
+namespace {
+
+using punt::benchmarks::LoadgenOptions;
+using punt::benchmarks::ServeBenchReport;
+
+constexpr std::size_t kClients = 8;
+
+/// One daemon lifecycle: start, drive with the load generator, drain.
+ServeBenchReport measure(double window_ms, double duration_seconds) {
+  punt::server::ServerOptions options;
+  options.socket_path = "/tmp/punt-serve-throughput-" + std::to_string(::getpid()) +
+                        (window_ms > 0 ? "-fused" : "-baseline") + ".sock";
+  options.jobs = 0;  // hardware width, like a production daemon
+  options.batch_window_ms = window_ms;
+  punt::server::Server server(options);
+  server.start();
+  std::thread serve_thread([&server] { server.serve(); });
+
+  LoadgenOptions load;
+  load.socket_path = options.socket_path;
+  load.clients = kClients;
+  load.duration_seconds = duration_seconds;
+  ServeBenchReport report;
+  try {
+    report = punt::benchmarks::run_loadgen(load);
+  } catch (...) {
+    server.request_stop();
+    serve_thread.join();
+    throw;
+  }
+  server.request_stop();
+  serve_thread.join();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("PUNT_BENCH_FULL") != nullptr;
+  const double duration = full ? 5.0 : 2.0;
+  std::printf("Serve-mode fusion: %zu closed-loop clients, %.0fs per daemon\n\n",
+              kClients, duration);
+
+  const ServeBenchReport baseline = measure(0.0, duration);
+  const ServeBenchReport fused = measure(2.0, duration);
+
+  std::printf("%-12s | %10s | %9s | %9s | %10s | %5s\n", "daemon", "req/s", "p50 ms",
+              "p99 ms", "mean batch", "shed");
+  std::printf("-------------------------------------------------------------------\n");
+  std::printf("%-12s | %10.1f | %9.2f | %9.2f | %10.2f | %5zu\n", "window=0",
+              baseline.throughput_rps, baseline.p50_ms, baseline.p99_ms,
+              baseline.mean_batch(), baseline.shed + baseline.daemon_shed);
+  std::printf("%-12s | %10.1f | %9.2f | %9.2f | %10.2f | %5zu\n", "window=2ms",
+              fused.throughput_rps, fused.p50_ms, fused.p99_ms, fused.mean_batch(),
+              fused.shed + fused.daemon_shed);
+  std::printf("\nfused: %zu batch(es) over %zu request(s), max batch %zu\n",
+              fused.batches, fused.fused_requests, fused.max_batch);
+
+  int failures = 0;
+  if (!(fused.mean_batch() > 1.0)) {
+    std::fprintf(stderr,
+                 "FAIL: mean fused batch %.2f <= 1 — the window formed no "
+                 "multi-request batches under %zu concurrent clients\n",
+                 fused.mean_batch(), kClients);
+    ++failures;
+  }
+  if (!(fused.throughput_rps >= 0.9 * baseline.throughput_rps)) {
+    std::fprintf(stderr,
+                 "FAIL: fused throughput %.1f req/s < 0.9x baseline %.1f req/s — "
+                 "fusion regressed serving throughput\n",
+                 fused.throughput_rps, baseline.throughput_rps);
+    ++failures;
+  }
+  if (baseline.completed == 0 || fused.completed == 0) {
+    std::fprintf(stderr, "FAIL: a measurement window completed zero requests\n");
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("\nOK: batches form under load (mean %.2f > 1) and fusion holds "
+                "throughput (%.1f vs %.1f req/s baseline)\n",
+                fused.mean_batch(), fused.throughput_rps, baseline.throughput_rps);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -441,4 +441,124 @@ Table1Report merge_reports(const std::vector<Table1Report>& reports) {
   return merged;
 }
 
+// --- Serve-mode benchmarking --------------------------------------------------
+
+double ServeBenchReport::mean_batch() const {
+  return batches == 0 ? 0.0
+                      : static_cast<double>(fused_requests) /
+                            static_cast<double>(batches);
+}
+
+std::string to_json(const ServeBenchReport& report) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"punt-serve-bench\",\n";
+  out += "  \"version\": 1,\n";
+  out += printf_string("  \"clients\": %zu,\n", report.clients);
+  out += printf_string("  \"duration_seconds\": %.17g,\n", report.duration_seconds);
+  out += printf_string("  \"wall_seconds\": %.17g,\n", report.wall_seconds);
+  out += printf_string("  \"completed\": %zu,\n", report.completed);
+  out += printf_string("  \"failed\": %zu,\n", report.failed);
+  out += printf_string("  \"shed\": %zu,\n", report.shed);
+  out += printf_string("  \"transport_errors\": %zu,\n", report.transport_errors);
+  out += printf_string("  \"throughput_rps\": %.17g,\n", report.throughput_rps);
+  out += printf_string("  \"mean_ms\": %.17g,\n", report.mean_ms);
+  out += printf_string("  \"p50_ms\": %.17g,\n", report.p50_ms);
+  out += printf_string("  \"p95_ms\": %.17g,\n", report.p95_ms);
+  out += printf_string("  \"p99_ms\": %.17g,\n", report.p99_ms);
+  out += printf_string("  \"max_ms\": %.17g,\n", report.max_ms);
+  out += printf_string("  \"batch_window_ms\": %.17g,\n", report.batch_window_ms);
+  out += printf_string("  \"batches\": %zu,\n", report.batches);
+  out += printf_string("  \"fused_requests\": %zu,\n", report.fused_requests);
+  out += printf_string("  \"mean_batch\": %.17g,\n", report.mean_batch());
+  out += printf_string("  \"max_batch\": %zu,\n", report.max_batch);
+  out += printf_string("  \"queue_high_water\": %zu,\n", report.queue_high_water);
+  out += printf_string("  \"daemon_shed\": %zu,\n", report.daemon_shed);
+  out += "  \"batch_size_histogram\": [";
+  for (std::size_t i = 0; i < report.batch_size_histogram.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += printf_string("%zu", report.batch_size_histogram[i]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+ServeBenchReport serve_report_from_json(std::string_view text) {
+  constexpr const char* kServeDocument = "serve-bench JSON";
+  const JsonValue root = util::parse_json(text);
+  if (root.type != JsonValue::Type::Object) {
+    throw ParseError("serve-bench JSON must be an object");
+  }
+  if (util::json_string(root, "schema", kServeDocument) != "punt-serve-bench") {
+    throw ParseError("serve-bench JSON has schema '" +
+                     util::json_string(root, "schema", kServeDocument) +
+                     "'; expected 'punt-serve-bench'");
+  }
+  if (util::json_count(root, "version", kServeDocument) != 1) {
+    throw ParseError("unsupported punt-serve-bench version " +
+                     std::to_string(util::json_count(root, "version", kServeDocument)) +
+                     "; this build reads version 1");
+  }
+  ServeBenchReport report;
+  report.clients = util::json_count(root, "clients", kServeDocument);
+  report.duration_seconds = util::json_number(root, "duration_seconds", kServeDocument);
+  report.wall_seconds = util::json_number(root, "wall_seconds", kServeDocument);
+  report.completed = util::json_count(root, "completed", kServeDocument);
+  report.failed = util::json_count(root, "failed", kServeDocument);
+  report.shed = util::json_count(root, "shed", kServeDocument);
+  report.transport_errors = util::json_count(root, "transport_errors", kServeDocument);
+  report.throughput_rps = util::json_number(root, "throughput_rps", kServeDocument);
+  report.mean_ms = util::json_number(root, "mean_ms", kServeDocument);
+  report.p50_ms = util::json_number(root, "p50_ms", kServeDocument);
+  report.p95_ms = util::json_number(root, "p95_ms", kServeDocument);
+  report.p99_ms = util::json_number(root, "p99_ms", kServeDocument);
+  report.max_ms = util::json_number(root, "max_ms", kServeDocument);
+  report.batch_window_ms = util::json_number(root, "batch_window_ms", kServeDocument);
+  report.batches = util::json_count(root, "batches", kServeDocument);
+  report.fused_requests = util::json_count(root, "fused_requests", kServeDocument);
+  report.max_batch = util::json_count(root, "max_batch", kServeDocument);
+  report.queue_high_water = util::json_count(root, "queue_high_water", kServeDocument);
+  report.daemon_shed = util::json_count(root, "daemon_shed", kServeDocument);
+  const JsonValue& histogram =
+      util::json_require(root, "batch_size_histogram", JsonValue::Type::Array,
+                         kServeDocument);
+  report.batch_size_histogram.reserve(histogram.array.size());
+  for (const JsonValue& bucket : histogram.array) {
+    if (bucket.type != JsonValue::Type::Number || bucket.number < 0) {
+      throw ParseError("serve-bench JSON batch_size_histogram entries must be counts");
+    }
+    report.batch_size_histogram.push_back(static_cast<std::size_t>(bucket.number));
+  }
+  return report;
+}
+
+std::string format_serve_summary(const ServeBenchReport& report) {
+  std::string out;
+  out += printf_string("# punt bench serve: %zu client(s), %.1fs window\n",
+                       report.clients, report.duration_seconds);
+  out += printf_string(
+      "throughput %.1f req/s (%zu completed, %zu failed, %zu transport error(s))\n",
+      report.throughput_rps, report.completed, report.failed,
+      report.transport_errors);
+  out += printf_string(
+      "latency mean %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms\n",
+      report.mean_ms, report.p50_ms, report.p95_ms, report.p99_ms, report.max_ms);
+  // `shed=N` is deliberately greppable: the CI smoke job asserts shed=0.
+  out += printf_string(
+      "fusion: window %.1fms, %zu batch(es), mean %.2f max %zu, "
+      "queue high-water %zu, shed=%zu\n",
+      report.batch_window_ms, report.batches, report.mean_batch(),
+      report.max_batch, report.queue_high_water,
+      report.shed + report.daemon_shed);
+  out += "batch-size histogram:";
+  bool any_bucket = false;
+  for (std::size_t i = 0; i < report.batch_size_histogram.size(); ++i) {
+    if (report.batch_size_histogram[i] == 0) continue;
+    any_bucket = true;
+    out += printf_string(" %zu:%zu", i + 1, report.batch_size_histogram[i]);
+  }
+  if (!any_bucket) out += " (empty)";
+  out += "\n";
+  return out;
+}
+
 }  // namespace punt::benchmarks

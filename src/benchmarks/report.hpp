@@ -115,4 +115,55 @@ Table1Report report_from_json(std::string_view text);
 /// current registry size.
 Table1Report merge_reports(const std::vector<Table1Report>& reports);
 
+// --- Serve-mode benchmarking --------------------------------------------------
+
+/// The `punt bench serve` outcome: the serving-latency analogue of a
+/// Table-1 report.  Client-side latency/throughput from the closed-loop
+/// load generator (benchmarks/loadgen.hpp) plus the daemon-side fusion
+/// delta observed over the measurement window via {"op":"cache-stats"}.
+struct ServeBenchReport {
+  std::size_t clients = 0;
+  double duration_seconds = 0;  // configured measurement window
+  double wall_seconds = 0;      // measured (>= duration: in-flight finish)
+  std::size_t completed = 0;    // responses received, any exit code
+  std::size_t failed = 0;       // responses with a nonzero exit code
+  std::size_t shed = 0;         // "overloaded" refusals observed client-side
+  std::size_t transport_errors = 0;  // broken connections, failed reconnects
+  double throughput_rps = 0;    // completed / wall_seconds
+
+  // Latency percentiles over completed requests, milliseconds,
+  // nearest-rank.
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+
+  // Daemon-side fusion counters: the delta between the cache-stats
+  // snapshots bracketing the measurement window (all zero against a
+  // --batch-window=0 daemon).  High-water marks are whole-daemon-lifetime
+  // values, not deltas.
+  double batch_window_ms = 0;
+  std::size_t batches = 0;
+  std::size_t fused_requests = 0;
+  std::size_t max_batch = 0;
+  std::size_t queue_high_water = 0;
+  std::size_t daemon_shed = 0;
+  std::vector<std::size_t> batch_size_histogram;  // delta, bucket i = size i+1
+
+  double mean_batch() const;
+};
+
+/// JSON serialisation ("punt-serve-bench" schema, version 1).
+std::string to_json(const ServeBenchReport& report);
+
+/// Parses to_json output.  Throws ParseError on malformed JSON or a payload
+/// that is not a punt-serve-bench report.
+ServeBenchReport serve_report_from_json(std::string_view text);
+
+/// The human summary `punt bench serve` prints: throughput, latency
+/// percentiles, fusion counters (with a greppable `shed=N`) and the
+/// batch-size histogram.
+std::string format_serve_summary(const ServeBenchReport& report);
+
 }  // namespace punt::benchmarks

@@ -36,11 +36,10 @@ Client::~Client() {
 
 Response Client::request(const Request& request) {
   write_frame(fd_, to_json(request));
-  std::string payload;
-  if (read_frame(fd_, payload) == FrameStatus::Eof) {
+  if (read_frame(fd_, payload_) == FrameStatus::Eof) {
     throw Error("the server closed the connection without answering");
   }
-  Response response = response_from_json(payload);
+  Response response = response_from_json(payload_);
   if (!response.ok) {
     throw Error("the server refused the request: " + response.error);
   }

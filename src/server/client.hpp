@@ -25,11 +25,18 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Round-trips one request.  Throws Error on transport failure or when
-  /// the server answered ok=false (the protocol-level refusal's text).
+  /// the server answered ok=false (the protocol-level refusal's text — the
+  /// daemon's "overloaded: ..." load-shed refusal surfaces here too, and
+  /// the server closes the connection after any refusal, so a shed client
+  /// must reconnect to retry).
   Response request(const Request& request);
 
  private:
   int fd_ = -1;
+  /// Reused across requests: read_frame resizes it per frame, so a client
+  /// looping over a registry (the `punt bench serve` load generator) stops
+  /// allocating once the buffer has seen its largest response.
+  std::string payload_;
 };
 
 /// Convenience: connect, send one request, disconnect.

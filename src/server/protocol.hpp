@@ -28,8 +28,10 @@
 // "ok" is a *protocol* verdict: a synthesis failure (CSC conflict, bad .g
 // text) is a successful response with a nonzero "exit" and the diagnostic
 // in "log" — exactly the exit code and stderr a direct `punt` invocation
-// produces.  "ok":false means the request itself was unusable (malformed
-// frame or JSON, unknown op) and the connection will be closed.
+// produces.  "ok":false means the request was not served — malformed frame
+// or JSON, unknown op, or the daemon shed it under load ("error" starting
+// "overloaded: ...", see server/batcher.hpp) — and the connection will be
+// closed; a shed client reconnects to retry.
 #pragma once
 
 #include <sys/un.h>
@@ -94,6 +96,10 @@ enum class FrameStatus : std::uint8_t {
 /// Reads one frame from `fd` into `payload`.  Returns Eof only on a clean
 /// close at a frame boundary; throws Error on a short/failed read or on a
 /// length prefix above kMaxFrameBytes (the oversized body is not read).
+/// `payload` is a *reusable* buffer: it is resized, never reallocated from
+/// scratch, so callers looping over a connection (the server's frame loop,
+/// Client::request) keep one buffer for the connection's lifetime and stop
+/// allocating once it has seen their largest frame.
 FrameStatus read_frame(int fd, std::string& payload);
 
 /// Writes one frame to `fd`; throws Error when the peer is gone (EPIPE) or

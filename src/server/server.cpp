@@ -22,17 +22,9 @@
 namespace punt::server {
 namespace {
 
-/// How often the accept loop re-checks the stop flag.  Short enough that
-/// SIGTERM feels immediate, long enough that an idle daemon costs nothing.
-constexpr int kPollMillis = 100;
-
-/// Per-write() send timeout on every connection.  A client that stops
-/// reading (suspended mid-response with a full socket buffer) would
-/// otherwise park its handler in write_exact forever — and the shutdown
-/// drain joins handlers without a timeout, so one stuck reader could pin
-/// the daemon past any number of SIGTERMs.  The clock resets on every
-/// successful write, so a merely *slow* reader making progress is fine.
-constexpr time_t kSendTimeoutSeconds = 30;
+/// Backoff when accept() hits transient resource exhaustion; the loop
+/// otherwise blocks in poll() with no timeout at all.
+constexpr int kAcceptBackoffMillis = 100;
 
 std::string errno_text() { return std::string(std::strerror(errno)); }
 
@@ -46,7 +38,20 @@ Server::Server(ServerOptions options)
           options_.model_cache_dir.empty()
               ? nullptr
               : std::make_shared<core::ModelStore>(options_.model_cache_dir))),
-      executor_(options_.jobs) {}
+      executor_(options_.jobs) {
+  if (options_.batch_window_ms > 0) {
+    BatcherOptions batcher;
+    batcher.window_seconds = options_.batch_window_ms / 1000.0;
+    batcher.max_queue = options_.max_queue;
+    batcher.max_per_connection = options_.max_inflight_per_connection;
+    batcher_ = std::make_unique<Batcher>(batcher, cache_.get(), &executor_);
+  }
+  // Self-pipe for the accept loop: non-blocking (a full pipe must not block
+  // a finishing handler — one unread byte is wake enough) and CLOEXEC.
+  if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw Error("serve: cannot create wake pipe: " + errno_text());
+  }
+}
 
 Server::~Server() {
   if (listen_fd_ >= 0) {
@@ -54,8 +59,30 @@ Server::~Server() {
     listen_fd_ = -1;
     ::unlink(options_.socket_path.c_str());
   }
+  if (batcher_ != nullptr) batcher_->begin_drain();
   reap_connections(true);
+  if (batcher_ != nullptr) batcher_->drain();
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
   release_ownership();
+}
+
+void Server::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  wake_accept_loop();
+}
+
+void Server::wake_accept_loop() {
+  // Async-signal-safe (write on an int fd) and non-blocking: if the pipe is
+  // already full the loop has unread wakes pending, which is just as good.
+  if (wake_fds_[1] >= 0) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
 }
 
 void Server::start() {
@@ -121,41 +148,63 @@ void Server::serve() {
   if (listen_fd_ < 0) throw Error("serve: start() the server before serve()");
   while (!stop_.load(std::memory_order_relaxed)) {
     reap_connections(false);
-    pollfd poll_fd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&poll_fd, 1, kPollMillis);
+    // Block until a connection arrives or the self-pipe is written (by
+    // request_stop(), or by a handler finishing so it gets reaped).  No
+    // timeout: an idle daemon makes no wakeups at all, where the old loop
+    // re-polled a stop flag 10x a second.
+    pollfd poll_fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = ::poll(poll_fds, 2, -1);
     if (ready < 0) {
       if (errno == EINTR) continue;  // a signal; the loop re-checks stop_
       throw Error("serve: poll failed: " + errno_text());
     }
-    if (ready == 0) continue;  // timeout: just re-check the stop flag
+    if (poll_fds[1].revents != 0) {
+      // Drain every pending wake byte; the work (reap / stop check) happens
+      // at the top of the loop.
+      char buffer[64];
+      while (::read(wake_fds_[0], buffer, sizeof buffer) > 0) {
+      }
+    }
+    if ((poll_fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
         // Transient resource pressure — often fd exhaustion from the
         // daemon's own concurrent connections.  Dying here would throw
-        // away the warm cache exactly when load is highest; back off one
-        // poll interval and let finishing connections free the resources.
-        std::this_thread::sleep_for(std::chrono::milliseconds(kPollMillis));
+        // away the warm cache exactly when load is highest; back off a
+        // beat and let finishing connections free the resources.
+        std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptBackoffMillis));
         continue;
       }
       throw Error("serve: accept failed: " + errno_text());
     }
-    const timeval send_timeout{kSendTimeoutSeconds, 0};
+    const timeval send_timeout{options_.send_timeout_seconds, 0};
     (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout, sizeof send_timeout);
     auto done = std::make_shared<std::atomic<bool>>(false);
     std::thread thread([this, fd, done] {
       handle_connection(fd);
       done->store(true, std::memory_order_release);
+      // Wake the accept loop so the finished thread is reaped promptly —
+      // with an infinite poll timeout nobody else would notice.
+      wake_accept_loop();
     });
     std::lock_guard<std::mutex> lock(connections_mutex_);
     connections_.push_back(Connection{std::move(thread), std::move(done), fd});
   }
   // Drain: no new connections; every accepted request runs to completion
   // (its graph finishes on the resident pool) before the socket goes away.
+  // The Batcher flushes first (queued items dispatch without waiting out
+  // the window) but keeps admitting and serving while the handlers that
+  // feed it are joined; only then is it fully drained.
   ::close(listen_fd_);
   listen_fd_ = -1;
+  if (batcher_ != nullptr) batcher_->begin_drain();
   reap_connections(true);
+  if (batcher_ != nullptr) batcher_->drain();
   ::unlink(options_.socket_path.c_str());
   release_ownership();
 }
@@ -192,6 +241,11 @@ void Server::reap_connections(bool all) {
 
 void Server::handle_connection(int fd) {
   active_connections_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t connection =
+      next_connection_id_.fetch_add(1, std::memory_order_relaxed);
+  // One read buffer for the connection's whole lifetime: read_frame resizes
+  // it per frame, so steady traffic stops allocating once the buffer has
+  // seen its largest request.
   std::string payload;
   while (true) {
     // Frame or protocol errors answer best-effort and close the connection
@@ -212,19 +266,35 @@ void Server::handle_connection(int fd) {
     Response response;
     bool shutdown = false;
     try {
-      const Request request = request_from_json(payload);
+      Request request = request_from_json(payload);
       switch (request.op) {
         case Op::Synth:
-          response = run_synth(request, cache_.get(), &executor_);
+          if (batcher_ != nullptr) {
+            // Fused path: block here (the handler thread is the natural
+            // per-request wait context) while the dispatcher folds this
+            // request into a union batch with whatever else the window
+            // catches.  Shed work comes back ok=false and the `!ok` exit
+            // below closes the connection, per the protocol contract.
+            response = batcher_->submit(prepare_synth(std::move(request)), connection);
+          } else {
+            response = run_synth(request, cache_.get(), &executor_);
+          }
           break;
         case Op::Check:
+          // Deliberately inline, not fused: the check's stdout embeds its
+          // own request-scoped cache delta ("built N time(s)"), which a
+          // shared batch delta would corrupt.
           response = run_check(request, *cache_, &executor_);
           break;
-        case Op::CacheStats:
+        case Op::CacheStats: {
           response.ok = true;
-          response.output = cache_stats_json(cache_->stats(), requests_served(),
-                                             executor_.jobs(), options_.model_cache_dir);
+          const BatcherStats fused = batcher_stats();
+          response.output = cache_stats_json(
+              cache_->stats(), requests_served(), executor_.jobs(),
+              options_.model_cache_dir, batcher_ != nullptr ? &fused : nullptr,
+              options_.batch_window_ms);
           break;
+        }
         case Op::Ping:
           response.ok = true;
           response.output = "pong\n";

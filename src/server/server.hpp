@@ -4,23 +4,33 @@
 // process startup nor phase-1 reconstruction nor even disk deserialisation —
 // the regime where the unfolding-segment approach amortises best.
 //
-// Concurrency model: an accept loop (poll with a short timeout, so the stop
-// flag is honoured promptly) hands each connection to its own thread; every
+// Concurrency model: an accept loop (poll on the listen fd plus a self-pipe
+// wake, so an idle daemon sleeps indefinitely yet stop/reap requests are
+// honoured immediately) hands each connection to its own thread; every
 // connection thread parses frames, dispatches into server/service.hpp over
-// the *shared* cache and executor, and writes response frames.  Synthesis
-// graphs of concurrent requests interleave on the one pool — the TaskGraph
-// contract that any number of graphs may execute over one pool is exactly
-// what makes thread-per-connection safe here at a fixed worker budget.
+// the *shared* cache and executor, and writes response frames.  Synth
+// requests are not executed inline: with a nonzero batch window they are
+// submitted to the Batcher (server/batcher.hpp), which fuses whatever
+// arrives within the window into ONE union synthesize_batch graph — so
+// concurrent clients share scheduling the way `punt bench run` entries do —
+// and sheds excess load with an explicit "overloaded" refusal instead of
+// buffering without bound.  Synthesis graphs of concurrent batches
+// interleave on the one pool — the TaskGraph contract that any number of
+// graphs may execute over one pool is exactly what makes this safe at a
+// fixed worker budget.
 //
 // Lifecycle: serve() accepts until stop is requested — by a client
 // {"op":"shutdown"} (acknowledged before the drain begins) or by
 // request_stop() (the CLI's SIGTERM/SIGINT handler).  It then stops
-// accepting, joins every in-flight connection thread (each finishes its
-// request; nothing is aborted mid-graph), unlinks the socket and returns.
+// accepting, puts the Batcher into flush mode (queued work dispatches
+// without waiting out the window), joins every in-flight connection thread
+// (each finishes its request; nothing is aborted mid-graph — admitted fused
+// work completes too), drains the Batcher, unlinks the socket and returns.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +39,7 @@
 
 #include "src/core/model_cache.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/server/batcher.hpp"
 
 namespace punt::server {
 
@@ -37,6 +48,19 @@ struct ServerOptions {
   std::size_t jobs = 1;         // executor width; 0 = hardware default
   std::string model_cache_dir;  // optional disk tier under the resident cache
   std::size_t cache_capacity = core::ModelCache::kDefaultCapacity;
+  /// Request-fusion accumulation window (`--batch-window`).  0 disables the
+  /// Batcher entirely: synth requests execute inline on their connection
+  /// threads, exactly the pre-fusion daemon.
+  double batch_window_ms = 2.0;
+  /// Admission-queue depth bound (`--max-queue`); beyond it synth requests
+  /// are shed with an "overloaded" refusal.  Ignored when the window is 0.
+  std::size_t max_queue = 256;
+  /// Per-connection in-flight cap.  Ignored when the window is 0.
+  std::size_t max_inflight_per_connection = 8;
+  /// Per-write() SO_SNDTIMEO on every connection (`--send-timeout`), so a
+  /// client that stops reading cannot pin its handler — and therefore the
+  /// shutdown drain — forever.  Must be positive.
+  long send_timeout_seconds = 30;
 };
 
 class Server {
@@ -61,13 +85,21 @@ class Server {
   void serve();
 
   /// Asks serve() to stop accepting and drain.  Async-signal-safe in the
-  /// only way that matters: it just stores an atomic flag the poll loop
-  /// reads, so the CLI's SIGTERM handler may call it directly.
-  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  /// only way that matters: it stores an atomic flag and write()s one byte
+  /// down the self-pipe the poll loop watches, so the CLI's SIGTERM handler
+  /// may call it directly and the shutdown is immediate, not
+  /// next-poll-interval.
+  void request_stop();
 
   const std::string& socket_path() const { return options_.socket_path; }
   core::ModelCache& cache() { return *cache_; }
   std::size_t jobs() const { return executor_.jobs(); }
+
+  /// Snapshot of the request-fusion counters (zeros when the daemon runs
+  /// with batch_window_ms == 0, i.e. without a Batcher).
+  BatcherStats batcher_stats() const {
+    return batcher_ != nullptr ? batcher_->stats() : BatcherStats{};
+  }
 
   /// Requests fully handled (response frame written) since start().
   std::size_t requests_served() const {
@@ -102,14 +134,27 @@ class Server {
     int fd = -1;
   };
 
+  /// Writes one byte down the self-pipe so the accept loop's poll returns.
+  /// Used by request_stop() and by finishing connection handlers (so the
+  /// loop reaps them promptly despite its infinite poll timeout).
+  void wake_accept_loop();
+
   ServerOptions options_;
   std::shared_ptr<core::ModelCache> cache_;
   core::Executor executor_;
+  /// Created only when batch_window_ms > 0.  Declared after the cache and
+  /// executor it borrows, so it is destroyed (and drained) first.
+  std::unique_ptr<Batcher> batcher_;
   int listen_fd_ = -1;
   int lock_fd_ = -1;  // flock'd <socket>.lock; held for the server's lifetime
+  /// Self-pipe: [0] is polled by the accept loop, [1] is written by
+  /// request_stop() / finishing handlers.  Created in the constructor so a
+  /// pre-start() request_stop() still works.
+  int wake_fds_[2] = {-1, -1};
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> requests_served_{0};
   std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::uint64_t> next_connection_id_{1};  // scopes the in-flight cap
   std::mutex connections_mutex_;
   std::vector<Connection> connections_;
 };

@@ -8,6 +8,7 @@
 #include "src/core/model_cache.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
+#include "src/server/batcher.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/stg/g_format.hpp"
 #include "src/util/error.hpp"
@@ -77,15 +78,36 @@ void append_cache_summary(Response& response, const core::ModelCache* cache,
 
 }  // namespace
 
-Response run_synth(const Request& request, core::ModelCache* cache,
-                   core::Executor* executor) {
+SynthJob prepare_synth(Request request) {
+  SynthJob job;
+  job.request = std::move(request);
+  try {
+    job.stg = stg::parse_g(job.request.g_text);
+    job.options = options_of(job.request);
+    job.ok = true;
+  } catch (const Error& e) {
+    // Same diagnostic (and exit code) a direct `punt synth` prints when the
+    // .g text does not parse; render_synth is never reached for this job.
+    job.failure.ok = true;
+    job.failure.log = printf_string("error: %s\n", e.what());
+    job.failure.exit_code = 2;
+  }
+  return job;
+}
+
+Response render_synth(const SynthJob& job, const core::BatchEntry& entry) {
+  if (!job.ok) return job.failure;
   Response response;
   response.ok = true;
-  const core::ModelCacheStats before = snapshot(cache);
   try {
-    const stg::Stg stg = stg::parse_g(request.g_text);
-    const core::SynthesisOptions options = options_of(request);
-    const core::SynthesisResult result = synthesize_on(stg, options, cache, executor);
+    if (!entry.ok) {
+      // Rethrow the entry's own typed exception so the catch blocks below
+      // render exactly what an inline run would have.
+      if (entry.exception) std::rethrow_exception(entry.exception);
+      throw Error(entry.error);
+    }
+    const core::SynthesisResult& result = entry.result;
+    const stg::Stg& stg = job.stg;
     const net::Netlist netlist = net::Netlist::from_synthesis(stg, result);
 
     // Byte-for-byte the stdout of a direct `punt synth` (tools/punt_cli.cpp
@@ -97,9 +119,9 @@ Response run_synth(const Request& request, core::ModelCache* cache,
         "# unfold %.4fs derive %.4fs minimise %.4fs total %.4fs\n",
         result.unfold_seconds, result.derive_seconds, result.minimize_seconds,
         result.total_seconds);
-    const bool any_writer = request.eqn || request.verilog;
-    if (request.eqn || !any_writer) response.output += netlist.to_eqn();
-    if (request.verilog) response.output += netlist.to_verilog(stg.name());
+    const bool any_writer = job.request.eqn || job.request.verilog;
+    if (job.request.eqn || !any_writer) response.output += netlist.to_eqn();
+    if (job.request.verilog) response.output += netlist.to_verilog(stg.name());
     response.exit_code = 0;
   } catch (const CscError& e) {
     response.log += printf_string("CSC conflict: %s\n(try `punt resolve`)\n", e.what());
@@ -107,6 +129,26 @@ Response run_synth(const Request& request, core::ModelCache* cache,
   } catch (const Error& e) {
     response.log += printf_string("error: %s\n", e.what());
     response.exit_code = 2;
+  }
+  return response;
+}
+
+Response run_synth(const Request& request, core::ModelCache* cache,
+                   core::Executor* executor) {
+  const core::ModelCacheStats before = snapshot(cache);
+  SynthJob job = prepare_synth(request);
+  Response response;
+  if (!job.ok) {
+    response = job.failure;
+  } else {
+    core::BatchOptions batch_options;
+    batch_options.jobs = 1;  // executor (when given) supersedes this
+    batch_options.cache = cache;
+    batch_options.executor = executor;
+    const core::BatchRequest one{&job.stg, job.options};
+    const core::BatchResult batch = core::synthesize_batch(
+        std::span<const core::BatchRequest>(&one, 1), batch_options);
+    response = render_synth(job, batch.entries.front());
   }
   append_cache_summary(response, cache, before);
   return response;
@@ -170,10 +212,14 @@ Response run_check(const Request& request, core::ModelCache& cache,
 
 std::string cache_stats_json(const core::ModelCacheStats& stats,
                              std::size_t requests_served, std::size_t jobs,
-                             const std::string& model_cache_dir) {
+                             const std::string& model_cache_dir,
+                             const BatcherStats* batcher, double batch_window_ms) {
+  // The fusion counters report zeros when the daemon runs unfused
+  // (--batch-window=0): field presence must not depend on configuration.
+  const BatcherStats fused = batcher != nullptr ? *batcher : BatcherStats{};
   std::string out = "{\n";
   out += "  \"schema\": \"punt-serve-stats\",\n";
-  out += "  \"version\": 1,\n";
+  out += "  \"version\": 2,\n";
   out += printf_string("  \"requests\": %zu,\n", requests_served);
   out += printf_string("  \"jobs\": %zu,\n", jobs);
   out += "  \"model_cache_dir\": \"" + util::json_escape(model_cache_dir) + "\",\n";
@@ -189,7 +235,22 @@ std::string cache_stats_json(const core::ModelCacheStats& stats,
   out += printf_string("  \"disk_misses\": %zu,\n", stats.disk_misses);
   out += printf_string("  \"disk_load_errors\": %zu,\n", stats.disk_load_errors);
   out += printf_string("  \"disk_stores\": %zu,\n", stats.disk_stores);
-  out += printf_string("  \"disk_store_failures\": %zu\n", stats.disk_store_failures);
+  out += printf_string("  \"disk_store_failures\": %zu,\n", stats.disk_store_failures);
+  out += printf_string("  \"batch_window_ms\": %.17g,\n", batch_window_ms);
+  out += printf_string("  \"admitted\": %zu,\n", fused.admitted);
+  out += printf_string("  \"batches\": %zu,\n", fused.batches);
+  out += printf_string("  \"fused_requests\": %zu,\n", fused.fused_requests);
+  out += printf_string("  \"mean_batch\": %.17g,\n", fused.mean_batch());
+  out += printf_string("  \"max_batch\": %zu,\n", fused.max_batch);
+  out += printf_string("  \"queue_high_water\": %zu,\n", fused.queue_high_water);
+  out += printf_string("  \"shed_queue_full\": %zu,\n", fused.shed_queue_full);
+  out += printf_string("  \"shed_connection_cap\": %zu,\n", fused.shed_connection_cap);
+  out += "  \"batch_size_histogram\": [";
+  for (std::size_t i = 0; i < fused.batch_size_histogram.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += printf_string("%zu", fused.batch_size_histogram[i]);
+  }
+  out += "]\n";
   out += "}\n";
   return out;
 }

@@ -14,15 +14,20 @@
 #include <cstddef>
 #include <string>
 
+#include "src/core/synthesis.hpp"
 #include "src/server/protocol.hpp"
+#include "src/stg/stg.hpp"
 
 namespace punt::core {
 class Executor;
 class ModelCache;
 struct ModelCacheStats;
+struct BatchEntry;
 }  // namespace punt::core
 
 namespace punt::server {
+
+struct BatcherStats;  // batcher.hpp; forward-declared to avoid a cycle
 
 /// Handles {"op":"synth"}.  `cache` (nullable) resolves phase 1; when given,
 /// the per-request cache delta summary is appended to the response log —
@@ -31,6 +36,36 @@ namespace punt::server {
 /// falls back to an inline single-job run.
 Response run_synth(const Request& request, core::ModelCache* cache,
                    core::Executor* executor);
+
+/// One synth request decoded as far as it can be *before* batch execution:
+/// the parsed STG and its per-entry SynthesisOptions — the
+/// core::BatchRequest shape the daemon's request fusion feeds into one
+/// union graph — or, when parsing failed, the fully rendered failure
+/// response.  Splitting run_synth into prepare (here) + render (below)
+/// around the batch boundary is what lets N fused requests share one
+/// synthesize_batch call and still answer byte-identically to N direct CLI
+/// invocations.
+struct SynthJob {
+  Request request;
+  stg::Stg stg;                    // meaningful only when ok
+  core::SynthesisOptions options;  // meaningful only when ok
+  bool ok = false;
+  Response failure;  // rendered (exit 2, CLI diagnostic) when !ok
+};
+
+/// Parses the request's .g text and maps its method/arch flags; never
+/// throws — an unparseable request comes back with ok=false and `failure`
+/// carrying exactly the Response run_synth would have produced (minus the
+/// cache summary line, which the caller appends).
+SynthJob prepare_synth(Request request);
+
+/// Renders the response for a prepared job from its executed batch entry:
+/// the same bytes run_synth produces for the same request, so fused and
+/// inline execution are indistinguishable to clients.  Never throws; entry
+/// failures re-surface as the CLI's stderr diagnostics with exit code 2.
+/// The caller appends the cache summary line (per request when inline, per
+/// fused batch in the dispatcher).
+Response render_synth(const SynthJob& job, const core::BatchEntry& entry);
 
 /// Handles {"op":"check"} — and IS the direct `punt check` implementation
 /// (tools/punt_cli.cpp prints the returned output/log verbatim), so the
@@ -46,9 +81,13 @@ Response run_check(const Request& request, core::ModelCache& cache,
                    core::Executor* executor, bool summarize_cache = true);
 
 /// The {"op":"cache-stats"} payload: resident two-tier counters plus the
-/// server identity fields ("punt-serve-stats" schema, version 1).
+/// server identity fields and the request-fusion counters ("punt-serve-stats"
+/// schema, version 2).  `batcher` is null when the daemon runs with
+/// `--batch-window=0` (no fusion); the fusion fields are then emitted as
+/// zeros so the schema is stable for consumers like `punt bench serve`.
 std::string cache_stats_json(const core::ModelCacheStats& stats,
                              std::size_t requests_served, std::size_t jobs,
-                             const std::string& model_cache_dir);
+                             const std::string& model_cache_dir,
+                             const BatcherStats* batcher, double batch_window_ms);
 
 }  // namespace punt::server

@@ -1,0 +1,248 @@
+// Tests for the serve-mode request Batcher (server/batcher.hpp), below the
+// socket layer: concurrent submissions fusing into one union batch with
+// byte-identical per-request responses, admission control (queue bound and
+// per-connection cap shedding with explicit "overloaded" refusals), drain
+// completing every admitted item, refusal after shutdown, and parse
+// failures answered without ever touching the queue.
+//
+// Suite names start with "Server" so CI's TSan pass picks them up — the
+// Batcher is exactly the kind of cv/thread code that pass exists for.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/model_cache.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/server/batcher.hpp"
+#include "src/server/protocol.hpp"
+#include "src/server/service.hpp"
+#include "src/stg/g_format.hpp"
+#include "src/stg/generators.hpp"
+
+namespace punt::server {
+namespace {
+
+using stg::Stg;
+
+SynthJob synth_job(const Stg& stg) {
+  Request request;
+  request.op = Op::Synth;
+  request.g_text = stg::write_g(stg);
+  return prepare_synth(std::move(request));
+}
+
+/// The deterministic part of a synth response (drops the timing line).
+std::string strip_timing(const std::string& text) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size() - 1;
+    const std::string_view line(text.data() + start, end - start + 1);
+    if (line.rfind("# unfold ", 0) != 0) out.append(line);
+    start = end + 1;
+  }
+  return out;
+}
+
+/// What a direct `punt synth` prints, built independently of the Batcher.
+std::string direct_synth_output(const Stg& stg) {
+  const core::SynthesisResult result = core::synthesize(stg);
+  const net::Netlist netlist = net::Netlist::from_synthesis(stg, result);
+  char head[128];
+  std::snprintf(head, sizeof head, "# %s: %zu signals, %zu literals\n",
+                stg.name().c_str(), stg.signal_count(), netlist.literal_count());
+  return std::string(head) + netlist.to_eqn();
+}
+
+void wait_for_queue_depth(const Batcher& batcher, std::size_t depth) {
+  while (batcher.queued() < depth) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ServerBatcher, FusesConcurrentSubmissionsIntoOneBatch) {
+  core::ModelCache cache;
+  core::Executor executor(2);
+  BatcherOptions options;
+  options.window_seconds = 1.0;  // generous: absorbs CI scheduling skew
+  Batcher batcher(options, &cache, &executor);
+
+  // Two distinct STGs, each submitted twice, from four connections at once:
+  // one window, one union graph, one model build per distinct key.
+  const std::vector<Stg> stgs = {stg::make_paper_fig1(), stg::make_paper_fig1(),
+                                 stg::make_muller_pipeline(3),
+                                 stg::make_muller_pipeline(3)};
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < stgs.size(); ++i) {
+    futures.push_back(std::async(std::launch::async, [&batcher, &stgs, i] {
+      return batcher.submit(synth_job(stgs[i]), /*connection=*/i + 1);
+    }));
+  }
+  std::vector<Response> responses;
+  for (auto& future : futures) responses.push_back(future.get());
+
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_TRUE(responses[i].ok);
+    EXPECT_EQ(responses[i].exit_code, 0) << responses[i].log;
+    EXPECT_EQ(strip_timing(responses[i].output), direct_synth_output(stgs[i]))
+        << "submission " << i << " diverged from the direct invocation";
+    // Every member of a fused batch carries the batch's cache-delta
+    // summary: two builds (two distinct keys), two in-batch reuses.
+    EXPECT_NE(responses[i].log.find("2 rebuild(s)"), std::string::npos)
+        << responses[i].log;
+  }
+
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.batches, 1u) << "the window should have gathered all four";
+  EXPECT_EQ(stats.fused_requests, 4u);
+  EXPECT_EQ(stats.max_batch, 4u);
+  EXPECT_EQ(stats.queue_high_water, 4u);
+  EXPECT_EQ(stats.batch_size_histogram[3], 1u);  // one batch of size 4
+  EXPECT_DOUBLE_EQ(stats.mean_batch(), 4.0);
+  EXPECT_EQ(stats.shed(), 0u);
+  // One build per distinct STG across the whole fused batch.
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(ServerBatcher, QueueBoundShedsWithOverloadedRefusal) {
+  core::Executor executor(1);
+  BatcherOptions options;
+  options.window_seconds = 30.0;  // park the first item in the queue
+  options.max_queue = 1;
+  Batcher batcher(options, nullptr, &executor);
+
+  auto first = std::async(std::launch::async, [&batcher] {
+    return batcher.submit(synth_job(stg::make_paper_fig1()), 1);
+  });
+  wait_for_queue_depth(batcher, 1);
+
+  const Response refusal = batcher.submit(synth_job(stg::make_paper_fig1()), 2);
+  EXPECT_FALSE(refusal.ok);
+  EXPECT_EQ(refusal.error.rfind("overloaded", 0), 0u) << refusal.error;
+  EXPECT_NE(refusal.error.find("--max-queue"), std::string::npos) << refusal.error;
+
+  // The shed didn't disturb the admitted item: the drain completes it.
+  batcher.begin_drain();
+  const Response admitted = first.get();
+  EXPECT_TRUE(admitted.ok);
+  EXPECT_EQ(admitted.exit_code, 0);
+
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+  EXPECT_EQ(stats.shed_connection_cap, 0u);
+}
+
+TEST(ServerBatcher, PerConnectionCapShedsWithOverloadedRefusal) {
+  core::Executor executor(1);
+  BatcherOptions options;
+  options.window_seconds = 30.0;
+  options.max_per_connection = 1;
+  Batcher batcher(options, nullptr, &executor);
+
+  constexpr std::uint64_t kConnection = 42;
+  auto first = std::async(std::launch::async, [&batcher] {
+    return batcher.submit(synth_job(stg::make_paper_fig1()), kConnection);
+  });
+  wait_for_queue_depth(batcher, 1);
+
+  // Same connection: refused by the cap.  A different connection: admitted.
+  const Response refusal = batcher.submit(synth_job(stg::make_paper_fig1()), kConnection);
+  EXPECT_FALSE(refusal.ok);
+  EXPECT_EQ(refusal.error.rfind("overloaded", 0), 0u) << refusal.error;
+  EXPECT_NE(refusal.error.find("in flight"), std::string::npos) << refusal.error;
+  auto second = std::async(std::launch::async, [&batcher] {
+    return batcher.submit(synth_job(stg::make_paper_fig1()), kConnection + 1);
+  });
+
+  batcher.begin_drain();
+  EXPECT_EQ(first.get().exit_code, 0);
+  EXPECT_EQ(second.get().exit_code, 0);
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed_connection_cap, 1u);
+}
+
+TEST(ServerBatcher, DrainCompletesEveryAdmittedItem) {
+  core::ModelCache cache;
+  core::Executor executor(2);
+  BatcherOptions options;
+  options.window_seconds = 30.0;  // nothing dispatches until the drain
+  Batcher batcher(options, &cache, &executor);
+
+  constexpr std::size_t kItems = 3;
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    futures.push_back(std::async(std::launch::async, [&batcher, i] {
+      return batcher.submit(synth_job(stg::make_paper_fig1()), i + 1);
+    }));
+  }
+  wait_for_queue_depth(batcher, kItems);
+
+  batcher.begin_drain();
+  batcher.drain();
+  for (auto& future : futures) {
+    const Response response = future.get();
+    EXPECT_TRUE(response.ok);
+    EXPECT_EQ(response.exit_code, 0) << response.log;
+  }
+  EXPECT_EQ(batcher.stats().fused_requests, kItems);
+
+  // After the drain the batcher refuses instead of queuing forever.
+  const Response late = batcher.submit(synth_job(stg::make_paper_fig1()), 9);
+  EXPECT_FALSE(late.ok);
+  EXPECT_NE(late.error.find("shutting down"), std::string::npos) << late.error;
+  EXPECT_EQ(batcher.stats().admitted, kItems);
+}
+
+TEST(ServerBatcher, ParseFailuresAreAnsweredWithoutAdmission) {
+  core::Executor executor(1);
+  BatcherOptions options;
+  options.window_seconds = 30.0;
+  Batcher batcher(options, nullptr, &executor);
+
+  Request broken;
+  broken.op = Op::Synth;
+  broken.g_text = "this is not a .g file";
+  const Response response = batcher.submit(prepare_synth(std::move(broken)), 1);
+  // A prepare failure is a *synthesis* failure (ok=true, exit 2, CLI
+  // diagnostic), answered synchronously — never queued, never fused.
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.exit_code, 2);
+  EXPECT_NE(response.log.find("error: "), std::string::npos) << response.log;
+  EXPECT_EQ(batcher.stats().admitted, 0u);
+  EXPECT_EQ(batcher.queued(), 0u);
+}
+
+TEST(ServerBatcher, ZeroWindowStillFusesWorkQueuedDuringExecution) {
+  // window_seconds = 0 inside the Batcher means "dispatch immediately" —
+  // but anything that queues while a previous batch executes still fuses.
+  // Sequential submissions must each complete correctly.
+  core::ModelCache cache;
+  core::Executor executor(1);
+  BatcherOptions options;
+  options.window_seconds = 0.0;
+  Batcher batcher(options, &cache, &executor);
+  for (int i = 0; i < 3; ++i) {
+    const Response response = batcher.submit(synth_job(stg::make_paper_fig1()), 1);
+    EXPECT_TRUE(response.ok);
+    EXPECT_EQ(response.exit_code, 0);
+  }
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.fused_requests, 3u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+}  // namespace
+}  // namespace punt::server

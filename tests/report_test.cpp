@@ -444,5 +444,71 @@ TEST(Report, FormatShowsPaperColumnsAndErrors) {
   }
 }
 
+TEST(Report, ServeBenchJsonRoundTripPreservesEveryField) {
+  ServeBenchReport report;
+  report.clients = 8;
+  report.duration_seconds = 5;
+  report.wall_seconds = 5.25;
+  report.completed = 123;
+  report.failed = 2;
+  report.shed = 3;
+  report.transport_errors = 1;
+  report.throughput_rps = 23.4;
+  report.mean_ms = 41.5;
+  report.p50_ms = 30.25;
+  report.p95_ms = 120.5;
+  report.p99_ms = 250.75;
+  report.max_ms = 612.0;
+  report.batch_window_ms = 2;
+  report.batches = 17;
+  report.fused_requests = 119;
+  report.max_batch = 8;
+  report.queue_high_water = 9;
+  report.daemon_shed = 3;
+  report.batch_size_histogram = {1, 0, 4, 0, 0, 0, 0, 12, 0, 0, 0, 0, 0, 0, 0, 0};
+
+  const ServeBenchReport parsed = serve_report_from_json(to_json(report));
+  EXPECT_EQ(parsed.clients, report.clients);
+  EXPECT_DOUBLE_EQ(parsed.duration_seconds, report.duration_seconds);
+  EXPECT_DOUBLE_EQ(parsed.wall_seconds, report.wall_seconds);
+  EXPECT_EQ(parsed.completed, report.completed);
+  EXPECT_EQ(parsed.failed, report.failed);
+  EXPECT_EQ(parsed.shed, report.shed);
+  EXPECT_EQ(parsed.transport_errors, report.transport_errors);
+  EXPECT_DOUBLE_EQ(parsed.throughput_rps, report.throughput_rps);
+  EXPECT_DOUBLE_EQ(parsed.mean_ms, report.mean_ms);
+  EXPECT_DOUBLE_EQ(parsed.p50_ms, report.p50_ms);
+  EXPECT_DOUBLE_EQ(parsed.p95_ms, report.p95_ms);
+  EXPECT_DOUBLE_EQ(parsed.p99_ms, report.p99_ms);
+  EXPECT_DOUBLE_EQ(parsed.max_ms, report.max_ms);
+  EXPECT_DOUBLE_EQ(parsed.batch_window_ms, report.batch_window_ms);
+  EXPECT_EQ(parsed.batches, report.batches);
+  EXPECT_EQ(parsed.fused_requests, report.fused_requests);
+  EXPECT_EQ(parsed.max_batch, report.max_batch);
+  EXPECT_EQ(parsed.queue_high_water, report.queue_high_water);
+  EXPECT_EQ(parsed.daemon_shed, report.daemon_shed);
+  EXPECT_EQ(parsed.batch_size_histogram, report.batch_size_histogram);
+  EXPECT_DOUBLE_EQ(parsed.mean_batch(), report.mean_batch());
+
+  // The human summary exposes the CI-greppable shed counter (client-side
+  // plus daemon-side) and the nonzero histogram buckets.
+  const std::string summary = format_serve_summary(report);
+  EXPECT_NE(summary.find("shed=6"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("8:12"), std::string::npos) << summary;
+}
+
+TEST(Report, ServeBenchFromJsonRejectsForeignPayloads) {
+  EXPECT_THROW((void)serve_report_from_json("not json"), ParseError);
+  EXPECT_THROW((void)serve_report_from_json(R"({"schema": "other", "version": 1})"),
+               ParseError);
+  EXPECT_THROW(
+      (void)serve_report_from_json(R"({"schema": "punt-serve-bench", "version": 2})"),
+      ParseError);
+  // A Table-1 report is a valid punt JSON document but the wrong schema.
+  Table1Report table;
+  table.registry_size = table1().size();
+  EXPECT_THROW((void)serve_report_from_json(to_json(table)), ParseError);
+}
+
 }  // namespace
 }  // namespace punt::benchmarks

@@ -414,6 +414,144 @@ TEST(Server, MalformedAndOversizedFramesDoNotKillTheServer) {
   EXPECT_EQ(pong.output, "pong\n");
 }
 
+TEST(Server, ClientsInOneWindowFuseIntoOneUnionBatch) {
+  TempDir dir("fuse");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  options.jobs = 2;
+  options.batch_window_ms = 1000;  // generous: absorbs CI scheduling skew
+  RunningServer running(options);
+
+  // Two distinct STGs, each requested twice, all inside one window: the
+  // daemon must run them as ONE union graph — one model build per distinct
+  // key — and still answer each client byte-identically to a direct run.
+  const std::vector<Stg> stgs = {stg::make_paper_fig1(), stg::make_paper_fig1(),
+                                 stg::make_muller_pipeline(3),
+                                 stg::make_muller_pipeline(3)};
+  std::vector<std::string> expected;
+  for (const Stg& stg : stgs) expected.push_back(direct_synth_output(stg));
+
+  std::vector<std::thread> clients;
+  std::vector<Response> got(stgs.size());
+  std::atomic<int> failures{0};
+  for (std::size_t i = 0; i < stgs.size(); ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        got[i] = request_once(options.socket_path, synth_request(stgs[i]));
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].exit_code, 0) << got[i].log;
+    EXPECT_EQ(strip_timing(got[i].output), expected[i])
+        << "fused client " << i << " diverged from the direct invocation";
+    // Each member carries the fused batch's cache-delta summary.
+    EXPECT_NE(got[i].log.find("2 rebuild(s)"), std::string::npos) << got[i].log;
+  }
+  const BatcherStats stats = running.server.batcher_stats();
+  EXPECT_EQ(stats.batches, 1u) << "the window should have fused all four";
+  EXPECT_EQ(stats.fused_requests, 4u);
+  EXPECT_EQ(stats.max_batch, 4u);
+  EXPECT_EQ(stats.shed(), 0u);
+  // One phase-1 build per distinct STG, not per request.
+  EXPECT_EQ(running.server.cache().stats().builds, 2u);
+}
+
+TEST(Server, OverloadedSynthRequestsAreShedAtTheSocket) {
+  TempDir dir("shed");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  options.batch_window_ms = 30000;  // park admitted work until the drain
+  options.max_queue = 1;
+  RunningServer running(options);
+
+  // Client A fills the queue (blocks until the shutdown drain flushes it).
+  std::thread client_a([&] {
+    const Response response =
+        request_once(options.socket_path, synth_request(stg::make_paper_fig1()));
+    EXPECT_EQ(response.exit_code, 0) << response.log;
+  });
+  while (running.server.batcher_stats().admitted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Client B is refused with the protocol-level "overloaded" error — which
+  // the Client surfaces as a throw, exactly like any other refusal.
+  try {
+    (void)request_once(options.socket_path, synth_request(stg::make_paper_fig1()));
+    FAIL() << "the second synth request must be shed";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("overloaded"), std::string::npos) << e.what();
+  }
+  EXPECT_EQ(running.server.batcher_stats().shed_queue_full, 1u);
+
+  // A non-synth request still gets through: shedding is admission control
+  // on synthesis work, not a dead daemon.
+  EXPECT_EQ(request_once(options.socket_path, Request{}).output, "pong\n");
+
+  // The shutdown drain completes A's admitted request.
+  running.server.request_stop();
+  running.thread.join();
+  client_a.join();
+  EXPECT_EQ(running.server.batcher_stats().admitted, 1u);
+}
+
+TEST(Server, CacheStatsReportsFusionCounters) {
+  TempDir dir("fstats");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";  // default 2ms window
+  RunningServer running(options);
+
+  const Stg stg = stg::make_paper_fig1();
+  (void)request_once(options.socket_path, synth_request(stg));
+  (void)request_once(options.socket_path, synth_request(stg));
+
+  Request stats_request;
+  stats_request.op = Op::CacheStats;
+  const Response stats = request_once(options.socket_path, stats_request);
+  const util::JsonValue root = util::parse_json(stats.output);
+  EXPECT_EQ(util::json_string(root, "schema", "stats"), "punt-serve-stats");
+  EXPECT_EQ(util::json_count(root, "version", "stats"), 2u);
+  EXPECT_EQ(util::json_number(root, "batch_window_ms", "stats"), 2.0);
+  EXPECT_GE(util::json_count(root, "admitted", "stats"), 2u);
+  EXPECT_GE(util::json_count(root, "batches", "stats"), 1u);
+  EXPECT_GE(util::json_count(root, "fused_requests", "stats"), 2u);
+  EXPECT_EQ(util::json_count(root, "shed_queue_full", "stats"), 0u);
+  const util::JsonValue* histogram = root.find("batch_size_histogram");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->type, util::JsonValue::Type::Array);
+  EXPECT_EQ(histogram->array.size(), BatcherStats::kHistogramBuckets);
+}
+
+TEST(Server, ZeroWindowDisablesFusionButKeepsTheStatsSchema) {
+  TempDir dir("nofuse");
+  ServerOptions options;
+  options.socket_path = dir.str() + "/punt.sock";
+  options.batch_window_ms = 0;  // the pre-fusion daemon
+  RunningServer running(options);
+
+  const Response synth =
+      request_once(options.socket_path, synth_request(stg::make_paper_fig1()));
+  EXPECT_EQ(synth.exit_code, 0);
+
+  Request stats_request;
+  stats_request.op = Op::CacheStats;
+  const Response stats = request_once(options.socket_path, stats_request);
+  const util::JsonValue root = util::parse_json(stats.output);
+  // Same schema, fusion counters pinned to zero — consumers need not care
+  // how the daemon was started.
+  EXPECT_EQ(util::json_count(root, "version", "stats"), 2u);
+  EXPECT_EQ(util::json_number(root, "batch_window_ms", "stats"), 0.0);
+  EXPECT_EQ(util::json_count(root, "batches", "stats"), 0u);
+  EXPECT_EQ(util::json_count(root, "fused_requests", "stats"), 0u);
+  EXPECT_EQ(running.server.batcher_stats().admitted, 0u);
+}
+
 TEST(Server, GracefulShutdownDrainsInFlightWork) {
   TempDir dir("drain");
   ServerOptions options;

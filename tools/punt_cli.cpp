@@ -24,6 +24,15 @@
 //                                  combine per-shard JSON reports into the
 //                                  full Table-1 table, verifying that the
 //                                  shards cover the registry exactly once
+//   punt bench serve [--connect=<socket>] [--clients=K] [--duration=S]
+//                    [--jobs=N] [--batch-window=MS] [--max-queue=N]
+//                    [--no-warmup] [--json=<file>]
+//                                  closed-loop load generator against a serve
+//                                  daemon (self-spawned in-process unless
+//                                  --connect): p50/p95/p99 latency,
+//                                  throughput, fused-batch histogram, shed
+//                                  count; --json writes the punt-serve-bench
+//                                  report
 //   punt cache stats --model-cache-dir=<dir>
 //                                  inventory the on-disk model cache as JSON
 //   punt cache stats --connect=<socket>
@@ -31,10 +40,16 @@
 //   punt cache purge --model-cache-dir=<dir>
 //                                  delete every persisted model in the dir
 //   punt serve --socket=<path> [--jobs=N] [--model-cache-dir=<dir>]
+//              [--batch-window=MS] [--max-queue=N] [--send-timeout=S]
 //                                  run the warm-model daemon: one resident
 //                                  ModelCache + thread pool across requests;
-//                                  SIGTERM (or a client `punt shutdown`)
-//                                  drains in-flight work and exits cleanly
+//                                  concurrent synth requests arriving within
+//                                  the batch window fuse into one union task
+//                                  graph (0 disables fusion), and load beyond
+//                                  --max-queue is shed with an "overloaded"
+//                                  refusal; SIGTERM (or a client
+//                                  `punt shutdown`) drains admitted work and
+//                                  exits cleanly
 //   punt synth <file.g> --connect=<socket> [synth flags]
 //   punt check <file.g> --connect=<socket>
 //                                  delegate to the daemon; the result (and
@@ -68,7 +83,12 @@
 #include <vector>
 
 #include <csignal>
+#include <exception>
+#include <thread>
 
+#include <unistd.h>
+
+#include "src/benchmarks/loadgen.hpp"
 #include "src/benchmarks/registry.hpp"
 #include "src/benchmarks/report.hpp"
 #include "src/core/csc_resolve.hpp"
@@ -89,6 +109,7 @@
 #include "src/unfolding/unfolding.hpp"
 #include "src/util/error.hpp"
 #include "src/util/json.hpp"
+#include "src/util/strings.hpp"
 #include "src/util/task_graph.hpp"
 
 namespace {
@@ -108,12 +129,20 @@ int usage() {
                "                 [--report=json] [--trace-schedule=<file>]\n"
                "                 [--model-cache-dir=<dir>]\n"
                "  punt bench merge <report.json...>\n"
+               "  punt bench serve [--connect=<socket>] [--clients=K] [--duration=S]\n"
+               "                   [--jobs=N] [--batch-window=MS] [--max-queue=N]\n"
+               "                   [--no-warmup] [--json=<file>]\n"
                "  punt cache stats --model-cache-dir=<dir> | --connect=<socket>\n"
                "  punt cache purge --model-cache-dir=<dir>\n"
                "  punt serve --socket=<path> [--jobs=N] [--model-cache-dir=<dir>]\n"
+               "             [--batch-window=MS] [--max-queue=N] [--send-timeout=S]\n"
                "  punt ping --connect=<socket>\n"
                "  punt shutdown --connect=<socket>\n"
                "(--jobs: worker threads; 0 = one per hardware thread)\n"
+               "(--batch-window: serve-mode fusion window in ms; synth requests\n"
+               " arriving together run as ONE union task graph; 0 = no fusion)\n"
+               "(--max-queue: admitted-but-unstarted request bound; excess synth\n"
+               " requests are refused with an 'overloaded' error)\n"
                "(--shard=i/n: registry entries at positions p with p %% n == i,\n"
                " or balanced by measured per-entry TotTim with --weights)\n"
                "(--trace-schedule: write the executed task graph as JSON and\n"
@@ -146,6 +175,49 @@ std::size_t parse_jobs(const std::string& value) {
                       std::to_string(kMaxJobs));
   }
   return static_cast<std::size_t>(jobs);
+}
+
+/// Non-negative millisecond values (--batch-window, fractional OK).
+double parse_millis(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  const double millis = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || !(millis >= 0)) {
+    throw punt::Error(std::string("invalid ") + flag + " value '" + value +
+                      "'; expected a non-negative number of milliseconds");
+  }
+  constexpr double kMaxMillis = 60'000;
+  if (millis > kMaxMillis) {
+    throw punt::Error(std::string(flag) + "=" + value +
+                      " exceeds the maximum of 60000 (one minute)");
+  }
+  return millis;
+}
+
+/// Positive integer counts with a named bound (--max-queue, --clients).
+std::size_t parse_positive_count(const std::string& value, const char* flag,
+                                 std::size_t max) {
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    throw punt::Error(std::string("invalid ") + flag + " value '" + value +
+                      "'; expected a positive integer");
+  }
+  const unsigned long count = std::strtoul(value.c_str(), nullptr, 10);
+  if (count == 0 || count > max) {
+    throw punt::Error(std::string(flag) + "=" + value + " must be in 1.." +
+                      std::to_string(max));
+  }
+  return static_cast<std::size_t>(count);
+}
+
+/// Positive seconds (--duration, fractional OK; --send-timeout, integral).
+double parse_seconds(const std::string& value, const char* flag, double max) {
+  char* end = nullptr;
+  const double seconds = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || !(seconds > 0) ||
+      seconds > max) {
+    throw punt::Error(std::string("invalid ") + flag + " value '" + value +
+                      "'; expected seconds in (0, " + std::to_string(max) + "]");
+  }
+  return seconds;
 }
 
 punt::core::SynthesisOptions parse_options(const std::vector<std::string>& args) {
@@ -517,6 +589,13 @@ int cmd_serve(const std::vector<std::string>& args) {
       options.jobs = parse_jobs(arg.substr(7));
     } else if (arg.rfind("--model-cache-dir=", 0) == 0) {
       options.model_cache_dir = model_cache_dir({arg});  // shares the validation
+    } else if (arg.rfind("--batch-window=", 0) == 0) {
+      options.batch_window_ms = parse_millis(arg.substr(15), "--batch-window");
+    } else if (arg.rfind("--max-queue=", 0) == 0) {
+      options.max_queue = parse_positive_count(arg.substr(12), "--max-queue", 65536);
+    } else if (arg.rfind("--send-timeout=", 0) == 0) {
+      options.send_timeout_seconds = static_cast<long>(
+          parse_positive_count(arg.substr(15), "--send-timeout", 3600));
     } else {
       // Strict, unlike the synthesis commands: a daemon started with a
       // typo'd flag would silently serve with the wrong configuration until
@@ -528,6 +607,7 @@ int cmd_serve(const std::vector<std::string>& args) {
     throw punt::Error("punt serve needs --socket=<path> naming the Unix socket "
                       "to listen on (e.g. --socket=/tmp/punt.sock)");
   }
+  const double window_ms = options.batch_window_ms;
   punt::server::Server server(std::move(options));
   server.start();
   // RAII so an error path (serve() throwing) also detaches the handlers
@@ -545,8 +625,11 @@ int cmd_serve(const std::vector<std::string>& args) {
       g_server = nullptr;
     }
   } signal_guard(&server);
-  std::fprintf(stderr, "punt serve: listening on %s, %zu job(s)%s%s\n",
+  std::fprintf(stderr, "punt serve: listening on %s, %zu job(s), %s%s%s\n",
                server.socket_path().c_str(), server.jobs(),
+               window_ms > 0
+                   ? punt::printf_string("%.1fms fusion window", window_ms).c_str()
+                   : "fusion off",
                server.cache().store() != nullptr ? ", model cache dir " : "",
                server.cache().store() != nullptr
                    ? server.cache().store()->directory().c_str()
@@ -644,7 +727,119 @@ int cmd_cache(const std::vector<std::string>& args) {
   return usage();
 }
 
+// --- punt bench serve ---------------------------------------------------------
+
+int cmd_bench_serve(const std::vector<std::string>& args) {
+  punt::benchmarks::LoadgenOptions load;
+  punt::server::ServerOptions daemon;
+  daemon.jobs = 0;  // a self-spawned daemon defaults to the hardware width
+  std::string connect;
+  std::string json_path;
+  bool daemon_flags = false;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--connect=", 0) == 0) {
+      connect = arg.substr(10);
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      load.clients = parse_positive_count(arg.substr(10), "--clients", 256);
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      load.duration_seconds = parse_seconds(arg.substr(11), "--duration", 3600);
+    } else if (arg == "--no-warmup") {
+      load.warmup = false;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      if (json_path.empty()) {
+        throw punt::Error("--json needs a file path (e.g. --json=BENCH_serve.json)");
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      daemon.jobs = parse_jobs(arg.substr(7));
+      daemon_flags = true;
+    } else if (arg.rfind("--batch-window=", 0) == 0) {
+      daemon.batch_window_ms = parse_millis(arg.substr(15), "--batch-window");
+      daemon_flags = true;
+    } else if (arg.rfind("--max-queue=", 0) == 0) {
+      daemon.max_queue = parse_positive_count(arg.substr(12), "--max-queue", 65536);
+      daemon_flags = true;
+    } else {
+      // Strict like `punt serve`: a typo'd flag would silently bench the
+      // wrong configuration.
+      throw punt::Error("unknown punt bench serve flag '" + arg + "'");
+    }
+  }
+  if (!connect.empty() && daemon_flags) {
+    throw punt::Error(
+        "--jobs/--batch-window/--max-queue configure the self-spawned daemon; "
+        "with --connect they belong to the already-running `punt serve`");
+  }
+
+  // Without --connect, spawn the daemon in-process on a private socket so
+  // one command measures a fresh, correctly-configured server end to end.
+  std::unique_ptr<punt::server::Server> server;
+  std::thread serve_thread;
+  std::exception_ptr serve_error;
+  if (connect.empty()) {
+    daemon.socket_path =
+        "/tmp/punt-bench-serve-" + std::to_string(::getpid()) + ".sock";
+    load.socket_path = daemon.socket_path;
+    server = std::make_unique<punt::server::Server>(daemon);
+    server->start();
+    serve_thread = std::thread([&server, &serve_error] {
+      try {
+        server->serve();
+      } catch (...) {
+        serve_error = std::current_exception();
+      }
+    });
+    std::fprintf(stderr,
+                 "punt bench serve: in-process daemon on %s, %zu job(s), "
+                 "%.1fms window, queue %zu\n",
+                 server->socket_path().c_str(), server->jobs(),
+                 daemon.batch_window_ms, daemon.max_queue);
+  } else {
+    load.socket_path = connect;
+  }
+  struct DaemonGuard {
+    punt::server::Server* server;
+    std::thread* thread;
+    ~DaemonGuard() {
+      if (server != nullptr) {
+        server->request_stop();
+        if (thread->joinable()) thread->join();
+      }
+    }
+  } daemon_guard{server.get(), &serve_thread};
+
+  const punt::benchmarks::ServeBenchReport report = punt::benchmarks::run_loadgen(load);
+  std::printf("%s", punt::benchmarks::format_serve_summary(report).c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) throw punt::Error("cannot write '" + json_path + "'");
+    out << punt::benchmarks::to_json(report);
+    if (!out.flush()) throw punt::Error("short write to '" + json_path + "'");
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  if (server != nullptr) {
+    server->request_stop();
+    serve_thread.join();
+    daemon_guard.server = nullptr;
+    if (serve_error) std::rethrow_exception(serve_error);
+  }
+  if (report.completed == 0) {
+    std::fprintf(stderr, "error: no request completed inside the window\n");
+    return 2;
+  }
+  if (report.transport_errors > 0) {
+    std::fprintf(stderr, "error: %zu transport error(s) during the measured window\n",
+                 report.transport_errors);
+    return 2;
+  }
+  return 0;
+}
+
 int cmd_bench(const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "serve") {
+    return cmd_bench_serve({args.begin() + 1, args.end()});
+  }
   if (!args.empty() && args[0] == "run") {
     return cmd_bench_run({args.begin() + 1, args.end()});
   }
