@@ -39,8 +39,9 @@ constexpr std::size_t kClients = 8;
 /// One daemon lifecycle: start, drive with the load generator, drain.
 ServeBenchReport measure(double window_ms, double duration_seconds) {
   punt::server::ServerOptions options;
-  options.socket_path = "/tmp/punt-serve-throughput-" + std::to_string(::getpid()) +
-                        (window_ms > 0 ? "-fused" : "-baseline") + ".sock";
+  options.endpoint = punt::server::unix_endpoint(
+      "/tmp/punt-serve-throughput-" + std::to_string(::getpid()) +
+      (window_ms > 0 ? "-fused" : "-baseline") + ".sock");
   options.jobs = 0;  // hardware width, like a production daemon
   options.batch_window_ms = window_ms;
   punt::server::Server server(options);
@@ -48,7 +49,7 @@ ServeBenchReport measure(double window_ms, double duration_seconds) {
   std::thread serve_thread([&server] { server.serve(); });
 
   LoadgenOptions load;
-  load.socket_path = options.socket_path;
+  load.endpoint = options.endpoint;
   load.clients = kClients;
   load.duration_seconds = duration_seconds;
   ServeBenchReport report;

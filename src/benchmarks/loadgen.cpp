@@ -116,7 +116,7 @@ void client_loop(const LoadgenOptions& options, const std::vector<Request>& spec
   while (window.seconds() < options.duration_seconds) {
     if (client == nullptr) {
       try {
-        client = std::make_unique<Client>(options.socket_path);
+        client = std::make_unique<Client>(options.endpoint, options.token);
         consecutive_failures = 0;
       } catch (const Error&) {
         ++tally.transport_errors;
@@ -152,8 +152,9 @@ void client_loop(const LoadgenOptions& options, const std::vector<Request>& spec
 }  // namespace
 
 ServeBenchReport run_loadgen(const LoadgenOptions& options) {
-  if (options.socket_path.empty()) {
-    throw Error("bench serve: a daemon socket path is required");
+  if (options.endpoint.transport == server::Transport::Unix &&
+      options.endpoint.path.empty()) {
+    throw Error("bench serve: a daemon endpoint is required");
   }
   if (options.clients == 0) {
     throw Error("bench serve: at least one client thread is required");
@@ -173,7 +174,7 @@ ServeBenchReport run_loadgen(const LoadgenOptions& options) {
   // Warm-up (and reachability check): one sequential pass, excluded from
   // every number, so the measured window sees the daemon's steady state.
   // The same connection then brackets the window with stats snapshots.
-  Client control(options.socket_path);
+  Client control(options.endpoint, options.token);
   if (options.warmup) {
     for (const Request& request : specs) (void)control.request(request);
   }
@@ -192,6 +193,8 @@ ServeBenchReport run_loadgen(const LoadgenOptions& options) {
   const FusionSnapshot after = fusion_snapshot(control);
 
   ServeBenchReport report;
+  report.transport =
+      options.endpoint.transport == server::Transport::Tcp ? "tcp" : "unix";
   report.clients = options.clients;
   report.duration_seconds = options.duration_seconds;
   report.wall_seconds = wall_seconds;

@@ -20,11 +20,16 @@
 #include <string>
 
 #include "src/benchmarks/report.hpp"
+#include "src/server/endpoint.hpp"
 
 namespace punt::benchmarks {
 
 struct LoadgenOptions {
-  std::string socket_path;      // the daemon to drive; required
+  /// The daemon to drive — a Unix socket path or tcp://host:port; required.
+  server::Endpoint endpoint;
+  /// Auth token for TCP endpoints (each client thread handshakes on
+  /// connect); ignored for Unix.
+  std::string token;
   std::size_t clients = 8;      // closed-loop client threads
   double duration_seconds = 5;  // measurement window
   /// One sequential pass over the registry before timing starts, so the

@@ -453,6 +453,7 @@ std::string to_json(const ServeBenchReport& report) {
   std::string out = "{\n";
   out += "  \"schema\": \"punt-serve-bench\",\n";
   out += "  \"version\": 1,\n";
+  out += "  \"transport\": \"" + util::json_escape(report.transport) + "\",\n";
   out += printf_string("  \"clients\": %zu,\n", report.clients);
   out += printf_string("  \"duration_seconds\": %.17g,\n", report.duration_seconds);
   out += printf_string("  \"wall_seconds\": %.17g,\n", report.wall_seconds);
@@ -499,6 +500,15 @@ ServeBenchReport serve_report_from_json(std::string_view text) {
                      "; this build reads version 1");
   }
   ServeBenchReport report;
+  // "transport" arrived with the TCP listener; absent means a pre-transport
+  // (necessarily Unix-socket) artifact, so the version stays 1.
+  const JsonValue* transport = root.find("transport");
+  if (transport != nullptr) {
+    if (transport->type != JsonValue::Type::String) {
+      throw ParseError("serve-bench JSON field 'transport' must be a string");
+    }
+    report.transport = transport->string;
+  }
   report.clients = util::json_count(root, "clients", kServeDocument);
   report.duration_seconds = util::json_number(root, "duration_seconds", kServeDocument);
   report.wall_seconds = util::json_number(root, "wall_seconds", kServeDocument);
@@ -533,8 +543,9 @@ ServeBenchReport serve_report_from_json(std::string_view text) {
 
 std::string format_serve_summary(const ServeBenchReport& report) {
   std::string out;
-  out += printf_string("# punt bench serve: %zu client(s), %.1fs window\n",
-                       report.clients, report.duration_seconds);
+  out += printf_string("# punt bench serve: %zu client(s), %.1fs window, %s transport\n",
+                       report.clients, report.duration_seconds,
+                       report.transport.c_str());
   out += printf_string(
       "throughput %.1f req/s (%zu completed, %zu failed, %zu transport error(s))\n",
       report.throughput_rps, report.completed, report.failed,

@@ -122,6 +122,10 @@ Table1Report merge_reports(const std::vector<Table1Report>& reports);
 /// load generator (benchmarks/loadgen.hpp) plus the daemon-side fusion
 /// delta observed over the measurement window via {"op":"cache-stats"}.
 struct ServeBenchReport {
+  /// Which transport carried the run ("unix" | "tcp") — what lets CI track
+  /// TCP overhead against the Unix artifact per-commit.  Optional in the
+  /// JSON (defaulting to "unix"), so pre-transport artifacts still parse.
+  std::string transport = "unix";
   std::size_t clients = 0;
   double duration_seconds = 0;  // configured measurement window
   double wall_seconds = 0;      // measured (>= duration: in-flight finish)

@@ -1,34 +1,31 @@
 #include "src/server/client.hpp"
 
-#include <errno.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <csignal>
-#include <cstring>
 
 #include "src/util/error.hpp"
 
 namespace punt::server {
 
-Client::Client(const std::string& socket_path) {
-  // A daemon dying mid-exchange must surface as the Error below (or an
-  // EPIPE throw from write_frame), not kill the client with SIGPIPE.
+Client::Client(const Endpoint& endpoint, const std::string& token) {
+  // A daemon dying mid-exchange must surface as an Error throw (connect
+  // refused, EPIPE from write_frame), not kill the client with SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
-  sockaddr_un address = unix_address(socket_path);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    throw Error("cannot create socket: " + std::string(std::strerror(errno)));
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address), sizeof address) != 0) {
-    const std::string why(std::strerror(errno));
-    ::close(fd_);
-    fd_ = -1;
-    throw Error("cannot connect to '" + socket_path + "': " + why +
-                " (is `punt serve --socket=" + socket_path + "` running?)");
+  fd_ = connect_endpoint(endpoint);
+  if (endpoint.transport == Transport::Tcp) {
+    try {
+      client_handshake(fd_, token);
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
   }
 }
+
+Client::Client(const std::string& socket_path)
+    : Client(unix_endpoint(socket_path)) {}
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
@@ -46,9 +43,14 @@ Response Client::request(const Request& request) {
   return response;
 }
 
-Response request_once(const std::string& socket_path, const Request& request) {
-  Client client(socket_path);
+Response request_once(const Endpoint& endpoint, const std::string& token,
+                      const Request& request) {
+  Client client(endpoint, token);
   return client.request(request);
+}
+
+Response request_once(const std::string& socket_path, const Request& request) {
+  return request_once(unix_endpoint(socket_path), {}, request);
 }
 
 }  // namespace punt::server

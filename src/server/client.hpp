@@ -1,13 +1,16 @@
-// Client side of the `punt serve` protocol: connect to a daemon's Unix
-// socket, send one framed request, read the framed response.  This is what
-// `punt synth|check --connect=<socket>` (and ping/shutdown/cache stats)
-// runs instead of the in-process pipeline — the synthesis happens in the
-// daemon against its warm ModelCache, and the client merely replays the
-// response's stdout/stderr text and exit code.
+// Client side of the `punt serve` protocol: connect to a daemon's endpoint
+// (Unix socket path or tcp://host:port), send framed requests, read framed
+// responses.  This is what `punt synth|check --connect=<endpoint>` (and
+// ping/shutdown/cache stats) runs instead of the in-process pipeline — the
+// synthesis happens in the daemon against its warm ModelCache, and the
+// client merely replays the response's stdout/stderr text and exit code.
+// Connecting over TCP runs the HMAC-SHA256 handshake (protocol.hpp) before
+// the first request; Unix connections need no token.
 #pragma once
 
 #include <string>
 
+#include "src/server/endpoint.hpp"
 #include "src/server/protocol.hpp"
 
 namespace punt::server {
@@ -16,8 +19,13 @@ namespace punt::server {
 /// sequential (frame out, frame in); open several clients for concurrency.
 class Client {
  public:
-  /// Connects; throws Error when nothing listens on `socket_path` (with a
-  /// hint to start `punt serve`).
+  /// Connects (and, over TCP, authenticates with `token`); throws Error
+  /// when nothing listens at `endpoint` (with a hint to start
+  /// `punt serve`) or when the daemon refuses the handshake.
+  explicit Client(const Endpoint& endpoint, const std::string& token = {});
+
+  /// Convenience for the Unix transport — exactly the PR 5 surface, so the
+  /// many local-socket call sites stay one-argument.
   explicit Client(const std::string& socket_path);
   ~Client();
 
@@ -40,6 +48,8 @@ class Client {
 };
 
 /// Convenience: connect, send one request, disconnect.
+Response request_once(const Endpoint& endpoint, const std::string& token,
+                      const Request& request);
 Response request_once(const std::string& socket_path, const Request& request);
 
 }  // namespace punt::server

@@ -3,10 +3,8 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <poll.h>
-#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -38,7 +36,8 @@ Server::Server(ServerOptions options)
           options_.model_cache_dir.empty()
               ? nullptr
               : std::make_shared<core::ModelStore>(options_.model_cache_dir))),
-      executor_(options_.jobs) {
+      executor_(options_.jobs),
+      listener_(make_listener(options_.endpoint)) {
   if (options_.batch_window_ms > 0) {
     BatcherOptions batcher;
     batcher.window_seconds = options_.batch_window_ms / 1000.0;
@@ -54,11 +53,7 @@ Server::Server(ServerOptions options)
 }
 
 Server::~Server() {
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(options_.socket_path.c_str());
-  }
+  listener_->close_fd();
   if (batcher_ != nullptr) batcher_->begin_drain();
   reap_connections(true);
   if (batcher_ != nullptr) batcher_->drain();
@@ -68,7 +63,7 @@ Server::~Server() {
       fd = -1;
     }
   }
-  release_ownership();
+  listener_->cleanup();
 }
 
 void Server::request_stop() {
@@ -90,69 +85,27 @@ void Server::start() {
   // that one connection, not kill the whole daemon.
   std::signal(SIGPIPE, SIG_IGN);
 
-  // Path ownership is an flock on <socket>.lock, not a connect probe: a
-  // probe-then-unlink has a window in which two concurrently starting
-  // daemons both see a dead socket and one unlinks the other's fresh bind.
-  // The lock dies with its holder, so a crashed server's path is reclaimed
-  // without any staleness heuristic, and the lock file itself is never
-  // unlinked (removing it would hand a second daemon a different inode to
-  // lock, reopening the race).
-  sockaddr_un address = unix_address(options_.socket_path);
-  const std::string lock_path = options_.socket_path + ".lock";
-  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
-  if (lock_fd_ < 0) {
-    throw Error("serve: cannot open lock file '" + lock_path + "': " + errno_text());
+  // An unauthenticated network listener is never acceptable; refusing here
+  // (not per-connection) means a misconfigured daemon fails loudly at
+  // startup instead of serving the world.
+  if (options_.endpoint.transport == Transport::Tcp && options_.token.empty()) {
+    throw Error("serve: a TCP listener requires --token-file (the daemon "
+                "refuses to serve the network unauthenticated)");
   }
-  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
-    ::close(lock_fd_);
-    lock_fd_ = -1;
-    throw Error("serve: a server is already listening on '" + options_.socket_path +
-                "' (shut it down first, or pick another --socket path)");
-  }
-
-  // Holding the lock, any file at the socket path is ours to replace: a
-  // previous owner either exited (unlinking it) or crashed (leaving it
-  // stale).
-  ::unlink(options_.socket_path.c_str());
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    const std::string why = errno_text();
-    release_ownership();
-    throw Error("serve: cannot create socket: " + why);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address), sizeof address) != 0) {
-    const std::string why = errno_text();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    release_ownership();
-    throw Error("serve: cannot bind '" + options_.socket_path + "': " + why);
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    const std::string why = errno_text();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(options_.socket_path.c_str());
-    release_ownership();
-    throw Error("serve: cannot listen on '" + options_.socket_path + "': " + why);
-  }
-}
-
-void Server::release_ownership() {
-  if (lock_fd_ >= 0) {
-    ::close(lock_fd_);  // closing drops the flock
-    lock_fd_ = -1;
-  }
+  // Ownership arbitration lives in the listener: flock-on-<path>.lock for
+  // Unix, bind-succeeds-or-refuse for TCP (see endpoint.cpp).
+  listener_->open();
 }
 
 void Server::serve() {
-  if (listen_fd_ < 0) throw Error("serve: start() the server before serve()");
+  if (listener_->fd() < 0) throw Error("serve: start() the server before serve()");
   while (!stop_.load(std::memory_order_relaxed)) {
     reap_connections(false);
     // Block until a connection arrives or the self-pipe is written (by
     // request_stop(), or by a handler finishing so it gets reaped).  No
     // timeout: an idle daemon makes no wakeups at all, where the old loop
     // re-polled a stop flag 10x a second.
-    pollfd poll_fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    pollfd poll_fds[2] = {{listener_->fd(), POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
     const int ready = ::poll(poll_fds, 2, -1);
     if (ready < 0) {
       if (errno == EINTR) continue;  // a signal; the loop re-checks stop_
@@ -166,7 +119,7 @@ void Server::serve() {
       }
     }
     if ((poll_fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    const int fd = ::accept4(listener_->fd(), nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
           errno == EWOULDBLOCK) {
@@ -182,11 +135,14 @@ void Server::serve() {
       }
       throw Error("serve: accept failed: " + errno_text());
     }
+    listener_->configure_connection(fd);
     const timeval send_timeout{options_.send_timeout_seconds, 0};
     (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout, sizeof send_timeout);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const bool authenticate = listener_->needs_handshake();
     auto done = std::make_shared<std::atomic<bool>>(false);
-    std::thread thread([this, fd, done] {
-      handle_connection(fd);
+    std::thread thread([this, fd, authenticate, done] {
+      handle_connection(fd, authenticate);
       done->store(true, std::memory_order_release);
       // Wake the accept loop so the finished thread is reaped promptly —
       // with an infinite poll timeout nobody else would notice.
@@ -200,13 +156,11 @@ void Server::serve() {
   // The Batcher flushes first (queued items dispatch without waiting out
   // the window) but keeps admitting and serving while the handlers that
   // feed it are joined; only then is it fully drained.
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  listener_->close_fd();
   if (batcher_ != nullptr) batcher_->begin_drain();
   reap_connections(true);
   if (batcher_ != nullptr) batcher_->drain();
-  ::unlink(options_.socket_path.c_str());
-  release_ownership();
+  listener_->cleanup();
 }
 
 void Server::reap_connections(bool all) {
@@ -239,10 +193,30 @@ void Server::reap_connections(bool all) {
   }
 }
 
-void Server::handle_connection(int fd) {
+void Server::handle_connection(int fd, bool authenticate) {
   active_connections_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t connection =
       next_connection_id_.fetch_add(1, std::memory_order_relaxed);
+  if (authenticate) {
+    // Handshake first, under its own (tighter) deadline: an off-host
+    // connection has proven nothing yet and gets no unbounded patience.
+    try {
+      set_receive_timeout(fd, options_.handshake_timeout_seconds);
+    } catch (...) {
+      // Deadline arming failed (fd already dead); the handshake read below
+      // will surface it.
+    }
+    std::string why;
+    if (!server_handshake(fd, options_.token, why)) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      return;  // the fd is closed by the reaper, like any other exit path
+    }
+    try {
+      set_receive_timeout(fd, options_.idle_timeout_seconds);
+    } catch (...) {
+    }
+  }
   // One read buffer for the connection's whole lifetime: read_frame resizes
   // it per frame, so steady traffic stops allocating once the buffer has
   // seen its largest request.
@@ -252,7 +226,22 @@ void Server::handle_connection(int fd) {
     // (the stream cannot be trusted past a framing fault); request-level
     // failures are ordinary ok-responses carrying the CLI's exit code.
     try {
-      if (read_frame(fd, payload) == FrameStatus::Eof) break;
+      const FrameStatus status = read_frame(fd, payload);
+      if (status == FrameStatus::Eof) break;
+      if (status == FrameStatus::IdleTimeout) {
+        // The idle deadline expired at a frame boundary: the peer is merely
+        // quiet, so tell it why before closing (best-effort).
+        idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        Response timed_out;
+        timed_out.error = "idle timeout: no request within " +
+                          std::to_string(options_.idle_timeout_seconds) +
+                          " second(s); reconnect to continue";
+        try {
+          write_frame(fd, to_json(timed_out));
+        } catch (...) {
+        }
+        break;
+      }
     } catch (const std::exception& e) {
       Response refusal;
       refusal.error = e.what();
@@ -289,10 +278,19 @@ void Server::handle_connection(int fd) {
         case Op::CacheStats: {
           response.ok = true;
           const BatcherStats fused = batcher_stats();
-          response.output = cache_stats_json(
-              cache_->stats(), requests_served(), executor_.jobs(),
-              options_.model_cache_dir, batcher_ != nullptr ? &fused : nullptr,
-              options_.batch_window_ms);
+          ServeInfo info;
+          info.requests_served = requests_served();
+          info.jobs = executor_.jobs();
+          info.model_cache_dir = options_.model_cache_dir;
+          info.transport =
+              options_.endpoint.transport == Transport::Tcp ? "tcp" : "unix";
+          info.listen = listener_->local_endpoint().describe();
+          info.connections = connections_accepted();
+          info.auth_failures = auth_failures();
+          info.idle_timeouts = idle_timeouts();
+          info.batch_window_ms = options_.batch_window_ms;
+          response.output = cache_stats_json(cache_->stats(), info,
+                                             batcher_ != nullptr ? &fused : nullptr);
           break;
         }
         case Op::Ping:

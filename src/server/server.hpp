@@ -1,8 +1,13 @@
-// The `punt serve` daemon (DESIGN.md §9): a Unix-domain-socket server that
-// keeps one two-tier ModelCache and one Executor (thread pool) resident
-// across requests, so repeated synthesis of the same STG pays neither
-// process startup nor phase-1 reconstruction nor even disk deserialisation —
-// the regime where the unfolding-segment approach amortises best.
+// The `punt serve` daemon (DESIGN.md §9): a stream-socket server — Unix
+// domain or authenticated TCP, selected by the Endpoint in its options —
+// that keeps one two-tier ModelCache and one Executor (thread pool)
+// resident across requests, so repeated synthesis of the same STG pays
+// neither process startup nor phase-1 reconstruction nor even disk
+// deserialisation — the regime where the unfolding-segment approach
+// amortises best.  TCP connections must pass the HMAC-SHA256
+// challenge–response handshake (protocol.hpp) before their first request
+// and live under per-connection handshake/idle receive deadlines; Unix
+// connections skip both, so existing local clients are untouched.
 //
 // Concurrency model: an accept loop (poll on the listen fd plus a self-pipe
 // wake, so an idle daemon sleeps indefinitely yet stop/reap requests are
@@ -40,11 +45,17 @@
 #include "src/core/model_cache.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/server/batcher.hpp"
+#include "src/server/endpoint.hpp"
 
 namespace punt::server {
 
 struct ServerOptions {
-  std::string socket_path;      // required; at most ~100 bytes (sun_path)
+  /// Where to listen: a Unix socket path (`--socket`) or a TCP address
+  /// (`--listen=tcp://…`).  Required.
+  Endpoint endpoint;
+  /// Shared auth secret (`--token-file` contents).  Required for TCP —
+  /// start() refuses an unauthenticated network listener; ignored for Unix.
+  std::string token;
   std::size_t jobs = 1;         // executor width; 0 = hardware default
   std::string model_cache_dir;  // optional disk tier under the resident cache
   std::size_t cache_capacity = core::ModelCache::kDefaultCapacity;
@@ -61,6 +72,13 @@ struct ServerOptions {
   /// client that stops reading cannot pin its handler — and therefore the
   /// shutdown drain — forever.  Must be positive.
   long send_timeout_seconds = 30;
+  /// TCP only: how long an accepted connection may take to complete the
+  /// auth handshake (`--handshake-timeout`) and how long it may then sit
+  /// idle between requests (`--idle-timeout`) before the daemon closes it —
+  /// an off-host client that connects and stalls must not pin a handler
+  /// thread forever.  0 disables the respective deadline.
+  double handshake_timeout_seconds = 10;
+  double idle_timeout_seconds = 300;
 };
 
 class Server {
@@ -71,13 +89,12 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and listens on the socket path.  Ownership of the path is
-  /// arbitrated by an flock on `<socket>.lock` (released automatically if
-  /// the holder dies), so a stale socket file left by a crashed server is
-  /// reclaimed while a path another daemon owns — live or mid-start —
-  /// throws Error; concurrent starts cannot unlink each other's socket.
-  /// The small .lock file itself is deliberately never deleted: unlinking
-  /// it would reopen the very race it closes.
+  /// Binds and listens on the endpoint.  For Unix sockets, path ownership
+  /// is arbitrated by an flock on `<socket>.lock` (see endpoint.cpp) so a
+  /// stale socket file left by a crashed server is reclaimed while a live
+  /// daemon's path is refused; for TCP the kernel arbitrates the port —
+  /// bind succeeds or this throws.  A TCP endpoint without a token throws:
+  /// the network listener is never unauthenticated.
   void start();
 
   /// The accept loop; blocks until shutdown is requested, then drains
@@ -91,7 +108,10 @@ class Server {
   /// next-poll-interval.
   void request_stop();
 
-  const std::string& socket_path() const { return options_.socket_path; }
+  /// The endpoint as actually bound — after start() on a TCP endpoint with
+  /// port 0 this carries the kernel-assigned ephemeral port, so it is what
+  /// clients (and the self-spawned bench) should connect to.
+  const Endpoint& endpoint() const { return listener_->local_endpoint(); }
   core::ModelCache& cache() { return *cache_; }
   std::size_t jobs() const { return executor_.jobs(); }
 
@@ -111,14 +131,27 @@ class Server {
     return active_connections_.load(std::memory_order_relaxed);
   }
 
+  /// Connections accepted since start() (whether or not they authenticated).
+  std::size_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  /// TCP connections refused at the handshake (wrong/missing/garbled MAC,
+  /// handshake deadline) — the counter `punt-serve-stats` v3 reports.
+  std::size_t auth_failures() const {
+    return auth_failures_.load(std::memory_order_relaxed);
+  }
+  /// Connections closed by the idle deadline at a frame boundary.
+  std::size_t idle_timeouts() const {
+    return idle_timeouts_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One connection's frame loop; runs on its own thread.  The fd is owned
   /// by the Connection record (closed by the reaper after the join), so the
   /// drain can safely ::shutdown() it while the handler still runs.
-  void handle_connection(int fd);
-
-  /// Drops the <socket>.lock flock (the file stays; see start()).
-  void release_ownership();
+  /// `authenticate` (TCP connections) runs the handshake — and arms the
+  /// receive deadlines — before the first request frame.
+  void handle_connection(int fd, bool authenticate);
 
   /// Joins finished connection threads (all of them when `all`, otherwise
   /// just the ones whose handler already returned) and closes their fds.
@@ -145,8 +178,10 @@ class Server {
   /// Created only when batch_window_ms > 0.  Declared after the cache and
   /// executor it borrows, so it is destroyed (and drained) first.
   std::unique_ptr<Batcher> batcher_;
-  int listen_fd_ = -1;
-  int lock_fd_ = -1;  // flock'd <socket>.lock; held for the server's lifetime
+  /// The transport behind the accept loop (endpoint.hpp); owns the listen
+  /// fd and whatever the transport holds beyond it (Unix: socket file +
+  /// path lock).  Never null after construction.
+  std::unique_ptr<Listener> listener_;
   /// Self-pipe: [0] is polled by the accept loop, [1] is written by
   /// request_stop() / finishing handlers.  Created in the constructor so a
   /// pre-start() request_stop() still works.
@@ -154,6 +189,9 @@ class Server {
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> requests_served_{0};
   std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::size_t> connections_accepted_{0};
+  std::atomic<std::size_t> auth_failures_{0};
+  std::atomic<std::size_t> idle_timeouts_{0};
   std::atomic<std::uint64_t> next_connection_id_{1};  // scopes the in-flight cap
   std::mutex connections_mutex_;
   std::vector<Connection> connections_;

@@ -211,18 +211,21 @@ Response run_check(const Request& request, core::ModelCache& cache,
 }
 
 std::string cache_stats_json(const core::ModelCacheStats& stats,
-                             std::size_t requests_served, std::size_t jobs,
-                             const std::string& model_cache_dir,
-                             const BatcherStats* batcher, double batch_window_ms) {
+                             const ServeInfo& info, const BatcherStats* batcher) {
   // The fusion counters report zeros when the daemon runs unfused
   // (--batch-window=0): field presence must not depend on configuration.
   const BatcherStats fused = batcher != nullptr ? *batcher : BatcherStats{};
   std::string out = "{\n";
   out += "  \"schema\": \"punt-serve-stats\",\n";
-  out += "  \"version\": 2,\n";
-  out += printf_string("  \"requests\": %zu,\n", requests_served);
-  out += printf_string("  \"jobs\": %zu,\n", jobs);
-  out += "  \"model_cache_dir\": \"" + util::json_escape(model_cache_dir) + "\",\n";
+  out += "  \"version\": 3,\n";
+  out += printf_string("  \"requests\": %zu,\n", info.requests_served);
+  out += printf_string("  \"jobs\": %zu,\n", info.jobs);
+  out += "  \"model_cache_dir\": \"" + util::json_escape(info.model_cache_dir) + "\",\n";
+  out += "  \"transport\": \"" + util::json_escape(info.transport) + "\",\n";
+  out += "  \"listen\": \"" + util::json_escape(info.listen) + "\",\n";
+  out += printf_string("  \"connections\": %zu,\n", info.connections);
+  out += printf_string("  \"auth_failures\": %zu,\n", info.auth_failures);
+  out += printf_string("  \"idle_timeouts\": %zu,\n", info.idle_timeouts);
   out += printf_string("  \"hits\": %zu,\n", stats.hits);
   out += printf_string("  \"misses\": %zu,\n", stats.misses);
   out += printf_string("  \"builds\": %zu,\n", stats.builds);
@@ -236,7 +239,7 @@ std::string cache_stats_json(const core::ModelCacheStats& stats,
   out += printf_string("  \"disk_load_errors\": %zu,\n", stats.disk_load_errors);
   out += printf_string("  \"disk_stores\": %zu,\n", stats.disk_stores);
   out += printf_string("  \"disk_store_failures\": %zu,\n", stats.disk_store_failures);
-  out += printf_string("  \"batch_window_ms\": %.17g,\n", batch_window_ms);
+  out += printf_string("  \"batch_window_ms\": %.17g,\n", info.batch_window_ms);
   out += printf_string("  \"admitted\": %zu,\n", fused.admitted);
   out += printf_string("  \"batches\": %zu,\n", fused.batches);
   out += printf_string("  \"fused_requests\": %zu,\n", fused.fused_requests);

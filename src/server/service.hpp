@@ -80,14 +80,31 @@ Response render_synth(const SynthJob& job, const core::BatchEntry& entry);
 Response run_check(const Request& request, core::ModelCache& cache,
                    core::Executor* executor, bool summarize_cache = true);
 
+/// The daemon-identity slice of the {"op":"cache-stats"} payload: who is
+/// serving (transport, listen address, worker count) and the connection
+/// ledger (accepted / refused-at-handshake / idle-timed-out) the TCP
+/// transport introduced in v3.
+struct ServeInfo {
+  std::size_t requests_served = 0;
+  std::size_t jobs = 0;
+  std::string model_cache_dir;
+  std::string transport = "unix";  // "unix" | "tcp"
+  std::string listen;              // Endpoint::describe() of the listener
+  std::size_t connections = 0;     // accepted since start()
+  std::size_t auth_failures = 0;   // TCP handshakes refused
+  std::size_t idle_timeouts = 0;   // connections closed by the idle deadline
+  double batch_window_ms = 0;
+};
+
 /// The {"op":"cache-stats"} payload: resident two-tier counters plus the
-/// server identity fields and the request-fusion counters ("punt-serve-stats"
-/// schema, version 2).  `batcher` is null when the daemon runs with
-/// `--batch-window=0` (no fusion); the fusion fields are then emitted as
-/// zeros so the schema is stable for consumers like `punt bench serve`.
+/// server identity/connection fields and the request-fusion counters
+/// ("punt-serve-stats" schema, version 3 — v3 added transport, listen,
+/// connections, auth_failures and idle_timeouts; every v2 field is
+/// unchanged, so v2 consumers keep working by ignoring the additions).
+/// `batcher` is null when the daemon runs with `--batch-window=0` (no
+/// fusion); the fusion fields are then emitted as zeros so the schema is
+/// stable for consumers like `punt bench serve`.
 std::string cache_stats_json(const core::ModelCacheStats& stats,
-                             std::size_t requests_served, std::size_t jobs,
-                             const std::string& model_cache_dir,
-                             const BatcherStats* batcher, double batch_window_ms);
+                             const ServeInfo& info, const BatcherStats* batcher);
 
 }  // namespace punt::server

@@ -1,0 +1,201 @@
+#include "src/util/hmac.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <random>
+
+#include "src/util/error.hpp"
+
+namespace punt::util {
+namespace {
+
+// FIPS 180-4 §4.2.2: the first 32 bits of the fractional parts of the cube
+// roots of the first 64 primes.
+constexpr std::uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+constexpr std::size_t kBlockBytes = 64;
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+/// One 64-byte block through the SHA-256 compression function.
+void compress(std::uint32_t state[8], const std::uint8_t block[kBlockBytes]) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t big_s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + big_s1 + ch + kRoundConstants[i] + w[i];
+    const std::uint32_t big_s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = big_s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32> sha256(std::string_view data) {
+  // FIPS 180-4 §5.3.3 initial hash: fractional parts of the square roots of
+  // the first 8 primes.
+  std::uint32_t state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t remaining = data.size();
+  while (remaining >= kBlockBytes) {
+    compress(state, bytes);
+    bytes += kBlockBytes;
+    remaining -= kBlockBytes;
+  }
+  // Padding: 0x80, zeros, then the 64-bit big-endian *bit* length — at most
+  // two final blocks.
+  std::uint8_t tail[2 * kBlockBytes] = {};
+  std::memcpy(tail, bytes, remaining);
+  tail[remaining] = 0x80;
+  const std::size_t tail_blocks = remaining + 1 + 8 <= kBlockBytes ? 1 : 2;
+  const std::uint64_t bit_length = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_blocks * kBlockBytes - 1 - i] =
+        static_cast<std::uint8_t>(bit_length >> (8 * i));
+  }
+  compress(state, tail);
+  if (tail_blocks == 2) compress(state, tail + kBlockBytes);
+
+  std::array<std::uint8_t, 32> digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+  }
+  return digest;
+}
+
+std::array<std::uint8_t, 32> hmac_sha256(std::string_view key,
+                                         std::string_view message) {
+  std::array<std::uint8_t, kBlockBytes> padded_key = {};
+  if (key.size() > kBlockBytes) {
+    const std::array<std::uint8_t, 32> hashed = sha256(key);
+    std::memcpy(padded_key.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(padded_key.data(), key.data(), key.size());
+  }
+  std::string inner;
+  inner.reserve(kBlockBytes + message.size());
+  for (const std::uint8_t byte : padded_key) {
+    inner.push_back(static_cast<char>(byte ^ 0x36));
+  }
+  inner.append(message);
+  const std::array<std::uint8_t, 32> inner_digest = sha256(inner);
+
+  std::string outer;
+  outer.reserve(kBlockBytes + inner_digest.size());
+  for (const std::uint8_t byte : padded_key) {
+    outer.push_back(static_cast<char>(byte ^ 0x5c));
+  }
+  outer.append(reinterpret_cast<const char*>(inner_digest.data()),
+               inner_digest.size());
+  return sha256(outer);
+}
+
+bool constant_time_equal(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  unsigned char accumulator = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    accumulator = static_cast<unsigned char>(
+        accumulator | (static_cast<unsigned char>(a[i]) ^
+                       static_cast<unsigned char>(b[i])));
+  }
+  return accumulator == 0;
+}
+
+std::string to_hex(const std::uint8_t* data, std::size_t size) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t count) {
+  std::vector<std::uint8_t> bytes(count);
+  const int fd = ::open("/dev/urandom", O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    std::size_t got = 0;
+    while (got < count) {
+      const ssize_t n = ::read(fd, bytes.data() + got, count - got);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    if (got == count) return bytes;
+  }
+  // Container without /dev/urandom (or a short read): std::random_device is
+  // the portable CSPRNG-backed fallback.
+  try {
+    std::random_device device;
+    for (std::size_t i = 0; i < count; i += 4) {
+      const std::uint32_t word = device();
+      for (std::size_t j = 0; j < 4 && i + j < count; ++j) {
+        bytes[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+      }
+    }
+  } catch (const std::exception& e) {
+    throw Error(std::string("cannot gather handshake randomness: ") + e.what());
+  }
+  return bytes;
+}
+
+std::string random_hex(std::size_t count) {
+  const std::vector<std::uint8_t> bytes = random_bytes(count);
+  return to_hex(bytes.data(), bytes.size());
+}
+
+}  // namespace punt::util

@@ -1,0 +1,54 @@
+// SHA-256 / HMAC-SHA256 and the small auth toolkit behind the serve
+// daemon's TCP handshake (DESIGN.md §9): the server proves a client knows
+// the shared token by challenging it with a random nonce and checking the
+// returned MAC in constant time.  Implemented here from the FIPS 180-4 /
+// RFC 2104 specifications — the container deliberately carries no crypto
+// library dependency, and a 200-line fixed-function digest is easier to
+// audit than to link.
+//
+// Scope note: this authenticates, it does not encrypt.  Anyone on the path
+// can read the frames; the token itself never crosses the wire (only a MAC
+// over a single-use nonce does), so passive capture cannot recover it and
+// captured MACs cannot be replayed against a new connection.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace punt::util {
+
+/// FIPS 180-4 SHA-256 of `data`.
+std::array<std::uint8_t, 32> sha256(std::string_view data);
+
+/// RFC 2104 HMAC-SHA256 over `message` with `key` (keys longer than the
+/// 64-byte block are pre-hashed, exactly per the RFC).
+std::array<std::uint8_t, 32> hmac_sha256(std::string_view key,
+                                         std::string_view message);
+
+/// Byte equality in time independent of *where* the inputs differ.  Length
+/// is compared up front (it is not secret — the protocol fixes the MAC
+/// width), content with a branch-free accumulator, so a remote attacker
+/// cannot binary-search a MAC one byte at a time off the comparison's
+/// early exit.
+bool constant_time_equal(std::string_view a, std::string_view b);
+
+/// Lowercase hex of arbitrary bytes.
+std::string to_hex(const std::uint8_t* data, std::size_t size);
+template <std::size_t N>
+std::string to_hex(const std::array<std::uint8_t, N>& bytes) {
+  return to_hex(bytes.data(), bytes.size());
+}
+
+/// `count` bytes from the operating system's CSPRNG (/dev/urandom, with a
+/// std::random_device fallback) — nonce material for the handshake.
+/// Throws Error only when both sources are unavailable.
+std::vector<std::uint8_t> random_bytes(std::size_t count);
+
+/// Convenience: `count` random bytes as 2*count lowercase hex characters.
+std::string random_hex(std::size_t count);
+
+}  // namespace punt::util

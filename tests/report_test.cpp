@@ -446,6 +446,7 @@ TEST(Report, FormatShowsPaperColumnsAndErrors) {
 
 TEST(Report, ServeBenchJsonRoundTripPreservesEveryField) {
   ServeBenchReport report;
+  report.transport = "tcp";
   report.clients = 8;
   report.duration_seconds = 5;
   report.wall_seconds = 5.25;
@@ -468,6 +469,7 @@ TEST(Report, ServeBenchJsonRoundTripPreservesEveryField) {
   report.batch_size_histogram = {1, 0, 4, 0, 0, 0, 0, 12, 0, 0, 0, 0, 0, 0, 0, 0};
 
   const ServeBenchReport parsed = serve_report_from_json(to_json(report));
+  EXPECT_EQ(parsed.transport, "tcp");
   EXPECT_EQ(parsed.clients, report.clients);
   EXPECT_DOUBLE_EQ(parsed.duration_seconds, report.duration_seconds);
   EXPECT_DOUBLE_EQ(parsed.wall_seconds, report.wall_seconds);
@@ -495,6 +497,26 @@ TEST(Report, ServeBenchJsonRoundTripPreservesEveryField) {
   const std::string summary = format_serve_summary(report);
   EXPECT_NE(summary.find("shed=6"), std::string::npos) << summary;
   EXPECT_NE(summary.find("8:12"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("tcp transport"), std::string::npos) << summary;
+}
+
+TEST(Report, ServeBenchWithoutATransportFieldParsesAsUnix) {
+  // Artifacts produced before the TCP transport carry no "transport" key;
+  // they must keep parsing (version 1 is additive) and default to "unix".
+  ServeBenchReport report;
+  report.clients = 2;
+  report.duration_seconds = 1;
+  report.wall_seconds = 1;
+  report.completed = 10;
+  report.throughput_rps = 10;
+  std::string json = to_json(report);
+  const std::string field = "\"transport\": \"unix\",\n";
+  const std::size_t at = json.find(field);
+  ASSERT_NE(at, std::string::npos) << json;
+  json.erase(at, field.size());
+  const ServeBenchReport parsed = serve_report_from_json(json);
+  EXPECT_EQ(parsed.transport, "unix");
+  EXPECT_EQ(parsed.completed, 10u);
 }
 
 TEST(Report, ServeBenchFromJsonRejectsForeignPayloads) {

@@ -2,8 +2,11 @@
 // byte-identity of daemon responses with direct invocation (N concurrent
 // clients included), the warm-cache property a resident daemon exists for
 // (second request = pure memory hit, zero rebuilds, zero disk loads),
-// resilience to malformed/oversized frames, and graceful shutdown draining
-// in-flight work.
+// resilience to malformed/oversized frames, graceful shutdown draining
+// in-flight work — and the TCP transport: endpoint-grammar parsing, the
+// HMAC-SHA256 challenge–response handshake (refusals, fresh nonces, replay),
+// byte-parity of TCP clients with Unix clients, and the per-connection
+// handshake/idle deadlines.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
@@ -12,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -24,6 +28,7 @@
 #include "src/core/synthesis.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/server/client.hpp"
+#include "src/server/endpoint.hpp"
 #include "src/server/protocol.hpp"
 #include "src/server/server.hpp"
 #include "src/server/service.hpp"
@@ -226,33 +231,237 @@ TEST(ServerProtocol, TruncatedAndOversizedFramesThrow) {
   ::close(fds[1]);
 }
 
+// --- Endpoint grammar ---------------------------------------------------------
+
+TEST(ServerEndpoint, PlainTextIsAUnixSocketPath) {
+  const Endpoint absolute = parse_endpoint("/tmp/punt.sock");
+  EXPECT_EQ(absolute.transport, Transport::Unix);
+  EXPECT_EQ(absolute.path, "/tmp/punt.sock");
+  EXPECT_EQ(absolute.describe(), "/tmp/punt.sock");
+
+  // Relative paths and colon-bearing names without the scheme stay Unix.
+  EXPECT_EQ(parse_endpoint("punt.sock").transport, Transport::Unix);
+  EXPECT_EQ(parse_endpoint("dir/with:colon.sock").transport, Transport::Unix);
+}
+
+TEST(ServerEndpoint, TcpAuthoritiesParse) {
+  const Endpoint v4 = parse_endpoint("tcp://127.0.0.1:9000");
+  EXPECT_EQ(v4.transport, Transport::Tcp);
+  EXPECT_EQ(v4.host, "127.0.0.1");
+  EXPECT_EQ(v4.port, 9000);
+  EXPECT_EQ(v4.describe(), "tcp://127.0.0.1:9000");
+
+  const Endpoint named = parse_endpoint("tcp://localhost:1");
+  EXPECT_EQ(named.host, "localhost");
+  EXPECT_EQ(named.port, 1);
+
+  // IPv6 literals come bracketed and describe() re-brackets them.
+  const Endpoint v6 = parse_endpoint("tcp://[::1]:65535");
+  EXPECT_EQ(v6.transport, Transport::Tcp);
+  EXPECT_EQ(v6.host, "::1");
+  EXPECT_EQ(v6.port, 65535);
+  EXPECT_EQ(v6.describe(), "tcp://[::1]:65535");
+}
+
+TEST(ServerEndpoint, MalformedTcpAuthoritiesAreRejected) {
+  const char* const rejected[] = {
+      "",                   // nothing at all
+      "tcp://",             // scheme without an authority
+      "tcp://:9",           // empty host
+      "tcp://host",         // no port separator
+      "tcp://host:",        // empty port
+      "tcp://host:0",       // port 0 is not a *named* endpoint
+      "tcp://host:65536",   // beyond the TCP port range
+      "tcp://host:123456",  // too many digits
+      "tcp://host:9x",      // non-numeric port
+      "tcp://[::1:9",       // unterminated bracket
+      "tcp://[::1]",        // bracket without ':port'
+      "tcp://[::1]9",       // junk between ']' and the port
+      "tcp://::1:9000",     // IPv6 literal without brackets
+  };
+  for (const char* text : rejected) {
+    EXPECT_THROW((void)parse_endpoint(text), Error) << "'" << text << "'";
+  }
+}
+
+// --- HMAC handshake (socketpair, below the Server layer) ----------------------
+
+/// Runs server_handshake on a helper thread so the test can drive the
+/// client side of the same socketpair synchronously.  The daemon ignores
+/// SIGPIPE process-wide (Server::start); these below-the-Server tests must
+/// do the same or a best-effort refusal to a closed peer kills the suite.
+struct HandshakeServer {
+  HandshakeServer(int fd, std::string token)
+      : thread([this, fd, token = std::move(token)] {
+          std::signal(SIGPIPE, SIG_IGN);
+          ok = server_handshake(fd, token, why);
+        }) {}
+  void join() { thread.join(); }
+  // `thread` is declared LAST: members initialize in declaration order, and
+  // the lambda writes `ok`/`why`, which must be fully constructed before the
+  // thread can start.
+  bool ok = false;
+  std::string why;
+  std::thread thread;
+};
+
+/// Reads the server's challenge frame and returns its nonce.
+std::string read_nonce(int fd) {
+  std::string payload;
+  EXPECT_EQ(read_frame(fd, payload), FrameStatus::Ok);
+  const util::JsonValue root = util::parse_json(payload);
+  EXPECT_EQ(util::json_string(root, "auth", "auth challenge"), "hmac-sha256");
+  return util::json_string(root, "nonce", "auth challenge");
+}
+
+Response read_verdict(int fd) {
+  std::string payload;
+  EXPECT_EQ(read_frame(fd, payload), FrameStatus::Ok);
+  return response_from_json(payload);
+}
+
+TEST(ServerHandshake, GoodTokenAuthenticates) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds), 0);
+  HandshakeServer server(fds[0], "sesame");
+  client_handshake(fds[1], "sesame");  // throws on refusal
+  server.join();
+  EXPECT_TRUE(server.ok) << server.why;
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServerHandshake, WrongTokenIsRefused) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds), 0);
+  HandshakeServer server(fds[0], "sesame");
+  try {
+    client_handshake(fds[1], "open-barley");
+    FAIL() << "a wrong token must be refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("refused"), std::string::npos) << e.what();
+  }
+  server.join();
+  EXPECT_FALSE(server.ok);
+  EXPECT_NE(server.why.find("MAC mismatch"), std::string::npos) << server.why;
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServerHandshake, MalformedTruncatedAndVanishingAnswersAreRefused) {
+  {
+    // A syntactically broken answer frame: refused with a verdict.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds), 0);
+    HandshakeServer server(fds[0], "t");
+    (void)read_nonce(fds[1]);
+    write_frame(fds[1], "not json");
+    server.join();
+    EXPECT_FALSE(server.ok);
+    EXPECT_NE(server.why.find("malformed handshake answer"), std::string::npos)
+        << server.why;
+    const Response refusal = read_verdict(fds[1]);
+    EXPECT_FALSE(refusal.ok);
+    EXPECT_NE(refusal.error.find("unauthorized"), std::string::npos) << refusal.error;
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  {
+    // An answer frame that promises more bytes than ever arrive.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds), 0);
+    HandshakeServer server(fds[0], "t");
+    (void)read_nonce(fds[1]);
+    const unsigned char prefix[4] = {50, 0, 0, 0};
+    ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+    ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+    ::close(fds[1]);
+    server.join();
+    EXPECT_FALSE(server.ok);
+    ::close(fds[0]);
+  }
+  {
+    // A peer that takes the challenge and vanishes without answering: no
+    // verdict owed (reading first makes the EOF — not a failed challenge
+    // write — the thing the server observes).
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds), 0);
+    HandshakeServer server(fds[0], "t");
+    (void)read_nonce(fds[1]);
+    ::close(fds[1]);
+    server.join();
+    EXPECT_FALSE(server.ok);
+    EXPECT_NE(server.why.find("peer closed"), std::string::npos) << server.why;
+    ::close(fds[0]);
+  }
+}
+
+TEST(ServerHandshake, NoncesAreFreshAndReplayedMacsAreRefused) {
+  const std::string token = "rotate-me";
+
+  // Connection one: an honest exchange, whose MAC we keep for the replay.
+  int first[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, first), 0);
+  HandshakeServer server_one(first[0], token);
+  const std::string nonce_one = read_nonce(first[1]);
+  const std::string mac_one = auth_mac_hex(token, nonce_one);
+  write_frame(first[1], "{\"mac\": \"" + mac_one + "\"}");
+  server_one.join();
+  EXPECT_TRUE(server_one.ok) << server_one.why;
+  EXPECT_TRUE(read_verdict(first[1]).ok);
+
+  // Connection two: a fresh nonce, so the captured MAC no longer verifies.
+  int second[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, second), 0);
+  HandshakeServer server_two(second[0], token);
+  const std::string nonce_two = read_nonce(second[1]);
+  EXPECT_NE(nonce_one, nonce_two) << "challenges must be fresh per connection";
+  write_frame(second[1], "{\"mac\": \"" + mac_one + "\"}");  // the replay
+  server_two.join();
+  EXPECT_FALSE(server_two.ok) << "a MAC for yesterday's nonce must not authenticate";
+  EXPECT_NE(server_two.why.find("MAC mismatch"), std::string::npos) << server_two.why;
+  ::close(first[0]);
+  ::close(first[1]);
+  ::close(second[0]);
+  ::close(second[1]);
+}
+
 // --- Server end-to-end --------------------------------------------------------
 
 TEST(Server, PingPongAndCacheStats) {
   TempDir dir("ping");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   RunningServer running(options);
 
-  const Response pong = request_once(options.socket_path, Request{});
+  const Response pong = request_once(socket, Request{});
   EXPECT_EQ(pong.exit_code, 0);
   EXPECT_EQ(pong.output, "pong\n");
 
   Request stats_request;
   stats_request.op = Op::CacheStats;
-  const Response stats = request_once(options.socket_path, stats_request);
+  const Response stats = request_once(socket, stats_request);
   const util::JsonValue root = util::parse_json(stats.output);
   EXPECT_EQ(util::json_string(root, "schema", "stats"), "punt-serve-stats");
   // The ping (the served-count bumps just after its response is written, so
   // an immediately following request may still read 0 — don't pin it).
   EXPECT_LE(util::json_count(root, "requests", "stats"), 1u);
   EXPECT_EQ(util::json_count(root, "builds", "stats"), 0u);
+  // Transport provenance (stats v3): a Unix daemon says so, with zero auth
+  // counters — the handshake never runs on this transport.
+  EXPECT_EQ(util::json_string(root, "transport", "stats"), "unix");
+  EXPECT_EQ(util::json_string(root, "listen", "stats"), socket);
+  EXPECT_GE(util::json_count(root, "connections", "stats"), 1u);
+  EXPECT_EQ(util::json_count(root, "auth_failures", "stats"), 0u);
+  EXPECT_EQ(util::json_count(root, "idle_timeouts", "stats"), 0u);
 }
 
 TEST(Server, ConcurrentClientsMatchDirectInvocationByteForByte) {
   TempDir dir("concurrent");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   options.jobs = 2;
   RunningServer running(options);
 
@@ -272,7 +481,7 @@ TEST(Server, ConcurrentClientsMatchDirectInvocationByteForByte) {
     clients.emplace_back([&, i] {
       try {
         const Response response =
-            request_once(options.socket_path, synth_request(stgs[i % stgs.size()]));
+            request_once(socket, synth_request(stgs[i % stgs.size()]));
         if (response.exit_code != 0) failures.fetch_add(1);
         got[i] = response.output;
       } catch (const Error&) {
@@ -290,18 +499,19 @@ TEST(Server, ConcurrentClientsMatchDirectInvocationByteForByte) {
 
 TEST(Server, SecondRequestOnAWarmDaemonIsAPureMemoryHit) {
   TempDir dir("warm");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   options.model_cache_dir = dir.str() + "/models";  // disk tier attached...
   RunningServer running(options);
 
   const Stg stg = stg::make_paper_fig1();
-  const Response first = request_once(options.socket_path, synth_request(stg));
+  const Response first = request_once(socket, synth_request(stg));
   EXPECT_EQ(first.exit_code, 0);
   const core::ModelCacheStats after_first = running.server.cache().stats();
   EXPECT_EQ(after_first.builds, 1u);
 
-  const Response second = request_once(options.socket_path, synth_request(stg));
+  const Response second = request_once(socket, synth_request(stg));
   EXPECT_EQ(second.exit_code, 0);
   EXPECT_EQ(strip_timing(second.output), strip_timing(first.output));
 
@@ -320,8 +530,9 @@ TEST(Server, SecondRequestOnAWarmDaemonIsAPureMemoryHit) {
 
 TEST(Server, CheckReportsItsOwnRequestsCacheDelta) {
   TempDir dir("check");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   RunningServer running(options);
 
   Request request;
@@ -330,7 +541,7 @@ TEST(Server, CheckReportsItsOwnRequestsCacheDelta) {
 
   // Cold daemon: the verdict matches a direct `punt check` (fresh cache):
   // one build, one reuse from the embedded synthesis run.
-  const Response cold = request_once(options.socket_path, request);
+  const Response cold = request_once(socket, request);
   EXPECT_EQ(cold.exit_code, 0);
   EXPECT_NE(cold.output.find("complete state coding       : yes"), std::string::npos)
       << cold.output;
@@ -339,7 +550,7 @@ TEST(Server, CheckReportsItsOwnRequestsCacheDelta) {
 
   // Warm daemon: the same request truthfully reports zero builds — the
   // line is this request's delta, not the daemon's lifetime counters.
-  const Response warm = request_once(options.socket_path, request);
+  const Response warm = request_once(socket, request);
   EXPECT_EQ(warm.exit_code, 0);
   EXPECT_NE(warm.output.find("built 0 time(s), reused 2 time(s)"), std::string::npos)
       << warm.output;
@@ -347,37 +558,38 @@ TEST(Server, CheckReportsItsOwnRequestsCacheDelta) {
 
 TEST(Server, SynthesisFailuresAnswerLikeTheCliAndKeepServing) {
   TempDir dir("csc");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   RunningServer running(options);
 
   // vme has a genuine CSC conflict: the daemon answers exit 2 with the
   // CLI's diagnostic — and must survive to serve the next request.
-  const Response conflicted =
-      request_once(options.socket_path, synth_request(stg::make_vme_bus()));
+  const Response conflicted = request_once(socket, synth_request(stg::make_vme_bus()));
   EXPECT_EQ(conflicted.exit_code, 2);
   EXPECT_NE(conflicted.log.find("CSC conflict"), std::string::npos) << conflicted.log;
 
   Request broken;
   broken.op = Op::Synth;
   broken.g_text = "this is not a .g file";
-  const Response unparseable = request_once(options.socket_path, broken);
+  const Response unparseable = request_once(socket, broken);
   EXPECT_EQ(unparseable.exit_code, 2);
   EXPECT_NE(unparseable.log.find("error: "), std::string::npos) << unparseable.log;
 
-  const Response pong = request_once(options.socket_path, Request{});
+  const Response pong = request_once(socket, Request{});
   EXPECT_EQ(pong.output, "pong\n");
 }
 
 TEST(Server, MalformedAndOversizedFramesDoNotKillTheServer) {
   TempDir dir("frames");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   RunningServer running(options);
 
   {
     // Valid frame, invalid JSON: a protocol refusal, connection closed.
-    const int fd = connect_raw(options.socket_path);
+    const int fd = connect_raw(socket);
     write_frame(fd, "this is not JSON");
     std::string payload;
     ASSERT_EQ(read_frame(fd, payload), FrameStatus::Ok);
@@ -388,7 +600,7 @@ TEST(Server, MalformedAndOversizedFramesDoNotKillTheServer) {
   }
   {
     // Oversized length prefix: refused without buffering the body.
-    const int fd = connect_raw(options.socket_path);
+    const int fd = connect_raw(socket);
     const std::uint32_t huge = kMaxFrameBytes + 7;
     const unsigned char prefix[4] = {
         static_cast<unsigned char>(huge & 0xFF),
@@ -406,18 +618,19 @@ TEST(Server, MalformedAndOversizedFramesDoNotKillTheServer) {
   }
   {
     // A peer that connects and vanishes costs the server nothing.
-    const int fd = connect_raw(options.socket_path);
+    const int fd = connect_raw(socket);
     ::close(fd);
   }
   // After all three abuses, an honest client still gets served.
-  const Response pong = request_once(options.socket_path, Request{});
+  const Response pong = request_once(socket, Request{});
   EXPECT_EQ(pong.output, "pong\n");
 }
 
 TEST(Server, ClientsInOneWindowFuseIntoOneUnionBatch) {
   TempDir dir("fuse");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   options.jobs = 2;
   options.batch_window_ms = 1000;  // generous: absorbs CI scheduling skew
   RunningServer running(options);
@@ -437,7 +650,7 @@ TEST(Server, ClientsInOneWindowFuseIntoOneUnionBatch) {
   for (std::size_t i = 0; i < stgs.size(); ++i) {
     clients.emplace_back([&, i] {
       try {
-        got[i] = request_once(options.socket_path, synth_request(stgs[i]));
+        got[i] = request_once(socket, synth_request(stgs[i]));
       } catch (const Error&) {
         failures.fetch_add(1);
       }
@@ -464,16 +677,16 @@ TEST(Server, ClientsInOneWindowFuseIntoOneUnionBatch) {
 
 TEST(Server, OverloadedSynthRequestsAreShedAtTheSocket) {
   TempDir dir("shed");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   options.batch_window_ms = 30000;  // park admitted work until the drain
   options.max_queue = 1;
   RunningServer running(options);
 
   // Client A fills the queue (blocks until the shutdown drain flushes it).
   std::thread client_a([&] {
-    const Response response =
-        request_once(options.socket_path, synth_request(stg::make_paper_fig1()));
+    const Response response = request_once(socket, synth_request(stg::make_paper_fig1()));
     EXPECT_EQ(response.exit_code, 0) << response.log;
   });
   while (running.server.batcher_stats().admitted == 0) {
@@ -483,7 +696,7 @@ TEST(Server, OverloadedSynthRequestsAreShedAtTheSocket) {
   // Client B is refused with the protocol-level "overloaded" error — which
   // the Client surfaces as a throw, exactly like any other refusal.
   try {
-    (void)request_once(options.socket_path, synth_request(stg::make_paper_fig1()));
+    (void)request_once(socket, synth_request(stg::make_paper_fig1()));
     FAIL() << "the second synth request must be shed";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("overloaded"), std::string::npos) << e.what();
@@ -492,7 +705,7 @@ TEST(Server, OverloadedSynthRequestsAreShedAtTheSocket) {
 
   // A non-synth request still gets through: shedding is admission control
   // on synthesis work, not a dead daemon.
-  EXPECT_EQ(request_once(options.socket_path, Request{}).output, "pong\n");
+  EXPECT_EQ(request_once(socket, Request{}).output, "pong\n");
 
   // The shutdown drain completes A's admitted request.
   running.server.request_stop();
@@ -503,20 +716,21 @@ TEST(Server, OverloadedSynthRequestsAreShedAtTheSocket) {
 
 TEST(Server, CacheStatsReportsFusionCounters) {
   TempDir dir("fstats");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";  // default 2ms window
+  options.endpoint = unix_endpoint(socket);  // default 2ms window
   RunningServer running(options);
 
   const Stg stg = stg::make_paper_fig1();
-  (void)request_once(options.socket_path, synth_request(stg));
-  (void)request_once(options.socket_path, synth_request(stg));
+  (void)request_once(socket, synth_request(stg));
+  (void)request_once(socket, synth_request(stg));
 
   Request stats_request;
   stats_request.op = Op::CacheStats;
-  const Response stats = request_once(options.socket_path, stats_request);
+  const Response stats = request_once(socket, stats_request);
   const util::JsonValue root = util::parse_json(stats.output);
   EXPECT_EQ(util::json_string(root, "schema", "stats"), "punt-serve-stats");
-  EXPECT_EQ(util::json_count(root, "version", "stats"), 2u);
+  EXPECT_EQ(util::json_count(root, "version", "stats"), 3u);
   EXPECT_EQ(util::json_number(root, "batch_window_ms", "stats"), 2.0);
   EXPECT_GE(util::json_count(root, "admitted", "stats"), 2u);
   EXPECT_GE(util::json_count(root, "batches", "stats"), 1u);
@@ -530,22 +744,22 @@ TEST(Server, CacheStatsReportsFusionCounters) {
 
 TEST(Server, ZeroWindowDisablesFusionButKeepsTheStatsSchema) {
   TempDir dir("nofuse");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   options.batch_window_ms = 0;  // the pre-fusion daemon
   RunningServer running(options);
 
-  const Response synth =
-      request_once(options.socket_path, synth_request(stg::make_paper_fig1()));
+  const Response synth = request_once(socket, synth_request(stg::make_paper_fig1()));
   EXPECT_EQ(synth.exit_code, 0);
 
   Request stats_request;
   stats_request.op = Op::CacheStats;
-  const Response stats = request_once(options.socket_path, stats_request);
+  const Response stats = request_once(socket, stats_request);
   const util::JsonValue root = util::parse_json(stats.output);
   // Same schema, fusion counters pinned to zero — consumers need not care
   // how the daemon was started.
-  EXPECT_EQ(util::json_count(root, "version", "stats"), 2u);
+  EXPECT_EQ(util::json_count(root, "version", "stats"), 3u);
   EXPECT_EQ(util::json_number(root, "batch_window_ms", "stats"), 0.0);
   EXPECT_EQ(util::json_count(root, "batches", "stats"), 0u);
   EXPECT_EQ(util::json_count(root, "fused_requests", "stats"), 0u);
@@ -554,15 +768,16 @@ TEST(Server, ZeroWindowDisablesFusionButKeepsTheStatsSchema) {
 
 TEST(Server, GracefulShutdownDrainsInFlightWork) {
   TempDir dir("drain");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
   options.jobs = 2;
   Server server(options);
   server.start();
   std::thread serving([&server] { server.serve(); });
 
   // Client A: send a synthesis request but do not read the response yet.
-  const int fd = connect_raw(options.socket_path);
+  const int fd = connect_raw(socket);
   write_frame(fd, to_json(synth_request(stg::make_muller_pipeline(4))));
   // Deterministically order the shutdown *behind* A being in flight.
   while (server.active_connections() == 0) {
@@ -572,7 +787,7 @@ TEST(Server, GracefulShutdownDrainsInFlightWork) {
   // Client B: shutdown.  The ack arrives before the drain completes.
   Request shutdown;
   shutdown.op = Op::Shutdown;
-  const Response ack = request_once(options.socket_path, shutdown);
+  const Response ack = request_once(socket, shutdown);
   EXPECT_EQ(ack.exit_code, 0);
 
   // A's response must still arrive complete: the drain waits for it.
@@ -585,26 +800,170 @@ TEST(Server, GracefulShutdownDrainsInFlightWork) {
   ::close(fd);
 
   serving.join();  // serve() returned: drained and unlinked
-  EXPECT_FALSE(fs::exists(options.socket_path));
-  EXPECT_THROW(Client probe(options.socket_path), Error);
+  EXPECT_FALSE(fs::exists(socket));
+  EXPECT_THROW(Client probe(socket), Error);
 }
 
 TEST(Server, StaleSocketFileIsReclaimedAndLiveOneIsRefused) {
   TempDir dir("stale");
+  const std::string socket = dir.str() + "/punt.sock";
   ServerOptions options;
-  options.socket_path = dir.str() + "/punt.sock";
+  options.endpoint = unix_endpoint(socket);
 
   {
     // A dead file at the path (a crashed server's leftover): reclaimed.
-    std::ofstream(options.socket_path) << "";
-    ASSERT_TRUE(fs::exists(options.socket_path));
+    std::ofstream(socket) << "";
+    ASSERT_TRUE(fs::exists(socket));
     RunningServer running(options);
-    const Response pong = request_once(options.socket_path, Request{});
+    const Response pong = request_once(socket, Request{});
     EXPECT_EQ(pong.output, "pong\n");
 
     // A *live* server on the path: a second one must refuse to start.
     Server rival(options);
     EXPECT_THROW(rival.start(), Error);
+  }
+}
+
+// --- TCP transport ------------------------------------------------------------
+
+TEST(Server, TcpListenerWithoutATokenRefusesToStart) {
+  ServerOptions options;
+  options.endpoint = tcp_endpoint("127.0.0.1", 0);
+  Server server(options);
+  try {
+    server.start();
+    FAIL() << "an unauthenticated TCP listener must be refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--token-file"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Server, TcpClientMatchesUnixClientByteForByte) {
+  TempDir dir("tcp-parity");
+  const std::string socket = dir.str() + "/punt.sock";
+  ServerOptions unix_options;
+  unix_options.endpoint = unix_endpoint(socket);
+  RunningServer unix_running(unix_options);
+
+  ServerOptions tcp_options;
+  tcp_options.endpoint = tcp_endpoint("127.0.0.1", 0);  // ephemeral port
+  tcp_options.token = "tcp-parity-token";
+  RunningServer tcp_running(tcp_options);
+  const Endpoint bound = tcp_running.server.endpoint();
+  EXPECT_GT(bound.port, 0) << "open() must learn the kernel-assigned port";
+
+  const Stg stg = stg::make_paper_fig1();
+  const Response via_unix = request_once(socket, synth_request(stg));
+  const Response via_tcp = request_once(bound, tcp_options.token, synth_request(stg));
+  EXPECT_EQ(via_unix.exit_code, 0);
+  EXPECT_EQ(via_tcp.exit_code, 0);
+  EXPECT_EQ(strip_timing(via_tcp.output), strip_timing(via_unix.output))
+      << "the TCP transport altered the response bytes";
+  EXPECT_EQ(strip_timing(via_tcp.output), direct_synth_output(stg));
+}
+
+TEST(Server, TcpRequiresAuthAndCountsRejects) {
+  ServerOptions options;
+  options.endpoint = tcp_endpoint("127.0.0.1", 0);
+  options.token = "right-token";
+  RunningServer running(options);
+  const Endpoint bound = running.server.endpoint();
+
+  // Wrong token: refused at the handshake, surfaced as a client-side throw.
+  try {
+    (void)request_once(bound, "wrong-token", Request{});
+    FAIL() << "a wrong token must be refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("refused"), std::string::npos) << e.what();
+  }
+  // Missing token: the client still answers the challenge (with an
+  // empty-key MAC), so this is a server-side refusal too, not a hang.
+  EXPECT_THROW((void)request_once(bound, "", Request{}), Error);
+
+  // The refusal frame races the server-side counter bump; wait it out.
+  while (running.server.auth_failures() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The right token gets through, and stats v3 carries the reject counters.
+  Request stats_request;
+  stats_request.op = Op::CacheStats;
+  const Response stats = request_once(bound, options.token, stats_request);
+  const util::JsonValue root = util::parse_json(stats.output);
+  EXPECT_EQ(util::json_count(root, "version", "stats"), 3u);
+  EXPECT_EQ(util::json_string(root, "transport", "stats"), "tcp");
+  EXPECT_EQ(util::json_string(root, "listen", "stats"), bound.describe());
+  EXPECT_EQ(util::json_count(root, "auth_failures", "stats"), 2u);
+  EXPECT_GE(util::json_count(root, "connections", "stats"), 3u);
+}
+
+TEST(Server, TcpHandshakeTimeoutFreesTheHandler) {
+  ServerOptions options;
+  options.endpoint = tcp_endpoint("127.0.0.1", 0);
+  options.token = "t";
+  options.handshake_timeout_seconds = 0.2;
+  RunningServer running(options);
+
+  // Connect and say nothing: the server must expire the handshake instead
+  // of parking a handler thread on a silent off-host peer forever.
+  const int fd = connect_endpoint(running.server.endpoint());
+  while (running.server.auth_failures() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // The expiry is delivered as an unauthorized refusal before the close.
+  std::string payload;
+  ASSERT_EQ(read_frame(fd, payload), FrameStatus::Ok);  // the challenge
+  ASSERT_EQ(read_frame(fd, payload), FrameStatus::Ok);  // the refusal
+  const Response refusal = response_from_json(payload);
+  EXPECT_FALSE(refusal.ok);
+  EXPECT_NE(refusal.error.find("deadline"), std::string::npos) << refusal.error;
+  ::close(fd);
+
+  // An honest client is still served afterwards.
+  EXPECT_EQ(request_once(running.server.endpoint(), "t", Request{}).output, "pong\n");
+}
+
+TEST(Server, TcpIdleTimeoutClosesAQuietConnection) {
+  ServerOptions options;
+  options.endpoint = tcp_endpoint("127.0.0.1", 0);
+  options.token = "t";
+  options.idle_timeout_seconds = 0.2;
+  RunningServer running(options);
+
+  Client client(running.server.endpoint(), "t");
+  EXPECT_EQ(client.request(Request{}).output, "pong\n");  // inside the window
+
+  // Then go quiet past the deadline: the daemon counts the expiry, sends an
+  // explanatory refusal and closes; the next request on this connection
+  // surfaces that as a throw.
+  while (running.server.idle_timeouts() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_THROW((void)client.request(Request{}), Error);
+
+  // A fresh connection is served fine — the deadline is per connection.
+  EXPECT_EQ(request_once(running.server.endpoint(), "t", Request{}).output, "pong\n");
+}
+
+TEST(Server, SecondTcpServerOnTheSamePortIsRefused) {
+  ServerOptions options;
+  options.endpoint = tcp_endpoint("127.0.0.1", 0);
+  options.token = "t";
+  RunningServer running(options);
+
+  // The kernel arbitrates TCP ownership: binding the taken port must fail
+  // even though no lock file exists for this transport.
+  ServerOptions rival_options;
+  rival_options.endpoint = running.server.endpoint();
+  rival_options.token = "t";
+  Server rival(rival_options);
+  try {
+    rival.start();
+    FAIL() << "two daemons cannot share one TCP port";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot listen"), std::string::npos)
+        << e.what();
   }
 }
 

@@ -24,23 +24,29 @@
 //                                  combine per-shard JSON reports into the
 //                                  full Table-1 table, verifying that the
 //                                  shards cover the registry exactly once
-//   punt bench serve [--connect=<socket>] [--clients=K] [--duration=S]
+//   punt bench serve [--connect=<endpoint>] [--listen=tcp[://addr:port]]
+//                    [--token-file=<file>] [--clients=K] [--duration=S]
 //                    [--jobs=N] [--batch-window=MS] [--max-queue=N]
 //                    [--no-warmup] [--json=<file>]
 //                                  closed-loop load generator against a serve
 //                                  daemon (self-spawned in-process unless
-//                                  --connect): p50/p95/p99 latency,
+//                                  --connect; --listen=tcp self-spawns over
+//                                  loopback TCP with a throwaway token, so
+//                                  the latency gate covers the network
+//                                  transport): p50/p95/p99 latency,
 //                                  throughput, fused-batch histogram, shed
 //                                  count; --json writes the punt-serve-bench
 //                                  report
 //   punt cache stats --model-cache-dir=<dir>
 //                                  inventory the on-disk model cache as JSON
-//   punt cache stats --connect=<socket>
+//   punt cache stats --connect=<endpoint>
 //                                  a running daemon's resident cache counters
 //   punt cache purge --model-cache-dir=<dir>
 //                                  delete every persisted model in the dir
-//   punt serve --socket=<path> [--jobs=N] [--model-cache-dir=<dir>]
+//   punt serve (--socket=<path> | --listen=tcp://<addr>:<port>
+//              --token-file=<file>) [--jobs=N] [--model-cache-dir=<dir>]
 //              [--batch-window=MS] [--max-queue=N] [--send-timeout=S]
+//              [--handshake-timeout=S] [--idle-timeout=S]
 //                                  run the warm-model daemon: one resident
 //                                  ModelCache + thread pool across requests;
 //                                  concurrent synth requests arriving within
@@ -49,14 +55,20 @@
 //                                  --max-queue is shed with an "overloaded"
 //                                  refusal; SIGTERM (or a client
 //                                  `punt shutdown`) drains admitted work and
-//                                  exits cleanly
-//   punt synth <file.g> --connect=<socket> [synth flags]
-//   punt check <file.g> --connect=<socket>
+//                                  exits cleanly.  A TCP listener requires
+//                                  --token-file: every TCP connection must
+//                                  pass an HMAC-SHA256 challenge–response
+//                                  over the shared token before its first
+//                                  request (Unix sockets skip the handshake)
+//   punt synth <file.g> --connect=<endpoint> [synth flags]
+//   punt check <file.g> --connect=<endpoint>
 //                                  delegate to the daemon; the result (and
 //                                  the per-request hit/rebuild summary, on
-//                                  stderr) comes back over the socket
-//   punt ping --connect=<socket>   daemon liveness probe
-//   punt shutdown --connect=<socket>
+//                                  stderr) comes back over the socket.
+//                                  <endpoint> is a Unix socket path or
+//                                  tcp://host:port (with --token-file)
+//   punt ping --connect=<endpoint> daemon liveness probe
+//   punt shutdown --connect=<endpoint>
 //                                  ask the daemon to drain and exit
 //
 // --model-cache-dir persists the phase-1 semantic models (unfolding segment
@@ -97,6 +109,7 @@
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
 #include "src/server/client.hpp"
+#include "src/server/endpoint.hpp"
 #include "src/server/protocol.hpp"
 #include "src/server/server.hpp"
 #include "src/server/service.hpp"
@@ -108,6 +121,7 @@
 #include "src/unfolding/dot.hpp"
 #include "src/unfolding/unfolding.hpp"
 #include "src/util/error.hpp"
+#include "src/util/hmac.hpp"
 #include "src/util/json.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/task_graph.hpp"
@@ -129,15 +143,18 @@ int usage() {
                "                 [--report=json] [--trace-schedule=<file>]\n"
                "                 [--model-cache-dir=<dir>]\n"
                "  punt bench merge <report.json...>\n"
-               "  punt bench serve [--connect=<socket>] [--clients=K] [--duration=S]\n"
+               "  punt bench serve [--connect=<endpoint>] [--listen=tcp[://addr:port]]\n"
+               "                   [--token-file=<file>] [--clients=K] [--duration=S]\n"
                "                   [--jobs=N] [--batch-window=MS] [--max-queue=N]\n"
                "                   [--no-warmup] [--json=<file>]\n"
-               "  punt cache stats --model-cache-dir=<dir> | --connect=<socket>\n"
+               "  punt cache stats --model-cache-dir=<dir> | --connect=<endpoint>\n"
                "  punt cache purge --model-cache-dir=<dir>\n"
-               "  punt serve --socket=<path> [--jobs=N] [--model-cache-dir=<dir>]\n"
+               "  punt serve (--socket=<path> | --listen=tcp://<addr>:<port>\n"
+               "             --token-file=<file>) [--jobs=N] [--model-cache-dir=<dir>]\n"
                "             [--batch-window=MS] [--max-queue=N] [--send-timeout=S]\n"
-               "  punt ping --connect=<socket>\n"
-               "  punt shutdown --connect=<socket>\n"
+               "             [--handshake-timeout=S] [--idle-timeout=S]\n"
+               "  punt ping --connect=<endpoint>\n"
+               "  punt shutdown --connect=<endpoint>\n"
                "(--jobs: worker threads; 0 = one per hardware thread)\n"
                "(--batch-window: serve-mode fusion window in ms; synth requests\n"
                " arriving together run as ONE union task graph; 0 = no fusion)\n"
@@ -150,7 +167,9 @@ int usage() {
                "(--model-cache-dir: persist phase-1 semantic models on disk so\n"
                " later invocations sharing the directory skip rebuilding them)\n"
                "(--connect: delegate synth/check to a running `punt serve`\n"
-               " daemon, whose models stay warm in memory across requests)\n");
+               " daemon, whose models stay warm in memory across requests;\n"
+               " a Unix socket path or tcp://host:port — TCP endpoints need\n"
+               " --token-file=<file> holding the daemon's shared auth token)\n");
   return 1;
 }
 
@@ -220,6 +239,19 @@ double parse_seconds(const std::string& value, const char* flag, double max) {
   return seconds;
 }
 
+/// Non-negative seconds (--handshake-timeout/--idle-timeout; 0 = disabled).
+double parse_timeout_seconds(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  const double seconds = std::strtod(value.c_str(), &end);
+  constexpr double kMaxSeconds = 86'400;
+  if (value.empty() || end != value.c_str() + value.size() || !(seconds >= 0) ||
+      seconds > kMaxSeconds) {
+    throw punt::Error(std::string("invalid ") + flag + " value '" + value +
+                      "'; expected seconds in [0, 86400] (0 disables the deadline)");
+  }
+  return seconds;
+}
+
 punt::core::SynthesisOptions parse_options(const std::vector<std::string>& args) {
   punt::core::SynthesisOptions options;
   for (const std::string& arg : args) {
@@ -266,19 +298,72 @@ std::string trace_schedule_path(const std::vector<std::string>& args) {
   return std::string();
 }
 
-/// The payload of `--connect=<socket>`, or empty when absent.
-std::string connect_socket(const std::vector<std::string>& args) {
+/// The payload of `--connect=<endpoint>`, or empty when absent.
+std::string connect_target(const std::vector<std::string>& args) {
   for (const std::string& arg : args) {
     if (arg.rfind("--connect=", 0) == 0) {
-      const std::string path = arg.substr(10);
+      const std::string endpoint = arg.substr(10);
+      if (endpoint.empty()) {
+        throw punt::Error("--connect needs the daemon's endpoint "
+                          "(e.g. --connect=/tmp/punt.sock or "
+                          "--connect=tcp://127.0.0.1:7997)");
+      }
+      return endpoint;
+    }
+  }
+  return std::string();
+}
+
+/// The payload of `--token-file=<file>`, or empty when absent.
+std::string token_file_path(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--token-file=", 0) == 0) {
+      const std::string path = arg.substr(13);
       if (path.empty()) {
-        throw punt::Error("--connect needs the daemon's socket path "
-                          "(e.g. --connect=/tmp/punt.sock)");
+        throw punt::Error("--token-file needs a file path "
+                          "(e.g. --token-file=/etc/punt/token)");
       }
       return path;
     }
   }
   return std::string();
+}
+
+/// The shared auth secret from a token file: its contents with trailing
+/// whitespace stripped (so `echo secret > token` round-trips).  An empty
+/// token is refused — it would make the handshake a formality.
+std::string read_token_file(const std::string& path) {
+  std::string token = read_file(path);
+  while (!token.empty() &&
+         (token.back() == '\n' || token.back() == '\r' || token.back() == ' ' ||
+          token.back() == '\t')) {
+    token.pop_back();
+  }
+  if (token.empty()) {
+    throw punt::Error("token file '" + path + "' is empty; put a shared secret "
+                      "in it (e.g. `head -c 32 /dev/urandom | base64 > " + path + "`)");
+  }
+  return token;
+}
+
+/// The --connect endpoint (parsed) plus the token a TCP endpoint needs.
+struct ConnectTarget {
+  punt::server::Endpoint endpoint;
+  std::string token;
+};
+
+ConnectTarget resolve_connect(const std::string& target,
+                              const std::vector<std::string>& args) {
+  ConnectTarget connect;
+  connect.endpoint = punt::server::parse_endpoint(target);
+  const std::string token_path = token_file_path(args);
+  if (!token_path.empty()) connect.token = read_token_file(token_path);
+  if (connect.endpoint.transport == punt::server::Transport::Tcp &&
+      connect.token.empty()) {
+    throw punt::Error("--connect=" + target + " is a TCP endpoint; pass "
+                      "--token-file=<file> with the daemon's shared auth token");
+  }
+  return connect;
 }
 
 /// The payload of `--model-cache-dir=<dir>`, or empty when absent.
@@ -340,8 +425,9 @@ void dump_trace(const punt::util::TaskTrace& trace, const std::string& path) {
 /// Round-trips `request` and replays the daemon's answer as if the work had
 /// run here: response.output to stdout, response.log (the diagnostic and
 /// the per-request hit/rebuild summary) to stderr, exit code passed through.
-int run_client(const std::string& socket, const punt::server::Request& request) {
-  const punt::server::Response response = punt::server::request_once(socket, request);
+int run_client(const ConnectTarget& target, const punt::server::Request& request) {
+  const punt::server::Response response =
+      punt::server::request_once(target.endpoint, target.token, request);
   std::fputs(response.output.c_str(), stdout);
   std::fputs(response.log.c_str(), stderr);
   return response.exit_code;
@@ -362,7 +448,7 @@ void reject_direct_only_flags(const std::vector<std::string>& args) {
   }
 }
 
-int delegate_synth(const std::string& socket, const std::string& path,
+int delegate_synth(const ConnectTarget& target, const std::string& path,
                    const std::vector<std::string>& args) {
   reject_direct_only_flags(args);
   punt::server::Request request;
@@ -379,21 +465,21 @@ int delegate_synth(const std::string& socket, const std::string& path,
   }
   request.eqn = has_flag(args, "--eqn");
   request.verilog = has_flag(args, "--verilog");
-  return run_client(socket, request);
+  return run_client(target, request);
 }
 
-int delegate_check(const std::string& socket, const std::string& path,
+int delegate_check(const ConnectTarget& target, const std::string& path,
                    const std::vector<std::string>& args) {
   reject_direct_only_flags(args);
   punt::server::Request request;
   request.op = punt::server::Op::Check;
   request.g_text = read_file(path);
-  return run_client(socket, request);
+  return run_client(target, request);
 }
 
 int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
-  const std::string socket = connect_socket(args);
-  if (!socket.empty()) return delegate_synth(socket, path, args);
+  const std::string target = connect_target(args);
+  if (!target.empty()) return delegate_synth(resolve_connect(target, args), path, args);
   const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
   const punt::core::SynthesisOptions options = parse_options(args);
   const std::string trace_path = trace_schedule_path(args);
@@ -424,8 +510,8 @@ int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
 }
 
 int cmd_check(const std::string& path, const std::vector<std::string>& args) {
-  const std::string socket = connect_socket(args);
-  if (!socket.empty()) return delegate_check(socket, path, args);
+  const std::string target = connect_target(args);
+  if (!target.empty()) return delegate_check(resolve_connect(target, args), path, args);
   // The direct path runs the same server::run_check the daemon dispatches
   // to, so `--connect` byte-parity holds by construction: one ModelCache
   // shared between the criteria checks and the embedded CSC synthesis run
@@ -582,9 +668,16 @@ extern "C" void handle_stop_signal(int) {
 
 int cmd_serve(const std::vector<std::string>& args) {
   punt::server::ServerOptions options;
+  std::string socket_path;
+  std::string listen;
+  std::string token_path;
   for (const std::string& arg : args) {
     if (arg.rfind("--socket=", 0) == 0) {
-      options.socket_path = arg.substr(9);
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen = arg.substr(9);
+    } else if (arg.rfind("--token-file=", 0) == 0) {
+      token_path = token_file_path({arg});  // shares the validation
     } else if (arg.rfind("--jobs=", 0) == 0) {
       options.jobs = parse_jobs(arg.substr(7));
     } else if (arg.rfind("--model-cache-dir=", 0) == 0) {
@@ -596,6 +689,12 @@ int cmd_serve(const std::vector<std::string>& args) {
     } else if (arg.rfind("--send-timeout=", 0) == 0) {
       options.send_timeout_seconds = static_cast<long>(
           parse_positive_count(arg.substr(15), "--send-timeout", 3600));
+    } else if (arg.rfind("--handshake-timeout=", 0) == 0) {
+      options.handshake_timeout_seconds =
+          parse_timeout_seconds(arg.substr(20), "--handshake-timeout");
+    } else if (arg.rfind("--idle-timeout=", 0) == 0) {
+      options.idle_timeout_seconds =
+          parse_timeout_seconds(arg.substr(15), "--idle-timeout");
     } else {
       // Strict, unlike the synthesis commands: a daemon started with a
       // typo'd flag would silently serve with the wrong configuration until
@@ -603,9 +702,28 @@ int cmd_serve(const std::vector<std::string>& args) {
       throw punt::Error("unknown punt serve flag '" + arg + "'");
     }
   }
-  if (options.socket_path.empty()) {
-    throw punt::Error("punt serve needs --socket=<path> naming the Unix socket "
-                      "to listen on (e.g. --socket=/tmp/punt.sock)");
+  if (socket_path.empty() == listen.empty()) {
+    throw punt::Error("punt serve needs exactly one of --socket=<path> (Unix "
+                      "socket) or --listen=tcp://<addr>:<port> (authenticated "
+                      "TCP; requires --token-file)");
+  }
+  if (!socket_path.empty()) {
+    options.endpoint = punt::server::unix_endpoint(socket_path);
+  } else {
+    options.endpoint = punt::server::parse_endpoint(listen);
+    if (options.endpoint.transport != punt::server::Transport::Tcp) {
+      throw punt::Error("--listen=" + listen + " is not a tcp:// endpoint; "
+                        "use --socket=<path> for a Unix socket");
+    }
+  }
+  if (!token_path.empty()) options.token = read_token_file(token_path);
+  // An unauthenticated TCP daemon is also refused by Server::start(); the
+  // earlier CLI-level check just gives the flag-shaped diagnostic.
+  if (options.endpoint.transport == punt::server::Transport::Tcp &&
+      options.token.empty()) {
+    throw punt::Error("punt serve --listen=tcp://... requires --token-file=<file> "
+                      "holding the shared auth token (the daemon refuses to "
+                      "serve the network unauthenticated)");
   }
   const double window_ms = options.batch_window_ms;
   punt::server::Server server(std::move(options));
@@ -625,8 +743,13 @@ int cmd_serve(const std::vector<std::string>& args) {
       g_server = nullptr;
     }
   } signal_guard(&server);
-  std::fprintf(stderr, "punt serve: listening on %s, %zu job(s), %s%s%s\n",
-               server.socket_path().c_str(), server.jobs(),
+  const punt::server::Endpoint& bound = server.endpoint();
+  std::fprintf(stderr, "punt serve: listening on %s%s, %zu job(s), %s%s%s\n",
+               bound.describe().c_str(),
+               bound.transport == punt::server::Transport::Tcp
+                   ? " (HMAC-authenticated)"
+                   : "",
+               server.jobs(),
                window_ms > 0
                    ? punt::printf_string("%.1fms fusion window", window_ms).c_str()
                    : "fusion off",
@@ -642,39 +765,40 @@ int cmd_serve(const std::vector<std::string>& args) {
 }
 
 int cmd_ping(const std::vector<std::string>& args) {
-  const std::string socket = connect_socket(args);
-  if (socket.empty()) {
-    throw punt::Error("punt ping needs --connect=<socket> naming the daemon");
+  const std::string target = connect_target(args);
+  if (target.empty()) {
+    throw punt::Error("punt ping needs --connect=<endpoint> naming the daemon");
   }
   punt::server::Request request;
   request.op = punt::server::Op::Ping;
-  return run_client(socket, request);
+  return run_client(resolve_connect(target, args), request);
 }
 
 int cmd_shutdown(const std::vector<std::string>& args) {
-  const std::string socket = connect_socket(args);
-  if (socket.empty()) {
-    throw punt::Error("punt shutdown needs --connect=<socket> naming the daemon");
+  const std::string target = connect_target(args);
+  if (target.empty()) {
+    throw punt::Error("punt shutdown needs --connect=<endpoint> naming the daemon");
   }
   punt::server::Request request;
   request.op = punt::server::Op::Shutdown;
-  const int exit_code = run_client(socket, request);
+  const int exit_code = run_client(resolve_connect(target, args), request);
   std::fprintf(stderr, "server at %s acknowledged shutdown; it drains in-flight "
-               "requests and exits\n", socket.c_str());
+               "requests and exits\n", target.c_str());
   return exit_code;
 }
 
 int cmd_cache(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
-  const std::string socket = connect_socket({args.begin() + 1, args.end()});
-  if (!socket.empty()) {
+  const std::vector<std::string> rest{args.begin() + 1, args.end()};
+  const std::string target = connect_target(rest);
+  if (!target.empty()) {
     if (args[0] != "stats") {
       throw punt::Error("punt cache " + args[0] + " is not served over --connect; "
                         "only `punt cache stats` queries a running daemon");
     }
     punt::server::Request request;
     request.op = punt::server::Op::CacheStats;
-    return run_client(socket, request);
+    return run_client(resolve_connect(target, rest), request);
   }
   const std::string dir = model_cache_dir({args.begin() + 1, args.end()});
   if (dir.empty()) {
@@ -734,11 +858,21 @@ int cmd_bench_serve(const std::vector<std::string>& args) {
   punt::server::ServerOptions daemon;
   daemon.jobs = 0;  // a self-spawned daemon defaults to the hardware width
   std::string connect;
+  std::string listen;
+  std::string token_path;
   std::string json_path;
   bool daemon_flags = false;
   for (const std::string& arg : args) {
     if (arg.rfind("--connect=", 0) == 0) {
       connect = arg.substr(10);
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      // Transport of the *self-spawned* daemon: "tcp" picks loopback with an
+      // ephemeral port and a throwaway token; a full tcp:// endpoint pins
+      // the address.  (Without --listen the private Unix socket of PR 6.)
+      listen = arg.substr(9);
+      daemon_flags = true;
+    } else if (arg.rfind("--token-file=", 0) == 0) {
+      token_path = token_file_path({arg});  // shares the validation
     } else if (arg.rfind("--clients=", 0) == 0) {
       load.clients = parse_positive_count(arg.substr(10), "--clients", 256);
     } else if (arg.rfind("--duration=", 0) == 0) {
@@ -767,21 +901,41 @@ int cmd_bench_serve(const std::vector<std::string>& args) {
   }
   if (!connect.empty() && daemon_flags) {
     throw punt::Error(
-        "--jobs/--batch-window/--max-queue configure the self-spawned daemon; "
-        "with --connect they belong to the already-running `punt serve`");
+        "--jobs/--batch-window/--max-queue/--listen configure the self-spawned "
+        "daemon; with --connect they belong to the already-running `punt serve`");
   }
 
-  // Without --connect, spawn the daemon in-process on a private socket so
+  // Without --connect, spawn the daemon in-process on a private endpoint so
   // one command measures a fresh, correctly-configured server end to end.
   std::unique_ptr<punt::server::Server> server;
   std::thread serve_thread;
   std::exception_ptr serve_error;
   if (connect.empty()) {
-    daemon.socket_path =
-        "/tmp/punt-bench-serve-" + std::to_string(::getpid()) + ".sock";
-    load.socket_path = daemon.socket_path;
+    if (listen.empty()) {
+      daemon.endpoint = punt::server::unix_endpoint(
+          "/tmp/punt-bench-serve-" + std::to_string(::getpid()) + ".sock");
+    } else {
+      // "tcp" shorthand: loopback, kernel-assigned port — the transport-
+      // overhead measurement needs no pinned address.
+      daemon.endpoint = listen == "tcp"
+                            ? punt::server::tcp_endpoint("127.0.0.1", 0)
+                            : punt::server::parse_endpoint(listen);
+      if (daemon.endpoint.transport != punt::server::Transport::Tcp) {
+        throw punt::Error("--listen=" + listen + " is not a tcp endpoint; the "
+                          "self-spawned bench daemon is Unix by default");
+      }
+      // A throwaway token: the daemon lives and dies inside this process,
+      // so the secret never needs to leave it (a --token-file can still pin
+      // one, e.g. to drive the same run from outside).
+      daemon.token = token_path.empty() ? punt::util::random_hex(16)
+                                        : read_token_file(token_path);
+    }
+    load.token = daemon.token;
     server = std::make_unique<punt::server::Server>(daemon);
     server->start();
+    // Connect (and bench) against the *bound* endpoint: for tcp port 0 this
+    // carries the kernel-assigned port.
+    load.endpoint = server->endpoint();
     serve_thread = std::thread([&server, &serve_error] {
       try {
         server->serve();
@@ -792,10 +946,16 @@ int cmd_bench_serve(const std::vector<std::string>& args) {
     std::fprintf(stderr,
                  "punt bench serve: in-process daemon on %s, %zu job(s), "
                  "%.1fms window, queue %zu\n",
-                 server->socket_path().c_str(), server->jobs(),
+                 server->endpoint().describe().c_str(), server->jobs(),
                  daemon.batch_window_ms, daemon.max_queue);
   } else {
-    load.socket_path = connect;
+    load.endpoint = punt::server::parse_endpoint(connect);
+    if (!token_path.empty()) load.token = read_token_file(token_path);
+    if (load.endpoint.transport == punt::server::Transport::Tcp &&
+        load.token.empty()) {
+      throw punt::Error("--connect=" + connect + " is a TCP endpoint; pass "
+                        "--token-file=<file> with the daemon's shared auth token");
+    }
   }
   struct DaemonGuard {
     punt::server::Server* server;
