@@ -139,35 +139,54 @@ std::vector<std::size_t> weighted_shard_positions(const Shard& shard,
         "; use a merged report that covers the whole registry");
   }
 
-  // A failed row's TotTim is meaningless, but weighting it zero would pile
-  // every failed entry onto whichever shard happens to be least loaded — as
-  // "free riders" that each cost real wall-clock to (re)attempt.  Assume a
-  // failed entry costs about as much as a typical successful one: the mean
-  // successful-row weight.  The fallback must be strictly positive — with
+  // A failed row's TotTim is meaningless; flag it non-positive so the raw
+  // overload substitutes the mean-successful-row fallback.
+  for (std::size_t p = 0; p < registry.size(); ++p) {
+    if (failed[p] != 0) weight[p] = 0.0;
+  }
+  return weighted_shard_positions(shard, weight);
+}
+
+std::vector<std::size_t> weighted_shard_positions(const Shard& shard,
+                                                  const std::vector<double>& weights) {
+  const std::size_t registry_size = table1().size();
+  if (weights.size() != registry_size) {
+    throw ValidationError(
+        "weighted_shard_positions: got " + std::to_string(weights.size()) +
+        " weight(s) for a registry of " + std::to_string(registry_size) + " entries");
+  }
+  std::vector<double> weight = weights;
+
+  // An unmeasured (or failed-row) entry weighs zero at this point, but
+  // keeping it zero would pile every such entry onto whichever shard happens
+  // to be least loaded — as "free riders" that each cost real wall-clock to
+  // (re)attempt.  Assume it costs about as much as a typical measured one:
+  // the mean positive weight.  The fallback must be strictly positive — with
   // weight 0 the greedy loop below never changes any shard's load, so every
   // zero-weight entry would chase the same tied-lightest shard; a positive
-  // equal weight makes LPT deal them out round-robin instead (the all-rows-
-  // failed degenerate case becomes an even split, not shard 0 taking all).
-  double ok_total = 0;
-  std::size_t ok_count = 0;
-  for (std::size_t p = 0; p < registry.size(); ++p) {
-    if (failed[p] == 0) {
-      ok_total += weight[p];
-      ++ok_count;
+  // equal weight makes LPT deal them out round-robin instead (the nothing-
+  // measured degenerate case becomes an even split, not shard 0 taking all).
+  double measured_total = 0;
+  std::size_t measured_count = 0;
+  for (std::size_t p = 0; p < registry_size; ++p) {
+    if (weight[p] > 0) {
+      measured_total += weight[p];
+      ++measured_count;
     }
   }
-  double fallback = ok_count == 0 ? 0.0 : ok_total / static_cast<double>(ok_count);
+  double fallback =
+      measured_count == 0 ? 0.0 : measured_total / static_cast<double>(measured_count);
   if (fallback <= 0.0) fallback = 1.0;
-  for (std::size_t p = 0; p < registry.size(); ++p) {
-    if (failed[p] != 0) weight[p] = fallback;
+  for (std::size_t p = 0; p < registry_size; ++p) {
+    if (!(weight[p] > 0)) weight[p] = fallback;
   }
 
   // Greedy longest-processing-time: heaviest entry first (ties on position,
   // so the order is total), onto the least-loaded shard (ties on index).
   // Both tie-breaks make the assignment a pure function of the weights, so
   // the n shard invocations partition the registry exactly once.
-  std::vector<std::size_t> order(registry.size());
-  for (std::size_t p = 0; p < registry.size(); ++p) order[p] = p;
+  std::vector<std::size_t> order(registry_size);
+  for (std::size_t p = 0; p < registry_size; ++p) order[p] = p;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (weight[a] != weight[b]) return weight[a] > weight[b];
     return a < b;

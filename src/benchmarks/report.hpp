@@ -84,6 +84,15 @@ struct Table1Report {
 std::vector<std::size_t> weighted_shard_positions(const Shard& shard,
                                                   const Table1Report& weights);
 
+/// The LPT core of the above, for callers that already hold one weight per
+/// registry position (`punt bench run --weights=<costs.puntledger>` derives
+/// them from the cost ledger's learned per-node estimates).  Non-positive
+/// weights — entries the source has no measurement for — take the mean
+/// positive weight, mirroring the failed-row fallback.  Throws
+/// ValidationError when `weights.size()` disagrees with the registry.
+std::vector<std::size_t> weighted_shard_positions(const Shard& shard,
+                                                  const std::vector<double>& weights);
+
 /// Builds the report for a batch run over the registry entries of `shard`
 /// (batch entry k corresponds to the k-th shard position).  Throws
 /// ValidationError when the batch size does not match the shard.

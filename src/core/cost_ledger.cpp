@@ -1,0 +1,259 @@
+#include "src/core/cost_ledger.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <utility>
+
+#include "src/core/model_cache.hpp"
+#include "src/util/binio.hpp"
+
+namespace punt::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[] = "PUNTLEDG";  // 8 bytes, no terminator on disk
+constexpr std::size_t kMagicSize = 8;
+// A ledger holds a handful of keys per benchmark entry; even a registry of
+// thousands stays far below this.  A corrupt count must not drive reserve().
+constexpr std::uint64_t kMaxEntries = 1u << 22;
+
+/// Canonical text of the derivation-only options — the fields that change
+/// what phase-2/3 nodes *cost* but not what the model is.  Appended to the
+/// ModelCache key before hashing, so e.g. RsLatch and ComplexGate runs of one
+/// STG learn separate derive/minimize costs while sharing the model entry.
+std::string derivation_fingerprint(const SynthesisOptions& options) {
+  std::ostringstream text;
+  text << "m=" << static_cast<int>(options.method)
+       << ";a=" << static_cast<int>(options.architecture)
+       << ";p=" << static_cast<int>(options.approx_policy)
+       << ";min=" << (options.minimize ? 1 : 0)
+       << ";cut=" << options.cut_budget;
+  return text.str();
+}
+
+}  // namespace
+
+std::string CostLedger::path_in(const std::string& cache_dir) {
+  return (fs::path(cache_dir) / kFileName).string();
+}
+
+std::uint64_t CostLedger::model_digest(const stg::Stg& stg, const SynthesisOptions& options) {
+  return model_digest_from_key(ModelCache::key_of(stg, options));
+}
+
+std::uint64_t CostLedger::entry_digest(const stg::Stg& stg, const SynthesisOptions& options) {
+  return entry_digest_from_key(ModelCache::key_of(stg, options), options);
+}
+
+std::uint64_t CostLedger::model_digest_from_key(std::string_view model_key) {
+  return util::fnv1a64(model_key);
+}
+
+std::uint64_t CostLedger::entry_digest_from_key(std::string_view model_key,
+                                                const SynthesisOptions& options) {
+  std::string text(model_key);
+  text += '\x1f';
+  text += derivation_fingerprint(options);
+  return util::fnv1a64(text);
+}
+
+std::string CostLedger::key_of(std::string_view kind, std::uint64_t digest,
+                               std::string_view signal) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(digest));
+  std::string key;
+  key.reserve(kind.size() + 1 + 16 + (signal.empty() ? 0 : signal.size() + 1));
+  key.append(kind);
+  key.push_back(':');
+  key.append(hex);
+  if (!signal.empty()) {
+    key.push_back(':');
+    key.append(signal);
+  }
+  return key;
+}
+
+double CostLedger::estimate(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.estimate_misses;
+    return 0;
+  }
+  ++stats_.estimate_hits;
+  return it->second.ewma_seconds;
+}
+
+void CostLedger::observe(const std::string& key, double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[key];
+  if (entry.samples == 0) {
+    entry.ewma_seconds = seconds;
+  } else {
+    entry.ewma_seconds = kAlpha * seconds + (1 - kAlpha) * entry.ewma_seconds;
+  }
+  ++entry.samples;
+  ++stats_.observations;
+}
+
+double CostLedger::entry_estimate(const stg::Stg& stg, const SynthesisOptions& options) const {
+  const std::uint64_t model = model_digest(stg, options);
+  const std::uint64_t entry = entry_digest(stg, options);
+  double total = estimate(key_of("model", model));
+  for (const stg::SignalId signal : stg.non_input_signals()) {
+    const std::string& name = stg.signal_name(signal);
+    total += estimate(key_of("derive", entry, name));
+    total += estimate(key_of("minimize", entry, name));
+  }
+  return total;
+}
+
+std::size_t CostLedger::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+CostLedgerStats CostLedger::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CostLedgerStats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+void CostLedger::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = CostLedgerStats{};
+}
+
+std::string CostLedger::serialize() const {
+  // Keys are emitted sorted so the image is a deterministic function of the
+  // table contents — byte-identical saves for equal tables, which keeps the
+  // racing-writers story simple (any complete image is as good as another).
+  std::map<std::string, Entry> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted.insert(entries_.begin(), entries_.end());
+  }
+  util::BinaryWriter payload;
+  payload.u64(sorted.size());
+  for (const auto& [key, entry] : sorted) {
+    payload.str(key);
+    payload.f64(entry.ewma_seconds);
+    payload.u64(entry.samples);
+  }
+  util::BinaryWriter image;
+  image.raw(std::string_view(kMagic, kMagicSize));
+  image.u32(kFormatVersion);
+  image.raw(payload.data());
+  image.u64(util::fnv1a64(payload.data()));
+  return image.take();
+}
+
+bool CostLedger::is_ledger_image(std::string_view image) {
+  return image.size() >= kMagicSize &&
+         image.substr(0, kMagicSize) == std::string_view(kMagic, kMagicSize);
+}
+
+bool CostLedger::merge_image(std::string_view image) {
+  if (!is_ledger_image(image)) return false;
+  try {
+    util::BinaryReader header(image.substr(kMagicSize));
+    if (header.u32() != kFormatVersion) return false;
+    // Everything between the version and the trailing checksum is payload.
+    const std::size_t payload_size = header.remaining() < sizeof(std::uint64_t)
+                                         ? 0
+                                         : header.remaining() - sizeof(std::uint64_t);
+    const std::string_view payload = image.substr(kMagicSize + 4, payload_size);
+    util::BinaryReader trailer(image.substr(kMagicSize + 4 + payload_size));
+    if (trailer.u64() != util::fnv1a64(payload)) return false;
+
+    util::BinaryReader reader(payload);
+    const std::size_t count = reader.count(kMaxEntries, "cost ledger entries");
+    std::vector<std::pair<std::string, Entry>> loaded;
+    loaded.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string key = reader.str();
+      Entry entry;
+      entry.ewma_seconds = reader.f64();
+      entry.samples = reader.u64();
+      if (!std::isfinite(entry.ewma_seconds) || entry.ewma_seconds < 0) return false;
+      loaded.emplace_back(std::move(key), entry);
+    }
+    if (!reader.at_end()) return false;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, entry] : loaded) {
+      stats_.observations += entry.samples;
+      entries_[std::move(key)] = entry;
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;  // truncated payload — BinaryReader threw ParseError
+  }
+}
+
+bool CostLedger::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+  return merge_image(buffer.str());
+}
+
+bool CostLedger::save(const std::string& path) const {
+  const std::string image = serialize();
+  try {
+    const fs::path final_path(path);
+    if (final_path.has_parent_path()) {
+      std::error_code ec;
+      fs::create_directories(final_path.parent_path(), ec);
+    }
+    // Unique temp name (pid + random token + sequence) so concurrent shards
+    // writing into one directory never collide on the staging file; rename
+    // is atomic within the filesystem, so readers only ever see a complete
+    // image and the last writer wins.
+    static std::atomic<std::uint64_t> sequence{0};
+    std::random_device rd;
+    char suffix[64];
+    std::snprintf(suffix, sizeof suffix, ".tmp-%lu-%08x-%llu",
+                  static_cast<unsigned long>(::getpid()), static_cast<unsigned>(rd()),
+                  static_cast<unsigned long long>(sequence.fetch_add(1)));
+    const fs::path temp_path = final_path.string() + suffix;
+
+    {
+      std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+      if (!out) return false;
+      out.write(image.data(), static_cast<std::streamsize>(image.size()));
+      out.flush();
+      if (!out.good()) {
+        out.close();
+        std::error_code ec;
+        fs::remove(temp_path, ec);
+        return false;
+      }
+    }
+    std::error_code ec;
+    fs::rename(temp_path, final_path, ec);
+    if (ec) {
+      fs::remove(temp_path, ec);
+      return false;
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace punt::core

@@ -1,0 +1,157 @@
+// CostLedger — persistent measured per-node costs driving dispatch order.
+//
+// Every synthesis run already measures the thread-CPU cost of each task-graph
+// node in its TaskTrace; until now that signal was discarded when the run
+// ended.  The ledger keeps it: an EWMA cost table keyed by stable node
+// identity, folded after every run and consulted before the next one, so the
+// executor can dispatch ready nodes longest-processing-time-first instead of
+// by static priority alone.  The same table doubles as a weights source for
+// `punt bench run --weights` greedy-LPT sharding — one artifact tunes both
+// intra-run dispatch and cross-shard placement.
+//
+// Keying.  A node's identity must survive process restarts and be immune to
+// node-id renumbering across differently-shaped batches, so it is derived
+// from *what the node computes*, not where it sat in a graph:
+//
+//   model    nodes: "model:<model digest>"            (shared by arch sweeps,
+//                                                      like the ModelCache key)
+//   derive   nodes: "derive:<entry digest>:<signal>"
+//   minimize nodes: "minimize:<entry digest>:<signal>"
+//
+// where <model digest> is fnv1a64 of the ModelCache key (canonical `.g` text
+// + model-options fingerprint) and <entry digest> additionally folds in the
+// derivation-only options (method resolution, architecture, minimisation) —
+// phase-2/3 costs genuinely differ across those, phase-1 cost does not.
+//
+// Persistence.  One `costs.puntledger` file living inside the model-cache
+// directory (so the existing --model-cache-dir plumbing, CI actions/cache
+// step and purge tooling cover it):
+//
+//   "PUNTLEDG"          8-byte magic
+//   u32 format version  (kFormatVersion; bumped on any layout change)
+//   payload             u64 entry count; per entry: key, f64 EWMA seconds,
+//                       u64 observation count
+//   u64 checksum        FNV-1a over the payload bytes
+//
+// load() never throws: a missing, truncated, corrupt or version-mismatched
+// file degrades to an empty ledger (the next run simply re-learns costs).
+// save() publishes via a unique temp file + atomic rename — the ModelStore
+// discipline — so racing CI shards sharing a directory each publish a
+// complete image and the last writer wins.
+//
+// The estimates only *order* work; they never change what any node computes,
+// so results stay bit-identical whatever the ledger holds (tested).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/core/synthesis.hpp"
+#include "src/stg/stg.hpp"
+
+namespace punt::core {
+
+struct CostLedgerStats {
+  std::size_t entries = 0;       // distinct keys resident
+  std::size_t observations = 0;  // observe() calls folded in (incl. loaded)
+  std::size_t estimate_hits = 0;    // estimate() calls that found a key
+  std::size_t estimate_misses = 0;  // estimate() calls that did not
+};
+
+/// Thread-safe EWMA cost table with an atomic on-disk image.
+class CostLedger {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr const char* kFileName = "costs.puntledger";
+  /// EWMA smoothing: cost' = alpha * sample + (1 - alpha) * cost.  0.4 tracks
+  /// drift (espresso cost changes when the spec changes) within ~3 runs while
+  /// still damping scheduler-noise spikes.
+  static constexpr double kAlpha = 0.4;
+
+  CostLedger() = default;
+  CostLedger(const CostLedger&) = delete;
+  CostLedger& operator=(const CostLedger&) = delete;
+
+  /// "<dir>/costs.puntledger" — where the ledger lives beside a model cache.
+  static std::string path_in(const std::string& cache_dir);
+
+  /// Digest of the phase-1 identity: fnv1a64 over the ModelCache key, so an
+  /// architecture sweep shares one model-cost entry exactly as it shares one
+  /// cached model.
+  static std::uint64_t model_digest(const stg::Stg& stg, const SynthesisOptions& options);
+
+  /// Digest of the per-entry derivation identity: the model digest extended
+  /// with the derivation-only options (method, architecture, minimisation) —
+  /// the fields that change what derive/minimize nodes cost.
+  static std::uint64_t entry_digest(const stg::Stg& stg, const SynthesisOptions& options);
+
+  /// The digests above from a precomputed ModelCache key: the batch front
+  /// end already serialises every entry's STG for in-batch dedup, and
+  /// re-deriving the key here would repeat that write_g per entry.
+  static std::uint64_t model_digest_from_key(std::string_view model_key);
+  static std::uint64_t entry_digest_from_key(std::string_view model_key,
+                                             const SynthesisOptions& options);
+
+  /// Key text for one node ("kind:digest" or "kind:digest:signal").
+  static std::string key_of(std::string_view kind, std::uint64_t digest,
+                            std::string_view signal = {});
+
+  /// The current EWMA estimate for `key`, or 0 when the ledger has never
+  /// observed it (an unknown node keeps the static band order).
+  double estimate(const std::string& key) const;
+
+  /// Folds one measured cost (seconds) into the key's EWMA.  Negative or
+  /// non-finite samples are ignored — a corrupted clock must not poison the
+  /// table.
+  void observe(const std::string& key, double seconds);
+
+  /// Sum of estimates over a whole entry's nodes (model + per-target-signal
+  /// derive/minimize): the entry's predicted TotTim, the weight
+  /// `punt bench run --weights=<ledger>` feeds the greedy-LPT partition.
+  /// 0 when the ledger knows nothing about the entry.
+  double entry_estimate(const stg::Stg& stg, const SynthesisOptions& options) const;
+
+  std::size_t size() const;
+  CostLedgerStats stats() const;
+  void clear();
+
+  /// Serialises the table into the file image (magic, version, payload,
+  /// trailing checksum).  Exposed for tests.
+  std::string serialize() const;
+
+  /// True when `image` starts with the ledger magic — how `punt bench run
+  /// --weights` tells a ledger file from a Table-1 JSON report.
+  static bool is_ledger_image(std::string_view image);
+
+  /// Merges the entries of a serialised image into this table (file entries
+  /// replace same-key residents — disk is assumed at least as fresh).
+  /// Returns false, leaving the table unchanged, on a damaged, truncated or
+  /// version-mismatched image.  Never throws.
+  bool merge_image(std::string_view image);
+
+  /// load(): merge_image over the file at `path`; a missing or unreadable
+  /// file is false (the ledger stays as it was — typically empty).
+  bool load(const std::string& path);
+
+  /// Atomically publishes the current table to `path` (unique temp + rename,
+  /// creating the parent directory if needed).  Returns false — without
+  /// throwing — when the path is unwritable.  Racing writers last-win with a
+  /// complete image, never interleave.
+  bool save(const std::string& path) const;
+
+ private:
+  struct Entry {
+    double ewma_seconds = 0;
+    std::uint64_t samples = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  mutable CostLedgerStats stats_;
+};
+
+}  // namespace punt::core

@@ -47,6 +47,7 @@
 namespace punt::core {
 
 class ModelCache;  // model_cache.hpp; forward-declared to avoid a cycle
+class CostLedger;  // cost_ledger.hpp; likewise
 
 /// The *model-affecting* subset of SynthesisOptions: exactly the fields that
 /// change what SemanticModel::build() produces.  Everything else in
@@ -206,6 +207,14 @@ struct BatchOptions {
   /// When set, receives the executed schedule (node timings, workers,
   /// critical path) — what `--trace-schedule` serialises.  Not owned.
   util::TaskTrace* trace = nullptr;
+  /// Optional cost ledger (cost_ledger.hpp).  Before the run, each node's
+  /// dispatch-cost estimate is looked up by its stable identity; after it,
+  /// the measured cpu_seconds are folded back in (model nodes only when this
+  /// run actually *built* the model — a cache hit is not a build, and its
+  /// ~0 resolution cost must not erode the build-cost estimate).  Estimates
+  /// reorder dispatch within priority bands only, so results are
+  /// byte-identical with and without a ledger.  Not owned.
+  CostLedger* ledger = nullptr;
   /// Optional resident executor.  When set, the batch runs over *its* pool
   /// (the `jobs` field above is ignored) instead of a per-call one — the
   /// serve daemon passes the executor it keeps warm across requests, so

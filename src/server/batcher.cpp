@@ -25,8 +25,8 @@ struct Batcher::Item {
 };
 
 Batcher::Batcher(BatcherOptions options, core::ModelCache* cache,
-                 core::Executor* executor)
-    : options_(options), cache_(cache), executor_(executor) {
+                 core::Executor* executor, core::CostLedger* ledger)
+    : options_(options), cache_(cache), executor_(executor), ledger_(ledger) {
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -168,6 +168,7 @@ void Batcher::run_batch(std::vector<std::unique_ptr<Item>>& batch) {
   options.jobs = 1;  // executor (when given) supersedes this
   options.cache = cache_;
   options.executor = executor_;
+  options.ledger = ledger_;  // learned-cost dispatch + online cost fold
   core::BatchResult result;
   std::string batch_error;
   try {

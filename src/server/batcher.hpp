@@ -35,6 +35,7 @@
 #include "src/server/service.hpp"
 
 namespace punt::core {
+class CostLedger;
 class Executor;
 class ModelCache;
 }  // namespace punt::core
@@ -83,10 +84,13 @@ struct BatcherStats {
 
 class Batcher {
  public:
-  /// `cache` (nullable) and `executor` are the daemon's residents; not
-  /// owned, must outlive the Batcher.  Starts the dispatcher thread.
+  /// `cache`, `ledger` (both nullable) and `executor` are the daemon's
+  /// residents; not owned, must outlive the Batcher.  Every fused batch
+  /// dispatches by the ledger's learned costs and folds its measured costs
+  /// back in, so the resident daemon self-tunes across requests.  Starts
+  /// the dispatcher thread.
   Batcher(BatcherOptions options, core::ModelCache* cache,
-          core::Executor* executor);
+          core::Executor* executor, core::CostLedger* ledger = nullptr);
   ~Batcher();  // drain()s
 
   Batcher(const Batcher&) = delete;
@@ -127,6 +131,7 @@ class Batcher {
   BatcherOptions options_;
   core::ModelCache* cache_ = nullptr;
   core::Executor* executor_ = nullptr;
+  core::CostLedger* ledger_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;

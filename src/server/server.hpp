@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/cost_ledger.hpp"
 #include "src/core/model_cache.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/server/batcher.hpp"
@@ -113,6 +114,11 @@ class Server {
   /// clients (and the self-spawned bench) should connect to.
   const Endpoint& endpoint() const { return listener_->local_endpoint(); }
   core::ModelCache& cache() { return *cache_; }
+  /// The resident cost table: seeded from `costs.puntledger` beside the
+  /// model-cache dir (when one is configured), updated online by every
+  /// served request, republished on shutdown — the self-tuning half of the
+  /// warm daemon.
+  core::CostLedger& ledger() { return ledger_; }
   std::size_t jobs() const { return executor_.jobs(); }
 
   /// Snapshot of the request-fusion counters (zeros when the daemon runs
@@ -174,6 +180,11 @@ class Server {
 
   ServerOptions options_;
   std::shared_ptr<core::ModelCache> cache_;
+  /// Measured node costs driving dispatch order (DESIGN.md §10).  Always
+  /// resident — online self-tuning needs no disk — and additionally
+  /// persisted beside the model cache when a cache dir is configured.
+  /// Declared before the Batcher that borrows it.
+  core::CostLedger ledger_;
   core::Executor executor_;
   /// Created only when batch_window_ms > 0.  Declared after the cache and
   /// executor it borrows, so it is destroyed (and drained) first.

@@ -48,12 +48,14 @@ core::SynthesisOptions options_of(const Request& request) {
 core::SynthesisResult synthesize_on(const stg::Stg& stg,
                                     const core::SynthesisOptions& options,
                                     core::ModelCache* cache,
-                                    core::Executor* executor) {
+                                    core::Executor* executor,
+                                    core::CostLedger* ledger) {
   core::BatchOptions batch_options;
   batch_options.synthesis = options;
   batch_options.jobs = 1;  // executor (when given) supersedes this
   batch_options.cache = cache;
   batch_options.executor = executor;
+  batch_options.ledger = ledger;
   const std::span<const stg::Stg> one(&stg, 1);
   core::BatchResult batch = core::synthesize_batch(one, batch_options);
   core::BatchEntry& entry = batch.entries.front();
@@ -134,7 +136,7 @@ Response render_synth(const SynthJob& job, const core::BatchEntry& entry) {
 }
 
 Response run_synth(const Request& request, core::ModelCache* cache,
-                   core::Executor* executor) {
+                   core::Executor* executor, core::CostLedger* ledger) {
   const core::ModelCacheStats before = snapshot(cache);
   SynthJob job = prepare_synth(request);
   Response response;
@@ -145,6 +147,7 @@ Response run_synth(const Request& request, core::ModelCache* cache,
     batch_options.jobs = 1;  // executor (when given) supersedes this
     batch_options.cache = cache;
     batch_options.executor = executor;
+    batch_options.ledger = ledger;
     const core::BatchRequest one{&job.stg, job.options};
     const core::BatchResult batch = core::synthesize_batch(
         std::span<const core::BatchRequest>(&one, 1), batch_options);
@@ -155,7 +158,8 @@ Response run_synth(const Request& request, core::ModelCache* cache,
 }
 
 Response run_check(const Request& request, core::ModelCache& cache,
-                   core::Executor* executor, bool summarize_cache) {
+                   core::Executor* executor, bool summarize_cache,
+                   core::CostLedger* ledger) {
   Response response;
   response.ok = true;
   const core::ModelCacheStats before = cache.stats();
@@ -176,7 +180,8 @@ Response run_check(const Request& request, core::ModelCache& cache,
     response.output += printf_string(
         "output persistency          : %s\n",
         persistency.empty() ? "yes" : persistency.front().describe(unfolding).c_str());
-    const core::SynthesisResult result = synthesize_on(stg, options, &cache, executor);
+    const core::SynthesisResult result =
+        synthesize_on(stg, options, &cache, executor, ledger);
     bool csc_ok = true;
     for (const auto& impl : result.signals) {
       if (impl.csc_conflict) {

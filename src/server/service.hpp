@@ -19,6 +19,7 @@
 #include "src/stg/stg.hpp"
 
 namespace punt::core {
+class CostLedger;
 class Executor;
 class ModelCache;
 struct ModelCacheStats;
@@ -33,9 +34,11 @@ struct BatcherStats;  // batcher.hpp; forward-declared to avoid a cycle
 /// the per-request cache delta summary is appended to the response log —
 /// the line a `--connect` client streams to its stderr.  `executor`
 /// (nullable) runs the graph; the daemon passes its resident one, a null
-/// falls back to an inline single-job run.
+/// falls back to an inline single-job run.  `ledger` (nullable) orders
+/// dispatch by learned node costs and absorbs this request's measured ones —
+/// the daemon passes its resident, self-tuning table.
 Response run_synth(const Request& request, core::ModelCache* cache,
-                   core::Executor* executor);
+                   core::Executor* executor, core::CostLedger* ledger = nullptr);
 
 /// One synth request decoded as far as it can be *before* batch execution:
 /// the parsed STG and its per-entry SynthesisOptions — the
@@ -78,7 +81,8 @@ Response render_synth(const SynthJob& job, const core::BatchEntry& entry);
 /// per-request summary line in the log: the daemon always wants it, the
 /// direct CLI only when `--model-cache-dir` was given.
 Response run_check(const Request& request, core::ModelCache& cache,
-                   core::Executor* executor, bool summarize_cache = true);
+                   core::Executor* executor, bool summarize_cache = true,
+                   core::CostLedger* ledger = nullptr);
 
 /// The daemon-identity slice of the {"op":"cache-stats"} payload: who is
 /// serving (transport, listen address, worker count) and the connection

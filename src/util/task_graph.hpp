@@ -10,9 +10,16 @@
 // restriction the old blocking-future scheduler had to forbid.
 //
 // Semantics:
-//   * Ready nodes are dispatched in ascending (priority, id) order; the
-//     inline run (no pool) follows that order exactly, so single-threaded
-//     execution is fully deterministic and reproducible.
+//   * Ready nodes are dispatched in ascending (priority, -estimated_cost,
+//     id) order: the priority *band* always wins (models before derives,
+//     widen-before-deepen — DESIGN.md §7), and within a band the node
+//     expected to run longest goes first (longest-processing-time-first,
+//     from costs a CostLedger learned on earlier runs).  Nodes with no
+//     estimate (cost 0) keep the plain id order, so a cold start is exactly
+//     the pre-cost-model schedule.  The inline run (no pool) follows that
+//     order exactly, so single-threaded execution is fully deterministic and
+//     reproducible — and because estimates only reorder *within* a band,
+//     results are bit-identical whatever the ledger holds.
 //   * A node that throws is recorded as Failed with its exception_ptr; its
 //     transitive dependents are Cancelled (never run).  Nodes on unrelated
 //     branches still run — failure is contained to the downstream cone.
@@ -53,13 +60,22 @@ struct TraceNode {
   std::string label;  // e.g. "chu150/y", for humans reading the trace
   std::vector<std::size_t> deps;
   int priority = 0;
+  double est_cost = 0;    // predicted seconds (0 = no estimate), from add()
   TaskStatus status = TaskStatus::Pending;
   int worker = -1;        // pool worker index; -1 = inline run or never ran
+  double wall_ready = 0;  // when the node became dispatchable (~0 for roots)
   double wall_start = 0;  // seconds since execute() began
   double wall_end = 0;
   double cpu_seconds = 0;
 
   double wall_duration() const { return wall_end - wall_start; }
+
+  /// Ready→start latency: how long the node sat dispatchable before a worker
+  /// picked it up.  The per-node signal that shows whether a dispatch-order
+  /// change actually moved long tasks earlier.  Zero for cancelled nodes.
+  double queue_wait() const {
+    return status == TaskStatus::Cancelled ? 0 : wall_start - wall_ready;
+  }
 };
 
 /// The executed schedule of one graph run.
@@ -99,6 +115,14 @@ class TaskGraph {
   /// Lower `priority` dispatches first among simultaneously-ready nodes;
   /// ties break on id, so the schedule is deterministic.
   NodeId add(std::string kind, std::string label, int priority,
+             std::vector<NodeId> deps, std::function<void()> fn);
+
+  /// As above, with a cost estimate (predicted seconds; 0 = unknown).  Among
+  /// simultaneously-ready nodes of one priority band the highest estimate
+  /// dispatches first (longest-processing-time-first); ties — including the
+  /// all-zero cold start — fall back to id order.  Estimates influence
+  /// *order only*, never which nodes run or what they compute.
+  NodeId add(std::string kind, std::string label, int priority, double estimated_cost,
              std::vector<NodeId> deps, std::function<void()> fn);
 
   std::size_t size() const { return nodes_.size(); }

@@ -1,0 +1,226 @@
+// Tests for the CostLedger (DESIGN.md §10): EWMA folding, stable node keys,
+// the serialised image (round-trip, corruption, truncation and version-bump
+// degradation), atomic save/load beside a model-cache directory, and the
+// per-entry estimate `punt bench run --weights=<ledger>` partitions by.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "src/core/cost_ledger.hpp"
+#include "src/core/model_cache.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/stg/generators.hpp"
+#include "src/stg/stg.hpp"
+
+namespace punt::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A directory unique to this test, removed on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("punt-ledger-test-" + tag + "-" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CostLedger, FirstSampleIsTakenVerbatimThenEwmaSmooths) {
+  CostLedger ledger;
+  EXPECT_EQ(ledger.estimate("model:0"), 0.0);  // unknown key
+  ledger.observe("model:0", 1.0);
+  EXPECT_DOUBLE_EQ(ledger.estimate("model:0"), 1.0);
+  ledger.observe("model:0", 2.0);
+  // cost' = alpha * sample + (1 - alpha) * cost
+  EXPECT_DOUBLE_EQ(ledger.estimate("model:0"),
+                   CostLedger::kAlpha * 2.0 + (1 - CostLedger::kAlpha) * 1.0);
+  EXPECT_EQ(ledger.size(), 1u);
+  const CostLedgerStats stats = ledger.stats();
+  EXPECT_EQ(stats.observations, 2u);
+  EXPECT_GE(stats.estimate_hits, 2u);
+  EXPECT_GE(stats.estimate_misses, 1u);
+}
+
+TEST(CostLedger, RejectsUnusableSamples) {
+  CostLedger ledger;
+  ledger.observe("derive:0:x", -1.0);
+  ledger.observe("derive:0:x", std::numeric_limits<double>::quiet_NaN());
+  ledger.observe("derive:0:x", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_EQ(ledger.estimate("derive:0:x"), 0.0);
+}
+
+TEST(CostLedger, KeysAreStableAndSignalScoped) {
+  const stg::Stg stg = stg::make_vme_bus();
+  SynthesisOptions options;
+  // The model digest is the ModelCache key's digest: an arch sweep shares
+  // one model-cost entry exactly as it shares one cached model.
+  EXPECT_EQ(CostLedger::model_digest(stg, options),
+            CostLedger::model_digest_from_key(ModelCache::key_of(stg, options)));
+  SynthesisOptions rs = options;
+  rs.architecture = Architecture::RsLatch;
+  EXPECT_EQ(CostLedger::model_digest(stg, options), CostLedger::model_digest(stg, rs));
+  // ...but the entry digest folds the derivation-only options in: an arch
+  // change costs different derive/minimize work.
+  EXPECT_NE(CostLedger::entry_digest(stg, options), CostLedger::entry_digest(stg, rs));
+  EXPECT_EQ(CostLedger::entry_digest(stg, options),
+            CostLedger::entry_digest_from_key(ModelCache::key_of(stg, options), options));
+  // Signal scoping: same digest, different signal → different key.
+  EXPECT_NE(CostLedger::key_of("derive", 7, "a"), CostLedger::key_of("derive", 7, "b"));
+  EXPECT_NE(CostLedger::key_of("derive", 7, "a"), CostLedger::key_of("minimize", 7, "a"));
+}
+
+TEST(CostLedger, SerializedImageRoundTripsAndIsDeterministic) {
+  CostLedger ledger;
+  ledger.observe("model:1f", 0.25);
+  ledger.observe("derive:1f:x", 0.5);
+  ledger.observe("derive:1f:x", 1.5);
+  ledger.observe("minimize:1f:x", 0.125);
+  const std::string image = ledger.serialize();
+  ASSERT_TRUE(CostLedger::is_ledger_image(image));
+  // Deterministic: equal tables produce byte-identical images (keys are
+  // sorted at serialisation), so racing shards publish comparable files.
+  EXPECT_EQ(image, ledger.serialize());
+
+  CostLedger copy;
+  ASSERT_TRUE(copy.merge_image(image));
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_DOUBLE_EQ(copy.estimate("model:1f"), ledger.estimate("model:1f"));
+  EXPECT_DOUBLE_EQ(copy.estimate("derive:1f:x"), ledger.estimate("derive:1f:x"));
+  EXPECT_DOUBLE_EQ(copy.estimate("minimize:1f:x"), ledger.estimate("minimize:1f:x"));
+  EXPECT_EQ(copy.serialize(), image);
+}
+
+TEST(CostLedger, DamagedImagesDegradeWithoutTouchingTheTable) {
+  CostLedger source;
+  source.observe("model:aa", 1.0);
+  source.observe("derive:aa:q", 2.0);
+  const std::string image = source.serialize();
+
+  CostLedger target;
+  target.observe("model:resident", 3.0);
+
+  // Wrong magic (a JSON report, say).
+  EXPECT_FALSE(CostLedger::is_ledger_image("{\"schema\": \"punt-table1-report\"}"));
+  EXPECT_FALSE(target.merge_image("{\"schema\": \"punt-table1-report\"}"));
+  // Truncation anywhere: header, payload, checksum.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{11}, image.size() / 2,
+        image.size() - 1}) {
+    EXPECT_FALSE(target.merge_image(std::string_view(image).substr(0, keep)))
+        << "truncated to " << keep << " byte(s)";
+  }
+  // A flipped payload byte fails the checksum.
+  std::string corrupt = image;
+  corrupt[13] = static_cast<char>(corrupt[13] ^ 0x40);
+  EXPECT_FALSE(target.merge_image(corrupt));
+  // A future format version is refused outright (no partial parse).
+  std::string bumped = image;
+  bumped[8] = static_cast<char>(bumped[8] + 1);  // u32 version, little-endian
+  EXPECT_FALSE(target.merge_image(bumped));
+  // Trailing garbage after the checksum.
+  EXPECT_FALSE(target.merge_image(image + "x"));
+
+  // Through it all, the resident table never changed.
+  EXPECT_EQ(target.size(), 1u);
+  EXPECT_DOUBLE_EQ(target.estimate("model:resident"), 3.0);
+
+  // And the intact image still merges, replacing nothing it does not name.
+  ASSERT_TRUE(target.merge_image(image));
+  EXPECT_EQ(target.size(), 3u);
+  EXPECT_DOUBLE_EQ(target.estimate("model:resident"), 3.0);
+  EXPECT_DOUBLE_EQ(target.estimate("model:aa"), 1.0);
+}
+
+TEST(CostLedger, SaveAndLoadRoundTripThroughACacheDirectory) {
+  const TempDir dir("saveload");
+  const std::string cache_dir = (dir.path / "cache").string();
+  const std::string path = CostLedger::path_in(cache_dir);
+  EXPECT_EQ(path, cache_dir + "/" + CostLedger::kFileName);
+
+  CostLedger empty;
+  EXPECT_FALSE(empty.load(path)) << "a missing file loads as empty, reported false";
+  EXPECT_EQ(empty.size(), 0u);
+
+  CostLedger ledger;
+  ledger.observe("model:5", 0.75);
+  ledger.observe("minimize:5:s", 0.1);
+  // save() creates the parent directory — a cold cache dir is the norm on
+  // the very first --model-cache-dir run.
+  ASSERT_TRUE(ledger.save(path));
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_EQ(slurp(path), ledger.serialize());
+  // No temp files left behind by the unique-temp + rename publish.
+  for (const auto& entry : fs::directory_iterator(cache_dir)) {
+    EXPECT_EQ(entry.path().filename().string(), CostLedger::kFileName);
+  }
+
+  CostLedger loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.estimate("model:5"), 0.75);
+
+  // A corrupt file on disk degrades to empty on the next load.
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << "PUNTLEDGgarbage";
+  CostLedger after_corruption;
+  EXPECT_FALSE(after_corruption.load(path));
+  EXPECT_EQ(after_corruption.size(), 0u);
+}
+
+TEST(CostLedger, EntryEstimateSumsModelAndPerSignalCosts) {
+  const stg::Stg stg = stg::make_vme_bus();
+  SynthesisOptions options;
+  CostLedger ledger;
+  EXPECT_EQ(ledger.entry_estimate(stg, options), 0.0) << "unknown entry weighs 0";
+
+  const std::uint64_t model = CostLedger::model_digest(stg, options);
+  const std::uint64_t entry = CostLedger::entry_digest(stg, options);
+  ledger.observe(CostLedger::key_of("model", model), 1.0);
+  double expected = 1.0;
+  double per_signal = 0.25;
+  for (const auto signal : stg.non_input_signals()) {
+    ledger.observe(CostLedger::key_of("derive", entry, stg.signal_name(signal)),
+                   per_signal);
+    ledger.observe(CostLedger::key_of("minimize", entry, stg.signal_name(signal)),
+                   per_signal / 2);
+    expected += per_signal + per_signal / 2;
+    per_signal *= 2;
+  }
+  EXPECT_DOUBLE_EQ(ledger.entry_estimate(stg, options), expected);
+  // Input signals contribute nothing; a different-arch entry knows nothing.
+  SynthesisOptions rs = options;
+  rs.architecture = Architecture::RsLatch;
+  EXPECT_DOUBLE_EQ(ledger.entry_estimate(stg, rs), 1.0)
+      << "an arch sweep shares only the model cost";
+}
+
+TEST(CostLedger, ClearEmptiesTheTable) {
+  CostLedger ledger;
+  ledger.observe("model:9", 1.0);
+  ASSERT_EQ(ledger.size(), 1u);
+  ledger.clear();
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_EQ(ledger.estimate("model:9"), 0.0);
+}
+
+}  // namespace
+}  // namespace punt::core

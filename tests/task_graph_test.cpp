@@ -42,6 +42,65 @@ TEST(TaskGraph, InlineRunsInPriorityThenIdOrder) {
   }
 }
 
+TEST(TaskGraph, CostOrdersWithinAPriorityBandLongestFirst) {
+  TaskGraph graph;
+  std::vector<std::string> order;
+  const auto record = [&order](std::string name) {
+    return [&order, name] { order.push_back(name); };
+  };
+  // Same band: highest estimated cost dispatches first (LPT), zero-cost
+  // ties fall back to id order.  A lower band still beats any cost.
+  graph.add("n", "small", 1, 0.1, {}, record("small"));
+  graph.add("n", "big", 1, 0.9, {}, record("big"));
+  graph.add("n", "mid", 1, 0.5, {}, record("mid"));
+  graph.add("n", "zero-a", 1, 0.0, {}, record("zero-a"));
+  graph.add("n", "zero-b", 1, 0.0, {}, record("zero-b"));
+  graph.add("n", "urgent", 0, 0.001, {}, record("urgent"));
+  graph.execute_inline();
+  EXPECT_EQ(order, (std::vector<std::string>{"urgent", "big", "mid", "small",
+                                             "zero-a", "zero-b"}));
+  // Estimates are sanitised and recorded in the trace; they change order
+  // only, never results.
+  EXPECT_DOUBLE_EQ(graph.trace().nodes[1].est_cost, 0.9);
+  for (std::size_t id = 0; id < graph.size(); ++id) {
+    EXPECT_EQ(graph.status(id), TaskStatus::Done);
+  }
+}
+
+TEST(TaskGraph, TraceStampsReadyTimesAndQueueWaits) {
+  for (const bool inline_run : {true, false}) {
+    TaskGraph graph;
+    const auto spin = [] {
+      volatile double sink = 0;
+      for (int i = 0; i < 20000; ++i) sink = sink + static_cast<double>(i);
+    };
+    const auto root = graph.add("n", "root", 0, {}, spin);
+    graph.add("n", "child", 0, {root}, spin);
+    graph.add("n", "boom", 0, {}, [] { throw std::runtime_error("x"); });
+    const auto doomed = graph.add("n", "doomed", 0, {2}, spin);
+    if (inline_run) {
+      graph.execute_inline();
+    } else {
+      ThreadPool pool(2);
+      graph.execute(pool);
+    }
+    const TaskTrace& trace = graph.trace();
+    for (const TraceNode& node : trace.nodes) {
+      if (node.status == TaskStatus::Cancelled) continue;
+      EXPECT_LE(node.wall_ready, node.wall_start + 1e-9) << node.label;
+      EXPECT_GE(node.queue_wait(), -1e-9) << node.label;
+    }
+    // A dependent becomes ready only once its dependency finishes.
+    EXPECT_GE(trace.nodes[1].wall_ready, trace.nodes[0].wall_end - 1e-9);
+    EXPECT_EQ(trace.nodes[doomed].queue_wait(), 0.0) << "cancelled nodes never wait";
+    // The JSON dump carries the additive v1 fields.
+    const std::string json = trace.to_json();
+    EXPECT_NE(json.find("\"est_cost\""), std::string::npos);
+    EXPECT_NE(json.find("\"wall_ready\""), std::string::npos);
+    EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  }
+}
+
 TEST(TaskGraph, PoolRespectsDependencies) {
   // A dependent node must observe every dependency's side effect, whichever
   // worker runs it.  Diamond: a → {b, c} → d, repeated over many graphs.

@@ -24,6 +24,11 @@
 //                                  combine per-shard JSON reports into the
 //                                  full Table-1 table, verifying that the
 //                                  shards cover the registry exactly once
+//   punt trace <trace.json>        analyse a --trace-schedule dump offline:
+//                                  per-worker occupancy, an ASCII Gantt lane
+//                                  per worker, queue-wait statistics, the
+//                                  critical path, and a ledger-estimate vs
+//                                  measured-cost error table
 //   punt bench serve [--connect=<endpoint>] [--listen=tcp[://addr:port]]
 //                    [--token-file=<file>] [--clients=K] [--duration=S]
 //                    [--jobs=N] [--batch-window=MS] [--max-queue=N]
@@ -74,7 +79,11 @@
 // --model-cache-dir persists the phase-1 semantic models (unfolding segment
 // or state graph) under the canonical STG digest, so successive punt
 // invocations — and CI bench shards sharing one directory — skip phase 1
-// after the first warm run.  Corrupt or version-mismatched cache files fall
+// after the first warm run.  The same directory also holds the cost ledger
+// (costs.puntledger): measured per-node costs that later runs feed back into
+// dispatch as longest-task-first ordering within each priority band, and
+// that `punt bench run --weights=<costs.puntledger>` turns into a cost-aware
+// shard partition.  Corrupt or version-mismatched cache files fall
 // back to a rebuild; an unwritable directory degrades to build-without-
 // persist.  Commands that used the cache print a hit/build summary (memory
 // hits, disk hits, rebuilds) to stderr.  `punt serve` goes further: the
@@ -103,6 +112,8 @@
 #include "src/benchmarks/loadgen.hpp"
 #include "src/benchmarks/registry.hpp"
 #include "src/benchmarks/report.hpp"
+#include "src/benchmarks/trace_view.hpp"
+#include "src/core/cost_ledger.hpp"
 #include "src/core/csc_resolve.hpp"
 #include "src/core/model_cache.hpp"
 #include "src/core/model_store.hpp"
@@ -139,10 +150,11 @@ int usage() {
                "  punt resolve <file.g>\n"
                "  punt bench list | punt bench dump <name>\n"
                "  punt bench run [--jobs=N] [--method=...] [--arch=...]\n"
-               "                 [--shard=i/n] [--weights=<report.json>]\n"
+               "                 [--shard=i/n] [--weights=<report.json|ledger>]\n"
                "                 [--report=json] [--trace-schedule=<file>]\n"
                "                 [--model-cache-dir=<dir>]\n"
                "  punt bench merge <report.json...>\n"
+               "  punt trace <trace.json>\n"
                "  punt bench serve [--connect=<endpoint>] [--listen=tcp[://addr:port]]\n"
                "                   [--token-file=<file>] [--clients=K] [--duration=S]\n"
                "                   [--jobs=N] [--batch-window=MS] [--max-queue=N]\n"
@@ -161,11 +173,15 @@ int usage() {
                "(--max-queue: admitted-but-unstarted request bound; excess synth\n"
                " requests are refused with an 'overloaded' error)\n"
                "(--shard=i/n: registry entries at positions p with p %% n == i,\n"
-               " or balanced by measured per-entry TotTim with --weights)\n"
+               " or balanced by measured per-entry cost with --weights — a prior\n"
+               " merged report.json, or the costs.puntledger a cached run wrote)\n"
                "(--trace-schedule: write the executed task graph as JSON and\n"
-               " print its critical-path summary to stderr)\n"
+               " print its critical-path summary to stderr; `punt trace` renders\n"
+               " the dump as per-worker occupancy lanes)\n"
                "(--model-cache-dir: persist phase-1 semantic models on disk so\n"
-               " later invocations sharing the directory skip rebuilding them)\n"
+               " later invocations sharing the directory skip rebuilding them;\n"
+               " the directory also carries the cost ledger that orders ready\n"
+               " nodes longest-first on later runs)\n"
                "(--connect: delegate synth/check to a running `punt serve`\n"
                " daemon, whose models stay warm in memory across requests;\n"
                " a Unix socket path or tcp://host:port — TCP endpoints need\n"
@@ -409,6 +425,30 @@ struct CacheSummaryGuard {
   }
 };
 
+/// The cost ledger persisted beside the model cache (`dir` empty → none).
+/// A missing or corrupt costs.puntledger just loads empty: dispatch starts
+/// cold, exactly the pre-ledger schedule.
+std::unique_ptr<punt::core::CostLedger> make_ledger(const std::string& dir) {
+  if (dir.empty()) return nullptr;
+  auto ledger = std::make_unique<punt::core::CostLedger>();
+  (void)ledger->load(punt::core::CostLedger::path_in(dir));
+  return ledger;
+}
+
+/// Republishes the ledger when the enclosing command exits — error paths
+/// included (a CSC failure still measured real node costs worth keeping).
+/// Best-effort like the model store: an unwritable directory degrades to
+/// run-without-persist rather than failing the synthesis that already ran.
+struct LedgerSaveGuard {
+  const punt::core::CostLedger* ledger = nullptr;
+  std::string dir;
+  ~LedgerSaveGuard() {
+    if (ledger != nullptr) {
+      (void)ledger->save(punt::core::CostLedger::path_in(dir));
+    }
+  }
+};
+
 /// Writes the executed schedule as JSON and prints the critical-path summary
 /// to stderr (stderr so `--report=json` output stays parseable).
 void dump_trace(const punt::util::TaskTrace& trace, const std::string& path) {
@@ -433,24 +473,27 @@ int run_client(const ConnectTarget& target, const punt::server::Request& request
   return response.exit_code;
 }
 
-/// Flags that make no sense against a daemon (it owns its jobs policy and
-/// cache; the dot writers and schedule trace are direct-mode only).
+/// Flags that make no sense against a daemon (it owns its jobs policy,
+/// model cache and cost ledger; the dot writers and schedule trace are
+/// direct-mode only).  Runs *before* the endpoint resolves, so the flag
+/// conflict is reported even when e.g. a TCP target is missing its
+/// --token-file — the user should fix the invocation, not the transport.
 void reject_direct_only_flags(const std::vector<std::string>& args) {
   for (const std::string& arg : args) {
     if (arg == "--dot" || arg == "--unfolding-dot" ||
         arg.rfind("--trace-schedule=", 0) == 0 || arg.rfind("--jobs=", 0) == 0 ||
         arg.rfind("--model-cache-dir=", 0) == 0) {
       throw punt::Error("'" + arg.substr(0, arg.find('=')) +
-                        "' cannot be combined with --connect: the daemon owns its "
-                        "worker pool and model cache, and writers beyond "
-                        "--eqn/--verilog run only in direct mode");
+                        "' is a direct-only flag and cannot be combined with "
+                        "--connect: the daemon owns its worker pool, model cache "
+                        "and cost ledger, and writers beyond --eqn/--verilog run "
+                        "only in direct mode");
     }
   }
 }
 
 int delegate_synth(const ConnectTarget& target, const std::string& path,
                    const std::vector<std::string>& args) {
-  reject_direct_only_flags(args);
   punt::server::Request request;
   request.op = punt::server::Op::Synth;
   request.g_text = read_file(path);
@@ -470,7 +513,6 @@ int delegate_synth(const ConnectTarget& target, const std::string& path,
 
 int delegate_check(const ConnectTarget& target, const std::string& path,
                    const std::vector<std::string>& args) {
-  reject_direct_only_flags(args);
   punt::server::Request request;
   request.op = punt::server::Op::Check;
   request.g_text = read_file(path);
@@ -479,15 +521,21 @@ int delegate_check(const ConnectTarget& target, const std::string& path,
 
 int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
   const std::string target = connect_target(args);
-  if (!target.empty()) return delegate_synth(resolve_connect(target, args), path, args);
+  if (!target.empty()) {
+    reject_direct_only_flags(args);
+    return delegate_synth(resolve_connect(target, args), path, args);
+  }
   const punt::stg::Stg stg = punt::stg::parse_g(read_file(path));
   const punt::core::SynthesisOptions options = parse_options(args);
   const std::string trace_path = trace_schedule_path(args);
-  const std::unique_ptr<punt::core::ModelCache> cache = make_cache(model_cache_dir(args));
+  const std::string cache_dir = model_cache_dir(args);
+  const std::unique_ptr<punt::core::ModelCache> cache = make_cache(cache_dir);
+  const std::unique_ptr<punt::core::CostLedger> ledger = make_ledger(cache_dir);
   const CacheSummaryGuard summary{cache.get()};
+  const LedgerSaveGuard persist{ledger.get(), cache_dir};
   punt::util::TaskTrace trace;
   const punt::core::SynthesisResult result = punt::core::synthesize(
-      stg, options, cache.get(), trace_path.empty() ? nullptr : &trace);
+      stg, options, cache.get(), trace_path.empty() ? nullptr : &trace, ledger.get());
   if (!trace_path.empty()) dump_trace(trace, trace_path);
   const punt::net::Netlist netlist = punt::net::Netlist::from_synthesis(stg, result);
 
@@ -511,7 +559,10 @@ int cmd_synth(const std::string& path, const std::vector<std::string>& args) {
 
 int cmd_check(const std::string& path, const std::vector<std::string>& args) {
   const std::string target = connect_target(args);
-  if (!target.empty()) return delegate_check(resolve_connect(target, args), path, args);
+  if (!target.empty()) {
+    reject_direct_only_flags(args);
+    return delegate_check(resolve_connect(target, args), path, args);
+  }
   // The direct path runs the same server::run_check the daemon dispatches
   // to, so `--connect` byte-parity holds by construction: one ModelCache
   // shared between the criteria checks and the embedded CSC synthesis run
@@ -522,11 +573,13 @@ int cmd_check(const std::string& path, const std::vector<std::string>& args) {
   punt::core::ModelCache cache(
       punt::core::ModelCache::kDefaultCapacity,
       cache_dir.empty() ? nullptr : std::make_shared<punt::core::ModelStore>(cache_dir));
+  const std::unique_ptr<punt::core::CostLedger> ledger = make_ledger(cache_dir);
+  const LedgerSaveGuard persist{ledger.get(), cache_dir};
   punt::server::Request request;
   request.op = punt::server::Op::Check;
   request.g_text = read_file(path);
   const punt::server::Response response = punt::server::run_check(
-      request, cache, nullptr, /*summarize_cache=*/!cache_dir.empty());
+      request, cache, nullptr, /*summarize_cache=*/!cache_dir.empty(), ledger.get());
   std::fputs(response.output.c_str(), stdout);
   std::fputs(response.log.c_str(), stderr);
   return response.exit_code;
@@ -570,8 +623,9 @@ int cmd_bench_run(const std::vector<std::string>& args) {
     } else if (arg.rfind("--weights=", 0) == 0) {
       weights_path = arg.substr(10);
       if (weights_path.empty()) {
-        throw punt::Error("--weights needs a report path "
-                          "(e.g. --weights=table1-merged.json)");
+        throw punt::Error("--weights needs a weights file: a merged report "
+                          "(e.g. --weights=table1-merged.json) or a cost ledger "
+                          "(e.g. --weights=cache/costs.puntledger)");
       }
     }
   }
@@ -581,23 +635,59 @@ int cmd_bench_run(const std::vector<std::string>& args) {
   // With --model-cache-dir, phase 1 of every registry entry is served from
   // (and persisted to) the shared directory: a second run over a warm dir
   // reports all disk hits and zero rebuilds.  CI's bench shards share one
-  // directory through actions/cache.
-  const std::unique_ptr<punt::core::ModelCache> cache = make_cache(model_cache_dir(args));
+  // directory through actions/cache.  The directory's cost ledger rides
+  // along: learned node costs order this run's dispatch, and this run's
+  // measurements fold back for the next one.
+  const std::string cache_dir = model_cache_dir(args);
+  const std::unique_ptr<punt::core::ModelCache> cache = make_cache(cache_dir);
   batch_options.cache = cache.get();
+  const std::unique_ptr<punt::core::CostLedger> ledger = make_ledger(cache_dir);
+  batch_options.ledger = ledger.get();
   const CacheSummaryGuard summary{cache.get()};
+  const LedgerSaveGuard persist{ledger.get(), cache_dir};
 
   const auto& registry = punt::benchmarks::table1();
   std::vector<std::size_t> positions;
+  bool weights_from_ledger = false;
   if (weights_path.empty()) {
     positions = punt::benchmarks::shard_positions(shard, registry.size());
   } else {
-    punt::benchmarks::Table1Report weights;
+    std::string weights_text;
     try {
-      weights = punt::benchmarks::report_from_json(read_file(weights_path));
+      weights_text = read_file(weights_path);
     } catch (const punt::Error& e) {
-      throw punt::Error("cannot read weights report '" + weights_path + "': " + e.what());
+      throw punt::Error("cannot read weights file '" + weights_path + "': " + e.what());
     }
-    positions = punt::benchmarks::weighted_shard_positions(shard, weights);
+    if (punt::core::CostLedger::is_ledger_image(weights_text)) {
+      // --weights=<costs.puntledger>: per-entry estimates from the learned
+      // cost table, so the ledger a cached run wrote doubles as the shard
+      // balancer — no merged report needed.  Entries the ledger has not
+      // measured weigh zero here; the LPT partition gives them the mean
+      // measured weight.
+      punt::core::CostLedger weights;
+      if (!weights.merge_image(weights_text)) {
+        throw punt::Error("cannot read weights ledger '" + weights_path +
+                          "': corrupt or version-mismatched cost ledger; "
+                          "regenerate it with a --model-cache-dir run");
+      }
+      weights_from_ledger = true;
+      std::vector<double> entry_weights;
+      entry_weights.reserve(registry.size());
+      for (const auto& bench : registry) {
+        entry_weights.push_back(
+            weights.entry_estimate(bench.make(), batch_options.synthesis));
+      }
+      positions = punt::benchmarks::weighted_shard_positions(shard, entry_weights);
+    } else {
+      punt::benchmarks::Table1Report weights;
+      try {
+        weights = punt::benchmarks::report_from_json(weights_text);
+      } catch (const punt::Error& e) {
+        throw punt::Error("cannot read weights report '" + weights_path + "': " +
+                          e.what());
+      }
+      positions = punt::benchmarks::weighted_shard_positions(shard, weights);
+    }
   }
   std::vector<punt::stg::Stg> stgs;
   stgs.reserve(positions.size());
@@ -615,7 +705,11 @@ int cmd_bench_run(const std::vector<std::string>& args) {
   if (shard.count > 1) {
     std::printf("# Table-1 registry shard %zu/%zu (%zu of %zu entries), %zu job(s)%s\n\n",
                 shard.index, shard.count, report.rows.size(), registry.size(), batch.jobs,
-                weights_path.empty() ? "" : ", cost-aware partition (LPT by TotTim)");
+                weights_path.empty()
+                    ? ""
+                    : (weights_from_ledger
+                           ? ", cost-aware partition (LPT by ledger estimate)"
+                           : ", cost-aware partition (LPT by TotTim)"));
   } else {
     std::printf("# Table-1 registry through the task-graph executor, %zu job(s)\n\n",
                 batch.jobs);
@@ -626,6 +720,17 @@ int cmd_bench_run(const std::vector<std::string>& args) {
               batch.critical_path_seconds, report.rows.size(),
               report.rows.size() == 1 ? "y" : "ies");
   return report.failures() == 0 ? 0 : 2;
+}
+
+int cmd_trace(const std::string& path) {
+  punt::util::TaskTrace trace;
+  try {
+    trace = punt::benchmarks::trace_from_json(read_file(path));
+  } catch (const punt::ParseError& e) {
+    throw punt::Error("cannot read schedule trace '" + path + "': " + e.what());
+  }
+  std::printf("%s", punt::benchmarks::format_trace(trace).c_str());
+  return 0;
 }
 
 int cmd_bench_merge(const std::vector<std::string>& args) {
@@ -1034,6 +1139,7 @@ int main(int argc, char** argv) {
       return cmd_check(args[1], {args.begin() + 2, args.end()});
     }
     if (command == "resolve" && args.size() >= 2) return cmd_resolve(args[1]);
+    if (command == "trace" && args.size() >= 2) return cmd_trace(args[1]);
     if (command == "bench") return cmd_bench({args.begin() + 1, args.end()});
     if (command == "cache") return cmd_cache({args.begin() + 1, args.end()});
     if (command == "serve") return cmd_serve({args.begin() + 1, args.end()});
