@@ -1,0 +1,100 @@
+#include "src/lint/lint.hpp"
+
+#include <algorithm>
+
+#include "src/lint/rules.hpp"
+#include "src/stg/g_format.hpp"
+#include "src/util/json.hpp"
+#include "src/util/strings.hpp"
+
+namespace punt::lint {
+namespace {
+
+using util::Diagnostic;
+using util::Severity;
+
+std::vector<Diagnostic> collect(std::string_view text) {
+  util::DiagnosticSink sink;
+  const stg::ParsedG parsed = stg::parse_g_collect(text, sink);
+  if (parsed.usable) run_rules(parsed, sink);
+  return sink.diagnostics();
+}
+
+}  // namespace
+
+FileLint lint_text(std::string_view text, std::string_view filename,
+                   const LintOptions& options) {
+  FileLint out;
+  out.filename = std::string(filename);
+  out.diagnostics = collect(text);
+  for (Diagnostic& d : out.diagnostics) {
+    if (d.severity == Severity::Warning &&
+        (options.promote_all_warnings ||
+         std::find(options.promote_rules.begin(), options.promote_rules.end(),
+                   d.rule) != options.promote_rules.end())) {
+      d.severity = Severity::Error;
+    }
+    switch (d.severity) {
+      case Severity::Error: ++out.errors; break;
+      case Severity::Warning: ++out.warnings; break;
+      case Severity::Note: ++out.notes; break;
+    }
+  }
+  return out;
+}
+
+std::vector<util::Diagnostic> lint_errors(std::string_view text) {
+  std::vector<Diagnostic> out = collect(text);
+  std::erase_if(out, [](const Diagnostic& d) { return d.severity != Severity::Error; });
+  return out;
+}
+
+std::string render_human(const FileLint& lint, std::string_view source) {
+  std::string out = util::render_diagnostics(lint.diagnostics, source, lint.filename);
+  auto plural = [](std::size_t n, const char* word) {
+    return std::to_string(n) + " " + word + (n == 1 ? "" : "s");
+  };
+  out += lint.filename + ": ";
+  if (lint.diagnostics.empty()) {
+    out += "clean\n";
+    return out;
+  }
+  std::string counts;
+  if (lint.errors > 0) counts += plural(lint.errors, "error");
+  if (lint.warnings > 0) {
+    counts += (counts.empty() ? "" : ", ") + plural(lint.warnings, "warning");
+  }
+  if (lint.notes > 0) counts += (counts.empty() ? "" : ", ") + plural(lint.notes, "note");
+  out += counts + "\n";
+  return out;
+}
+
+std::string render_json(const std::vector<FileLint>& files) {
+  std::string out = "{\"schema\": \"punt-lint-report\", \"version\": 1, \"files\": [";
+  bool first_file = true;
+  for (const FileLint& file : files) {
+    if (!first_file) out += ", ";
+    first_file = false;
+    out += printf_string(
+        "{\"file\": \"%s\", \"ok\": %s, \"errors\": %zu, \"warnings\": %zu, "
+        "\"notes\": %zu, \"diagnostics\": [",
+        util::json_escape(file.filename).c_str(), file.ok() ? "true" : "false",
+        file.errors, file.warnings, file.notes);
+    bool first_diag = true;
+    for (const Diagnostic& d : file.diagnostics) {
+      if (!first_diag) out += ", ";
+      first_diag = false;
+      out += printf_string(
+          "{\"rule\": \"%s\", \"severity\": \"%s\", \"line\": %u, \"column\": %u, "
+          "\"length\": %u, \"message\": \"%s\", \"hint\": \"%s\"}",
+          util::json_escape(d.rule).c_str(), util::severity_name(d.severity),
+          d.span.line, d.span.column, d.span.length,
+          util::json_escape(d.message).c_str(), util::json_escape(d.hint).c_str());
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace punt::lint

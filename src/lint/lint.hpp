@@ -1,0 +1,62 @@
+// The lint driver behind `punt lint` and the serve admission gate.
+//
+// lint_text() runs the collecting parse plus every rule from rules.hpp over
+// one spec and returns the findings with severities already promoted per the
+// options (--Werror and friends).  lint_errors() is the admission fast path:
+// it runs the same pass without promotion and keeps only Error-severity
+// findings, so `server::prepare_synth` can refuse a structurally broken spec
+// before it touches the batcher — refusal severities never depend on caller
+// flags, only on the catalog's defaults.
+//
+// Rendering: render_human() produces the caret-and-excerpt blocks of
+// util::render_diagnostics plus a per-file summary line; render_json()
+// produces the `punt-lint-report` v1 document:
+//
+//   {"schema": "punt-lint-report", "version": 1,
+//    "files": [{"file": ..., "ok": ..., "errors": N, "warnings": N,
+//               "notes": N, "diagnostics": [{"rule", "severity", "line",
+//               "column", "length", "message", "hint"}]}]}
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/diagnostics.hpp"
+
+namespace punt::lint {
+
+struct LintOptions {
+  /// Promote every Warning to Error (--Werror).  Notes are never promoted.
+  bool promote_all_warnings = false;
+  /// Promote Warnings of these rule ids only (--Werror=STG006,...).
+  std::vector<std::string> promote_rules;
+};
+
+/// The lint result for one spec.
+struct FileLint {
+  std::string filename;
+  std::vector<util::Diagnostic> diagnostics;  // discovery order, post-promotion
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+
+  bool ok() const { return errors == 0; }
+};
+
+/// Lints one `.g` text.  Never throws on any spec content.
+FileLint lint_text(std::string_view text, std::string_view filename,
+                   const LintOptions& options = {});
+
+/// Admission helper: the Error-severity findings of `text` under default
+/// severities (no promotion).  Empty means the spec is admissible.
+std::vector<util::Diagnostic> lint_errors(std::string_view text);
+
+/// Human rendering: every finding as a caret block, then one summary line
+/// ("file.g: 2 errors, 1 warning").  `source` is the original text.
+std::string render_human(const FileLint& lint, std::string_view source);
+
+/// Machine rendering of one or more files: `punt-lint-report` v1.
+std::string render_json(const std::vector<FileLint>& files);
+
+}  // namespace punt::lint

@@ -1,0 +1,507 @@
+#include "src/lint/rules.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace punt::lint {
+namespace {
+
+using util::Severity;
+using util::SourceSpan;
+
+const char* polarity_word(stg::Polarity polarity) {
+  return polarity == stg::Polarity::Rise ? "rises" : "falls";
+}
+
+/// Structural place-concurrency relation, the classic fixed-point
+/// approximation: two places may hold tokens at the same time if (seed) they
+/// are both initially marked or are distinct outputs of one fork transition,
+/// or (step) a transition whose whole preset is concurrent with `q` — and
+/// which does not consume `q` itself — fires and deposits into them while
+/// `q` stays marked.  Exact on live safe free-choice nets, an
+/// overapproximation elsewhere; either way a pair it rules out is certainly
+/// never co-marked, which is the safe polarity for a lint.  Path-based
+/// "ordering" checks cannot do this job: in a cyclic STG every transition
+/// reaches every other, so order says nothing about concurrency.
+std::vector<std::vector<std::uint8_t>> place_concurrency(const pn::PetriNet& net) {
+  const std::size_t np = net.place_count();
+  std::vector<std::vector<std::uint8_t>> conc(np, std::vector<std::uint8_t>(np, 0));
+  std::deque<std::pair<std::size_t, std::size_t>> work;
+  auto add = [&](std::size_t a, std::size_t b) {
+    if (a == b || conc[a][b]) return;
+    conc[a][b] = conc[b][a] = 1;
+    work.emplace_back(a, b);
+  };
+  const auto& marked = net.initial_marking().marked_places();
+  for (std::size_t i = 0; i < marked.size(); ++i) {
+    for (std::size_t j = i + 1; j < marked.size(); ++j) {
+      add(marked[i].index(), marked[j].index());
+    }
+  }
+  for (std::size_t i = 0; i < net.transition_count(); ++i) {
+    const auto& outs = net.post(pn::TransitionId(static_cast<std::uint32_t>(i)));
+    for (std::size_t a = 0; a < outs.size(); ++a) {
+      for (std::size_t b = a + 1; b < outs.size(); ++b) {
+        add(outs[a].index(), outs[b].index());
+      }
+    }
+  }
+  auto step = [&](std::size_t p, std::size_t q) {
+    for (const pn::TransitionId t : net.post(pn::PlaceId(static_cast<std::uint32_t>(p)))) {
+      const auto& pre = net.pre(t);
+      const bool enabled_beside_q =
+          std::all_of(pre.begin(), pre.end(), [&](pn::PlaceId r) {
+            return r.index() != q && (r.index() == p || conc[r.index()][q]);
+          });
+      if (!enabled_beside_q) continue;
+      for (const pn::PlaceId out : net.post(t)) add(out.index(), q);
+    }
+  };
+  while (!work.empty()) {
+    const auto [p, q] = work.front();
+    work.pop_front();
+    step(p, q);
+    step(q, p);
+  }
+  return conc;
+}
+
+/// True when `a` and `b` may be enabled at the same time: their presets are
+/// disjoint (a shared place makes them conflict, not concur) and every
+/// cross-pair of pre-places may be co-marked.
+bool transitions_concurrent(const pn::PetriNet& net,
+                            const std::vector<std::vector<std::uint8_t>>& conc,
+                            pn::TransitionId a, pn::TransitionId b) {
+  const auto& pre_a = net.pre(a);
+  const auto& pre_b = net.pre(b);
+  if (pre_a.empty() || pre_b.empty()) return false;
+  for (const pn::PlaceId pa : pre_a) {
+    for (const pn::PlaceId pb : pre_b) {
+      if (pa == pb || !conc[pa.index()][pb.index()]) return false;
+    }
+  }
+  return true;
+}
+
+/// Potential firability: the fixed point of "a place is markable when it
+/// holds an initial token or some producer is fireable; a transition is
+/// fireable when every pre-place is markable".  Overapproximates real
+/// reachability (it ignores token counts and conflicts), so a transition it
+/// rules out is *certainly* dead — the right polarity for a lint.
+std::vector<std::uint8_t> potentially_fireable(const pn::PetriNet& net) {
+  const std::size_t nt = net.transition_count();
+  const std::size_t np = net.place_count();
+  std::vector<std::uint8_t> fireable(nt, 0);
+  std::vector<std::uint8_t> markable(np, 0);
+  for (std::size_t p = 0; p < np; ++p) {
+    if (net.initial_marking().tokens(pn::PlaceId(static_cast<std::uint32_t>(p))) > 0) {
+      markable[p] = 1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < nt; ++i) {
+      if (fireable[i]) continue;
+      const pn::TransitionId t(static_cast<std::uint32_t>(i));
+      const auto& pre = net.pre(t);
+      const bool ready =
+          !pre.empty() && std::all_of(pre.begin(), pre.end(), [&](pn::PlaceId p) {
+            return markable[p.index()] != 0;
+          });
+      if (!ready) continue;
+      fireable[i] = 1;
+      changed = true;
+      for (const pn::PlaceId p : net.post(t)) {
+        if (!markable[p.index()]) {
+          markable[p.index()] = 1;
+        }
+      }
+    }
+  }
+  return fireable;
+}
+
+/// "a+" with any "/k" suffix stripped -> "a"; empty when the name does not
+/// look like a signed transition token.
+std::string signed_token_base(const std::string& name) {
+  std::string_view body = name;
+  if (const std::size_t slash = body.rfind('/'); slash != std::string_view::npos) {
+    const std::string_view suffix = body.substr(slash + 1);
+    if (suffix.empty() ||
+        !std::all_of(suffix.begin(), suffix.end(),
+                     [](char c) { return c >= '0' && c <= '9'; })) {
+      return std::string();
+    }
+    body = body.substr(0, slash);
+  }
+  if (body.size() < 2) return std::string();
+  const char last = body.back();
+  if (last != '+' && last != '-') return std::string();
+  return std::string(body.substr(0, body.size() - 1));
+}
+
+// --- Rules ------------------------------------------------------------------
+
+/// STG001 (rule half): duplicated or contradictory directives the parser
+/// accepts silently (last one wins): repeated .model, a place marked twice,
+/// repeated or contradictory .init_values entries.
+void rule_duplicate_directives(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  for (std::size_t i = 1; i < parsed.model_spans.size(); ++i) {
+    sink.report("STG001", Severity::Warning, parsed.model_spans[i],
+                "multiple .model directives; the last name wins",
+                "keep a single .model line");
+  }
+  std::set<std::string> marked;
+  for (const auto& [name, span] : parsed.marking_entries) {
+    if (!marked.insert(name).second) {
+      sink.report("STG001", Severity::Warning, span,
+                  "place '" + name + "' is marked twice in .marking; the last count wins",
+                  "remove the duplicate marking entry");
+    }
+  }
+  std::map<std::string, std::uint8_t> init_seen;
+  for (const auto& entry : parsed.init_value_entries) {
+    const auto [it, inserted] = init_seen.emplace(entry.name, entry.value);
+    if (inserted) continue;
+    if (it->second != entry.value) {
+      sink.report("STG001", Severity::Warning, entry.span,
+                  "contradictory .init_values for '" + entry.name + "': both 0 and 1 given; the last one wins",
+                  "keep exactly one value per signal");
+    } else {
+      sink.report("STG001", Severity::Warning, entry.span,
+                  "duplicate .init_values entry for '" + entry.name + "'",
+                  "remove the repeated entry");
+    }
+    it->second = entry.value;
+  }
+}
+
+/// STG002: a declared signal without a single transition.  The model layer
+/// deliberately accepts these as constants, so this is informational.
+void rule_never_fired(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const stg::Stg& s = parsed.stg;
+  for (std::size_t i = 0; i < s.signal_count(); ++i) {
+    const stg::SignalId sig(static_cast<std::uint32_t>(i));
+    if (!s.instances_of(sig).empty()) continue;
+    const std::string& name = s.signal_name(sig);
+    sink.report("STG002", Severity::Note, parsed.signal_span(name),
+                "signal '" + name + "' is declared but never fires",
+                "add transitions for '" + name + "' or drop the declaration");
+  }
+}
+
+/// STG003: a place whose name reads as a signed transition token ("b+",
+/// "x-/2") of an *undeclared* signal.  The parser silently turns such tokens
+/// into places — the classic typo'd-signal footgun.
+void rule_fired_undeclared(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const pn::PetriNet& net = parsed.stg.net();
+  for (std::size_t i = 0; i < net.place_count(); ++i) {
+    const std::string& name = net.place_name(pn::PlaceId(static_cast<std::uint32_t>(i)));
+    if (!name.empty() && name.front() == '<') continue;  // implicit arc place
+    const std::string base = signed_token_base(name);
+    if (base.empty() || parsed.stg.find_signal(base)) continue;
+    sink.report("STG003", Severity::Warning, parsed.place_span(name),
+                "place '" + name + "' looks like a transition of undeclared signal '" +
+                    base + "'",
+                "declare '" + base + "' in .inputs/.outputs/.internal");
+  }
+}
+
+/// STG004: transitions that can never fire, by the potential-firability
+/// fixed point (structural, no state space).  When nothing is marked at all
+/// a single finding covers the whole file instead of one per transition.
+void rule_unreachable(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const pn::PetriNet& net = parsed.stg.net();
+  if (net.transition_count() == 0) return;
+  if (net.initial_marking().marked_places().empty()) {
+    sink.report("STG004", Severity::Warning,
+                parsed.marking_spans.empty() ? SourceSpan{} : parsed.marking_spans.front(),
+                "no place is initially marked: no transition can ever fire",
+                "mark at least one place in .marking");
+    return;
+  }
+  const std::vector<std::uint8_t> fireable = potentially_fireable(net);
+  for (std::size_t i = 0; i < fireable.size(); ++i) {
+    if (fireable[i]) continue;
+    const std::string& name =
+        net.transition_name(pn::TransitionId(static_cast<std::uint32_t>(i)));
+    sink.report("STG004", Severity::Warning, parsed.transition_span(name),
+                "transition '" + name + "' can never fire: no token can reach its preset",
+                "mark a place on some path to '" + name + "'");
+  }
+}
+
+/// STG005: dangling structure.  A transition with an empty preset or postset
+/// is an error (Stg::validate rejects it, so synthesis would too); a place
+/// nobody feeds or nobody consumes is a warning.
+void rule_dangling(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const pn::PetriNet& net = parsed.stg.net();
+  for (std::size_t i = 0; i < net.transition_count(); ++i) {
+    const pn::TransitionId t(static_cast<std::uint32_t>(i));
+    const std::string& name = net.transition_name(t);
+    if (net.pre(t).empty()) {
+      sink.report("STG005", Severity::Error, parsed.transition_span(name),
+                  "transition '" + name + "' has an empty preset (it would be always enabled)",
+                  "add an arc from some place to '" + name + "'");
+    }
+    if (net.post(t).empty()) {
+      sink.report("STG005", Severity::Error, parsed.transition_span(name),
+                  "transition '" + name + "' has an empty postset (its firings vanish)",
+                  "add an arc from '" + name + "' to some place");
+    }
+  }
+  for (std::size_t i = 0; i < net.place_count(); ++i) {
+    const pn::PlaceId p(static_cast<std::uint32_t>(i));
+    const std::string& name = net.place_name(p);
+    if (net.pre(p).empty() && net.initial_marking().tokens(p) == 0) {
+      sink.report("STG005", Severity::Warning, parsed.place_span(name),
+                  "place '" + name + "' has no producers and no initial token",
+                  "mark '" + name + "' or add a producing arc");
+    }
+    if (net.post(p).empty()) {
+      sink.report("STG005", Severity::Warning, parsed.place_span(name),
+                  "place '" + name + "' has no consumers; its tokens accumulate",
+                  "add a consuming arc or drop the place");
+    }
+  }
+}
+
+/// STG006: rise/fall alternation, statically.  Two shapes: a signal whose
+/// transitions all go one way (it can change at most once, so a cycle
+/// through it breaks consistency), and a same-polarity pair in *direct*
+/// succession (t2's only pre-place is fed by t1 with the same edge, so
+/// firing t1 enables an immediate second rise/fall).
+void rule_alternation(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const stg::Stg& s = parsed.stg;
+  const pn::PetriNet& net = s.net();
+  for (std::size_t i = 0; i < s.signal_count(); ++i) {
+    const stg::SignalId sig(static_cast<std::uint32_t>(i));
+    if (s.signal_kind(sig) == stg::SignalKind::Dummy) continue;
+    const auto& instances = s.instances_of(sig);
+    if (instances.empty()) continue;
+    std::size_t rises = 0;
+    std::size_t falls = 0;
+    for (const pn::TransitionId t : instances) {
+      (s.label(t).rising() ? rises : falls) += 1;
+    }
+    if (rises == 0 || falls == 0) {
+      const std::string& name = s.signal_name(sig);
+      sink.report("STG006", Severity::Warning, parsed.signal_span(name),
+                  "signal '" + name + "' only ever " +
+                      polarity_word(rises > 0 ? stg::Polarity::Rise : stg::Polarity::Fall) +
+                      ": it can change at most once",
+                  "a live signal needs both '" + name + "+' and '" + name + "-' transitions");
+    }
+  }
+  for (std::size_t i = 0; i < net.place_count(); ++i) {
+    const pn::PlaceId p(static_cast<std::uint32_t>(i));
+    for (const pn::TransitionId producer : net.pre(p)) {
+      const stg::Label& from = s.label(producer);
+      if (from.dummy) continue;
+      for (const pn::TransitionId consumer : net.post(p)) {
+        const stg::Label& to = s.label(consumer);
+        if (to.dummy || consumer == producer) continue;
+        if (from.signal != to.signal || from.polarity != to.polarity) continue;
+        if (net.pre(consumer).size() != 1) continue;  // other places may interleave
+        sink.report("STG006", Severity::Warning,
+                    parsed.transition_span(net.transition_name(consumer)),
+                    "rise/fall alternation broken: '" + net.transition_name(consumer) +
+                        "' fires directly after '" + net.transition_name(producer) +
+                        "' with no opposite edge between them",
+                    "insert the opposite edge of the signal between the two");
+      }
+    }
+  }
+}
+
+/// STG007: structural 1-safety hints.  A place that starts with two or more
+/// tokens is unsafe by construction; a place fed by two producers that may
+/// fire concurrently (per the place-concurrency fixed point) can receive a
+/// second token while the first is still there.  Choice merges and
+/// producers ordered around a loop never become concurrent, so the sane
+/// free-choice merge shapes stay silent.
+void rule_unsafe_hint(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const pn::PetriNet& net = parsed.stg.net();
+  for (std::size_t i = 0; i < net.place_count(); ++i) {
+    const pn::PlaceId p(static_cast<std::uint32_t>(i));
+    if (net.initial_marking().tokens(p) >= 2) {
+      const std::string& name = net.place_name(p);
+      sink.report("STG007", Severity::Warning, parsed.place_span(name),
+                  "place '" + name + "' initially holds " +
+                      std::to_string(net.initial_marking().tokens(p)) +
+                      " tokens; the synthesis pipeline assumes a 1-safe net",
+                  "restructure the net so every place holds at most one token");
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> conc;  // computed lazily
+  for (std::size_t i = 0; i < net.place_count(); ++i) {
+    const pn::PlaceId p(static_cast<std::uint32_t>(i));
+    const auto& producers = net.pre(p);
+    if (producers.size() < 2) continue;
+    if (conc.empty()) conc = place_concurrency(net);
+    for (std::size_t a = 0; a < producers.size(); ++a) {
+      for (std::size_t b = a + 1; b < producers.size(); ++b) {
+        const pn::TransitionId ta = producers[a];
+        const pn::TransitionId tb = producers[b];
+        if (!transitions_concurrent(net, conc, ta, tb)) continue;
+        const std::string& name = net.place_name(p);
+        sink.report("STG007", Severity::Warning, parsed.place_span(name),
+                    "place '" + name + "' can receive tokens from '" +
+                        net.transition_name(ta) + "' and '" + net.transition_name(tb) +
+                        "' which may fire concurrently: possible 1-safety violation",
+                    "order the producers or separate them with a choice");
+      }
+    }
+  }
+}
+
+/// STG008: a signal racing with itself.  Self-triggering: the opposite edge
+/// of a signal is enabled by nothing but the signal's own previous edge, so
+/// the circuit would trigger itself with no environment acknowledgement.
+/// Auto-concurrency: two same-edge instances of one signal whose presets may
+/// be co-marked (place-concurrency fixed point) can both be enabled at once.
+void rule_self_race(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const stg::Stg& s = parsed.stg;
+  const pn::PetriNet& net = s.net();
+  for (std::size_t i = 0; i < net.place_count(); ++i) {
+    const pn::PlaceId p(static_cast<std::uint32_t>(i));
+    for (const pn::TransitionId producer : net.pre(p)) {
+      const stg::Label& from = s.label(producer);
+      if (from.dummy) continue;
+      for (const pn::TransitionId consumer : net.post(p)) {
+        const stg::Label& to = s.label(consumer);
+        if (to.dummy || consumer == producer) continue;
+        if (from.signal != to.signal || from.polarity == to.polarity) continue;
+        if (net.pre(consumer).size() != 1) continue;
+        const std::string& name = s.signal_name(from.signal);
+        sink.report("STG008", Severity::Warning,
+                    parsed.transition_span(net.transition_name(consumer)),
+                    "signal '" + name + "' triggers itself: '" +
+                        net.transition_name(consumer) + "' is enabled by nothing but '" +
+                        net.transition_name(producer) + "'",
+                    "let another signal acknowledge '" + net.transition_name(producer) +
+                        "' before '" + net.transition_name(consumer) + "'");
+      }
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> conc;  // computed lazily
+  for (std::size_t i = 0; i < s.signal_count(); ++i) {
+    const stg::SignalId sig(static_cast<std::uint32_t>(i));
+    if (s.signal_kind(sig) == stg::SignalKind::Dummy) continue;
+    const auto& instances = s.instances_of(sig);
+    for (std::size_t a = 0; a < instances.size(); ++a) {
+      for (std::size_t b = a + 1; b < instances.size(); ++b) {
+        const pn::TransitionId ta = instances[a];
+        const pn::TransitionId tb = instances[b];
+        if (s.label(ta).polarity != s.label(tb).polarity) continue;
+        if (conc.empty()) conc = place_concurrency(net);
+        if (!transitions_concurrent(net, conc, ta, tb)) continue;
+        sink.report("STG008", Severity::Warning,
+                    parsed.transition_span(net.transition_name(tb)),
+                    "auto-concurrency: '" + net.transition_name(ta) + "' and '" +
+                        net.transition_name(tb) + "' of signal '" + s.signal_name(sig) +
+                        "' can be enabled at the same time",
+                    "order the two instances or merge them");
+      }
+    }
+  }
+}
+
+/// STG009: choice-place shape.  In an arbiter-free speed-independent
+/// circuit, choice must be resolved by the environment: every (non-dummy)
+/// alternative of a choice place should be an input edge.  A choice between
+/// output/internal edges means the circuit itself would have to arbitrate.
+void rule_choice_shape(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const stg::Stg& s = parsed.stg;
+  const pn::PetriNet& net = s.net();
+  for (const pn::PlaceId p : net.choice_places()) {
+    // Only free-choice-style alternatives count: consumers the place merely
+    // synchronises (extra pre-places) are joins, not choice alternatives.
+    std::vector<pn::TransitionId> alternatives;
+    for (const pn::TransitionId t : net.post(p)) {
+      if (net.pre(t).size() == 1) alternatives.push_back(t);
+    }
+    if (alternatives.size() < 2) continue;
+    for (const pn::TransitionId t : alternatives) {
+      const stg::Label& label = s.label(t);
+      if (label.dummy) continue;
+      if (s.signal_kind(label.signal) == stg::SignalKind::Input) continue;
+      sink.report("STG009", Severity::Warning,
+                  parsed.transition_span(net.transition_name(t)),
+                  "choice place '" + net.place_name(p) + "' is resolved by non-input transition '" +
+                      net.transition_name(t) + "'",
+                  "only the environment (input edges) may resolve a choice without an arbiter");
+    }
+  }
+}
+
+/// STG010: CSC pre-screen.  Two same-edge instances of one signal with
+/// identical presets fire from indistinguishable structural contexts — a
+/// cheap necessary-condition screen for state-coding trouble around dummy
+/// and internal signals (and redundant duplicate instances in general).
+void rule_csc_prescreen(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const stg::Stg& s = parsed.stg;
+  const pn::PetriNet& net = s.net();
+  for (std::size_t i = 0; i < s.signal_count(); ++i) {
+    const stg::SignalId sig(static_cast<std::uint32_t>(i));
+    const auto& instances = s.instances_of(sig);
+    for (std::size_t a = 0; a < instances.size(); ++a) {
+      for (std::size_t b = a + 1; b < instances.size(); ++b) {
+        const pn::TransitionId ta = instances[a];
+        const pn::TransitionId tb = instances[b];
+        const stg::Label& la = s.label(ta);
+        const stg::Label& lb = s.label(tb);
+        if (!la.dummy && la.polarity != lb.polarity) continue;
+        std::vector<pn::PlaceId> pre_a(net.pre(ta));
+        std::vector<pn::PlaceId> pre_b(net.pre(tb));
+        std::sort(pre_a.begin(), pre_a.end());
+        std::sort(pre_b.begin(), pre_b.end());
+        if (pre_a.empty() || pre_a != pre_b) continue;
+        sink.report("STG010", Severity::Note,
+                    parsed.transition_span(net.transition_name(tb)),
+                    "transitions '" + net.transition_name(ta) + "' and '" +
+                        net.transition_name(tb) + "' have identical presets; they fire from indistinguishable contexts",
+                    "merge the instances or distinguish their presets");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"STG000", Severity::Error, "syntax: malformed directives, tokens, or graph lines"},
+      {"STG001", Severity::Error, "duplicate or contradictory constructs (declarations, arcs, markings, init values)"},
+      {"STG002", Severity::Note, "signal declared but never fires (constant)"},
+      {"STG003", Severity::Warning, "place named like a transition of an undeclared signal"},
+      {"STG004", Severity::Warning, "transition unreachable from the initial marking (graph reachability)"},
+      {"STG005", Severity::Error, "dangling structure: transitions without preset/postset, source/sink places"},
+      {"STG006", Severity::Warning, "rise/fall alternation inconsistency of a signal"},
+      {"STG007", Severity::Warning, "structural 1-safety hint: multi-token or concurrently fed place"},
+      {"STG008", Severity::Warning, "signal self-triggering or auto-concurrency with itself"},
+      {"STG009", Severity::Warning, "choice place resolved by non-input transitions"},
+      {"STG010", Severity::Note, "CSC pre-screen: same-edge instances with identical presets"},
+  };
+  return catalog;
+}
+
+void run_rules(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  rule_duplicate_directives(parsed, sink);
+  rule_never_fired(parsed, sink);
+  rule_fired_undeclared(parsed, sink);
+  rule_unreachable(parsed, sink);
+  rule_dangling(parsed, sink);
+  rule_alternation(parsed, sink);
+  rule_unsafe_hint(parsed, sink);
+  rule_self_race(parsed, sink);
+  rule_choice_shape(parsed, sink);
+  rule_csc_prescreen(parsed, sink);
+}
+
+}  // namespace punt::lint

@@ -1,0 +1,44 @@
+// The `punt lint` rule catalog: static analyses over a collecting-parsed STG.
+//
+// Every rule works on the structure parse_g_collect() built — the labelled
+// net, the provenance spans, the raw directive entries — and never explores
+// the state space.  That keeps a lint pass microsecond-cheap on benchmark
+// specs and makes it safe to run on every serve request as admission control.
+//
+// Severity policy (the admission contract depends on it):
+//
+//  - Error: the strict pipeline (`parse_g` + `Stg::validate`) would reject
+//    the spec with an exception.  Only the parser (STG000/STG001) and the
+//    dangling-transition half of STG005 emit errors, so `punt serve` never
+//    refuses a spec that `punt synth` would accept.
+//  - Warning: the spec is synthesisable but a structural necessary condition
+//    of a sane speed-independent specification is violated or at risk
+//    (unreachable transitions, broken alternation, 1-safety hints, choice
+//    shape).  Promotable to Error with --Werror.
+//  - Note: informational observations (constant signals, CSC pre-screen).
+#pragma once
+
+#include <vector>
+
+#include "src/stg/g_format.hpp"
+#include "src/util/diagnostics.hpp"
+
+namespace punt::lint {
+
+/// One catalog entry, as shown by `punt lint --help`.
+struct RuleInfo {
+  const char* id;            // stable id, e.g. "STG004"
+  util::Severity severity;   // default (pre-promotion) severity
+  const char* summary;       // one line: what the rule detects
+};
+
+/// The full rule catalog in id order (STG000 ... STG010).
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Runs every structural rule over `parsed`, reporting to `sink`.  Assumes
+/// the caller already ran parse_g_collect() with the same sink (so parser
+/// diagnostics precede rule diagnostics); structural rules run even when the
+/// parse reported errors, as long as the graph section was usable.
+void run_rules(const stg::ParsedG& parsed, util::DiagnosticSink& sink);
+
+}  // namespace punt::lint

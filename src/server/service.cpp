@@ -8,7 +8,9 @@
 #include "src/core/model_cache.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
+#include "src/lint/lint.hpp"
 #include "src/server/batcher.hpp"
+#include "src/util/diagnostics.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/stg/g_format.hpp"
 #include "src/util/error.hpp"
@@ -83,13 +85,29 @@ void append_cache_summary(Response& response, const core::ModelCache* cache,
 SynthJob prepare_synth(Request request) {
   SynthJob job;
   job.request = std::move(request);
+  // Admission control: the error-severity lint rules run before any parse
+  // throw or model construction, so a structurally broken spec is refused
+  // with every defect rendered (rule ids, line:column spans, hints) and
+  // never reaches the batcher, the ModelCache or the executor.  Lint errors
+  // are a strict subset of what parse_g/validate reject, so this gate never
+  // refuses a spec direct `punt synth` would accept.
+  const std::vector<util::Diagnostic> defects = lint::lint_errors(job.request.g_text);
+  if (!defects.empty()) {
+    job.failure.ok = true;
+    job.failure.log = util::render_diagnostics(defects, job.request.g_text, "request.g") +
+                      printf_string("error: specification refused by lint: %zu defect(s)\n",
+                                    defects.size());
+    job.failure.exit_code = 2;
+    return job;
+  }
   try {
     job.stg = stg::parse_g(job.request.g_text);
     job.options = options_of(job.request);
     job.ok = true;
   } catch (const Error& e) {
-    // Same diagnostic (and exit code) a direct `punt synth` prints when the
-    // .g text does not parse; render_synth is never reached for this job.
+    // Dynamic rejections lint cannot see statically (initial-code inference
+    // inconsistencies, capacity limits): same diagnostic (and exit code) a
+    // direct `punt synth` prints; render_synth is never reached for this job.
     job.failure.ok = true;
     job.failure.log = printf_string("error: %s\n", e.what());
     job.failure.exit_code = 2;

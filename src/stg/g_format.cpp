@@ -14,6 +14,15 @@
 namespace punt::stg {
 namespace {
 
+using util::Severity;
+using util::SourceSpan;
+
+/// Parser diagnostics carry the syntax rule id; duplicated constructs (a
+/// signal declared twice, a duplicate arc) carry the duplicate-directive id
+/// so `punt lint` groups them with the other STG001 findings.
+constexpr const char* kSyntaxRule = "STG000";
+constexpr const char* kDuplicateRule = "STG001";
+
 /// A transition token decomposed into signal name, polarity and occurrence.
 struct TransitionToken {
   std::string signal;
@@ -23,18 +32,31 @@ struct TransitionToken {
 
 /// Splits "sig+/2" into its parts; returns nullopt when the token carries no
 /// polarity sign (it is then either a dummy transition or a place name).
-std::optional<TransitionToken> parse_transition_token(std::string_view token) {
+/// A malformed occurrence suffix sets `error` (same message the fail-fast
+/// parser used to throw) and reads as a place.
+std::optional<TransitionToken> parse_transition_token(std::string_view token,
+                                                      std::string* error) {
   std::string_view body = token;
   std::size_t occurrence = 1;
   if (const std::size_t slash = body.rfind('/'); slash != std::string_view::npos) {
     const std::string_view suffix = body.substr(slash + 1);
-    if (suffix.empty()) throw ParseError("empty occurrence suffix in '" + std::string(token) + "'");
+    if (suffix.empty()) {
+      if (error != nullptr) {
+        *error = "empty occurrence suffix in '" + std::string(token) + "'";
+      }
+      return std::nullopt;
+    }
     occurrence = 0;
     for (const char c : suffix) {
       if (c < '0' || c > '9') return std::nullopt;  // e.g. a name containing '/'
       occurrence = occurrence * 10 + static_cast<std::size_t>(c - '0');
     }
-    if (occurrence == 0) throw ParseError("occurrence suffix 0 in '" + std::string(token) + "'");
+    if (occurrence == 0) {
+      if (error != nullptr) {
+        *error = "occurrence suffix 0 in '" + std::string(token) + "'";
+      }
+      return std::nullopt;
+    }
     body = body.substr(0, slash);
   }
   if (body.empty()) return std::nullopt;
@@ -58,7 +80,124 @@ std::string canonical_token(const TransitionToken& t) {
   return out;
 }
 
+/// One whitespace-delimited token of a logical line, with the physical
+/// source position it started at (continuation lines resolve to their own
+/// physical line/column).
+struct Token {
+  std::string text;
+  SourceSpan span;
+};
+
+/// A logical line: physical lines joined over trailing-backslash
+/// continuations, comment-stripped and tokenized, with per-token provenance.
+struct LogicalLine {
+  std::vector<Token> tokens;
+  std::string trimmed;  // comment-stripped, trimmed text (for diagnostics)
+};
+
+/// Splits `text` into provenance-carrying logical lines.  Mirrors
+/// util::logical_lines exactly (trailing '\\' joins, '\r' stripped, '#'
+/// comments stripped from the *joined* text), with each token mapped back to
+/// the physical line/column it began at.
+std::vector<LogicalLine> lex_lines(std::string_view text) {
+  struct Segment {
+    std::uint32_t line = 0;     // 1-based physical line
+    std::size_t begin = 0;      // offset of the segment in the joined text
+    std::size_t length = 0;
+  };
+  std::vector<LogicalLine> out;
+  std::string joined;
+  std::vector<Segment> segments;
+  std::uint32_t line_no = 0;
+  std::size_t pos = 0;
+
+  auto flush = [&] {
+    LogicalLine logical;
+    // Comments strip from the joined text, exactly like the pre-provenance
+    // parser (a '#' on the first physical line of a continuation comments
+    // out the continuation too).
+    std::string_view effective = joined;
+    if (const std::size_t hash = effective.find('#'); hash != std::string_view::npos) {
+      effective = effective.substr(0, hash);
+    }
+    logical.trimmed = std::string(trim(effective));
+    // Tokenize, mapping each token's start offset through the segment table.
+    std::size_t i = 0;
+    while (i < effective.size()) {
+      while (i < effective.size() && (effective[i] == ' ' || effective[i] == '\t')) ++i;
+      std::size_t j = i;
+      while (j < effective.size() && effective[j] != ' ' && effective[j] != '\t') ++j;
+      if (j > i) {
+        Token token;
+        token.text = std::string(effective.substr(i, j - i));
+        for (const Segment& seg : segments) {
+          if (i >= seg.begin && i < seg.begin + std::max<std::size_t>(seg.length, 1)) {
+            token.span.line = seg.line;
+            token.span.column = static_cast<std::uint32_t>(i - seg.begin + 1);
+            // Clamp the caret run to the segment so a token broken across a
+            // continuation doesn't underline into the next physical line.
+            token.span.length = static_cast<std::uint32_t>(
+                std::min(j, seg.begin + seg.length) - i);
+            break;
+          }
+        }
+        logical.tokens.push_back(std::move(token));
+      }
+      i = j;
+    }
+    if (!logical.tokens.empty() || !logical.trimmed.empty()) out.push_back(std::move(logical));
+    joined.clear();
+    segments.clear();
+  };
+
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        nl == std::string_view::npos ? text.substr(pos) : text.substr(pos, nl - pos);
+    ++line_no;
+    while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const bool continued = !line.empty() && line.back() == '\\';
+    if (continued) line.remove_suffix(1);
+    segments.push_back(Segment{line_no, joined.size(), line.size()});
+    joined += line;
+    if (!continued) flush();
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  if (!joined.empty()) flush();  // dangling continuation at EOF
+  return out;
+}
+
+/// Accumulates a non-negative integer with an overflow cap; returns nullopt
+/// on non-digits or overflow (the pre-provenance parser crashed through
+/// std::stoul on these).
+std::optional<std::uint32_t> parse_count(std::string_view digits) {
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 1'000'000'000) return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
 }  // namespace
+
+util::SourceSpan ParsedG::transition_span(const std::string& name) const {
+  const auto it = transition_spans.find(name);
+  return it != transition_spans.end() ? it->second : util::SourceSpan{};
+}
+
+util::SourceSpan ParsedG::place_span(const std::string& name) const {
+  const auto it = place_spans.find(name);
+  return it != place_spans.end() ? it->second : util::SourceSpan{};
+}
+
+util::SourceSpan ParsedG::signal_span(const std::string& name) const {
+  const auto it = signal_spans.find(name);
+  return it != signal_spans.end() ? it->second : util::SourceSpan{};
+}
 
 Code infer_initial_code(const Stg& stg, std::size_t state_budget) {
   const pn::PetriNet& net = stg.net();
@@ -154,93 +293,116 @@ Code infer_initial_code(const Stg& stg, std::size_t state_budget) {
   return initial;
 }
 
-Stg parse_g(std::string_view text, const ParseOptions& options) {
-  Stg stg;
-  std::map<std::string, SignalKind> declared;       // signal name -> kind
-  std::vector<std::pair<std::string, SignalKind>> declaration_order;
-  std::vector<std::vector<std::string>> graph_lines;
-  std::vector<std::string> marking_tokens;
-  std::map<std::string, std::uint8_t> init_values;
-  bool has_init_values = false;
+ParsedG parse_g_collect(std::string_view text, util::DiagnosticSink& sink,
+                        const ParseOptions& options) {
+  (void)options;  // inference (the only option consumer) runs in parse_g()
+  ParsedG parsed;
+  Stg& stg = parsed.stg;
+  std::map<std::string, SignalKind> declared;  // signal name -> kind
+  std::vector<std::vector<Token>> graph_lines;
+  std::vector<Token> marking_tokens;
   bool in_graph = false;
-  bool saw_end = false;
 
-  auto declare = [&](const std::string& name, SignalKind kind) {
-    if (declared.contains(name)) {
-      throw ParseError("signal '" + name + "' declared twice");
+  auto declare = [&](const Token& token, SignalKind kind) {
+    if (declared.contains(token.text)) {
+      sink.report(kDuplicateRule, Severity::Error, token.span,
+                  "signal '" + token.text + "' declared twice",
+                  "remove the duplicate declaration (the first one wins)");
+      return;
     }
-    declared.emplace(name, kind);
-    declaration_order.emplace_back(name, kind);
+    declared.emplace(token.text, kind);
+    stg.add_signal(token.text, kind);
+    parsed.signal_spans.emplace(token.text, token.span);
   };
 
-  for (const std::string& raw : logical_lines(text)) {
-    std::string_view line = trim(raw);
-    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
-      line = trim(line.substr(0, hash));
-    }
-    if (line.empty()) continue;
+  for (const LogicalLine& line : lex_lines(text)) {
+    if (line.tokens.empty()) continue;
+    const Token& head = line.tokens.front();
 
-    if (line.front() == '.') {
+    if (head.text.front() == '.') {
       in_graph = false;
-      const std::vector<std::string> words = split(line);
-      const std::string& directive = words.front();
+      const std::string& directive = head.text;
       if (directive == ".model" || directive == ".name") {
-        if (words.size() >= 2) stg.set_name(words[1]);
+        if (line.tokens.size() >= 2) stg.set_name(line.tokens[1].text);
+        parsed.model_spans.push_back(head.span);
       } else if (directive == ".inputs") {
-        for (std::size_t i = 1; i < words.size(); ++i) declare(words[i], SignalKind::Input);
+        for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+          declare(line.tokens[i], SignalKind::Input);
+        }
       } else if (directive == ".outputs") {
-        for (std::size_t i = 1; i < words.size(); ++i) declare(words[i], SignalKind::Output);
+        for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+          declare(line.tokens[i], SignalKind::Output);
+        }
       } else if (directive == ".internal") {
-        for (std::size_t i = 1; i < words.size(); ++i) declare(words[i], SignalKind::Internal);
+        for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+          declare(line.tokens[i], SignalKind::Internal);
+        }
       } else if (directive == ".dummy") {
-        for (std::size_t i = 1; i < words.size(); ++i) declare(words[i], SignalKind::Dummy);
+        for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+          declare(line.tokens[i], SignalKind::Dummy);
+        }
       } else if (directive == ".graph") {
         in_graph = true;
       } else if (directive == ".marking") {
-        std::string rest(line.substr(directive.size()));
-        std::erase(rest, '{');
-        std::erase(rest, '}');
-        for (std::string& token : split(rest)) marking_tokens.push_back(std::move(token));
+        parsed.marking_spans.push_back(head.span);
+        for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+          // Braces are decoration: "{p0}", "{", "p0}" all reduce to names.
+          Token token = line.tokens[i];
+          std::erase(token.text, '{');
+          std::erase(token.text, '}');
+          if (!token.text.empty()) marking_tokens.push_back(std::move(token));
+        }
       } else if (directive == ".init_values") {
-        has_init_values = true;
-        for (std::size_t i = 1; i < words.size(); ++i) {
-          const std::size_t eq = words[i].find('=');
+        parsed.has_init_values = true;
+        for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+          const Token& word = line.tokens[i];
+          const std::size_t eq = word.text.find('=');
           if (eq == std::string::npos) {
-            throw ParseError(".init_values entries must look like name=0|1, got '" +
-                             words[i] + "'");
+            sink.report(kSyntaxRule, Severity::Error, word.span,
+                        ".init_values entries must look like name=0|1, got '" +
+                            word.text + "'");
+            continue;
           }
-          const std::string name = words[i].substr(0, eq);
-          const std::string value = words[i].substr(eq + 1);
+          const std::string name = word.text.substr(0, eq);
+          const std::string value = word.text.substr(eq + 1);
           if (value != "0" && value != "1") {
-            throw ParseError("initial value of '" + name + "' must be 0 or 1");
+            sink.report(kSyntaxRule, Severity::Error, word.span,
+                        "initial value of '" + name + "' must be 0 or 1");
+            continue;
           }
-          init_values[name] = static_cast<std::uint8_t>(value == "1");
+          parsed.init_value_entries.push_back(ParsedG::InitValueEntry{
+              name, static_cast<std::uint8_t>(value == "1"), word.span});
         }
       } else if (directive == ".end") {
-        saw_end = true;
+        parsed.saw_end = true;
         break;
       } else if (directive == ".capacity" || directive == ".coords" ||
                  directive == ".slowenv" || directive == ".level") {
         // Accepted and ignored: these carry tool-specific hints that do not
         // affect the synthesis semantics.
       } else {
-        throw ParseError("unknown directive '" + directive + "'");
+        sink.report(kSyntaxRule, Severity::Error, head.span,
+                    "unknown directive '" + directive + "'");
       }
       continue;
     }
 
     if (!in_graph) {
-      throw ParseError("unexpected line outside .graph section: '" + std::string(line) + "'");
+      sink.report(kSyntaxRule, Severity::Error, head.span,
+                  "unexpected line outside .graph section: '" + line.trimmed + "'",
+                  "graph adjacency lines must follow a .graph directive");
+      continue;
     }
-    graph_lines.push_back(split(line));
+    graph_lines.push_back(line.tokens);
   }
-  if (!saw_end) throw ParseError("missing .end directive");
-  if (graph_lines.empty()) throw ParseError("empty .graph section");
-
-  // Signals in declaration order.
-  std::map<std::string, SignalId> signal_ids;
-  for (const auto& [name, kind] : declaration_order) {
-    signal_ids.emplace(name, stg.add_signal(name, kind));
+  if (!parsed.saw_end) {
+    sink.report(kSyntaxRule, Severity::Error, SourceSpan{},
+                "missing .end directive");
+  }
+  if (graph_lines.empty()) {
+    sink.report(kSyntaxRule, Severity::Error, SourceSpan{}, "empty .graph section");
+  } else {
+    parsed.usable = true;
   }
 
   // Pass 1: find every transition token so instances can be created with
@@ -253,38 +415,64 @@ Stg parse_g(std::string_view text, const ParseOptions& options) {
     }
   };
   std::map<InstanceKey, std::set<std::size_t>> occurrences;
-  auto classify = [&](const std::string& token) -> std::optional<TransitionToken> {
-    std::optional<TransitionToken> parsed = parse_transition_token(token);
-    if (!parsed) return std::nullopt;
-    const auto it = declared.find(parsed->signal);
+  std::map<std::string, SourceSpan> token_sites;  // canonical spelling -> first site
+  auto classify = [&](const Token& token) -> std::optional<TransitionToken> {
+    std::string error;
+    std::optional<TransitionToken> result = parse_transition_token(token.text, &error);
+    if (!error.empty()) {
+      sink.report(kSyntaxRule, Severity::Error, token.span, error);
+      return std::nullopt;
+    }
+    if (!result) return std::nullopt;
+    const auto it = declared.find(result->signal);
     if (it == declared.end()) return std::nullopt;  // an undeclared name is a place
-    if (parsed->polarity && it->second == SignalKind::Dummy) {
-      throw ParseError("dummy signal '" + parsed->signal + "' used with a polarity sign");
+    if (result->polarity && it->second == SignalKind::Dummy) {
+      sink.report(kSyntaxRule, Severity::Error, token.span,
+                  "dummy signal '" + result->signal + "' used with a polarity sign",
+                  "dummy transitions are written without +/-");
+      return std::nullopt;
     }
-    if (!parsed->polarity && it->second != SignalKind::Dummy) {
-      throw ParseError("signal '" + parsed->signal +
-                       "' used as a transition without +/- (only dummies may be)");
+    if (!result->polarity && it->second != SignalKind::Dummy) {
+      sink.report(kSyntaxRule, Severity::Error, token.span,
+                  "signal '" + result->signal +
+                      "' used as a transition without +/- (only dummies may be)",
+                  "write '" + result->signal + "+' or '" + result->signal + "-'");
+      return std::nullopt;
     }
-    return parsed;
+    return result;
   };
   for (const auto& words : graph_lines) {
-    for (const std::string& token : words) {
-      if (const auto parsed = classify(token)) {
-        const int pol = parsed->polarity ? (*parsed->polarity == Polarity::Rise ? 0 : 1) : 2;
-        occurrences[InstanceKey{parsed->signal, pol}].insert(parsed->occurrence);
+    for (const Token& token : words) {
+      if (const auto result = classify(token)) {
+        const int pol = result->polarity ? (*result->polarity == Polarity::Rise ? 0 : 1) : 2;
+        occurrences[InstanceKey{result->signal, pol}].insert(result->occurrence);
+        token_sites.emplace(canonical_token(*result), token.span);
       }
     }
   }
   std::unordered_map<std::string, pn::TransitionId> transition_by_name;
   for (const auto& [key, occs] : occurrences) {
     std::size_t expected = 1;
+    bool gap_reported = false;
     for (const std::size_t occ : occs) {
-      if (occ != expected) {
-        throw ParseError("occurrences of transition '" + key.signal +
-                         "' are not contiguous: missing /" + std::to_string(expected));
+      if (occ != expected && !gap_reported) {
+        TransitionToken probe;
+        probe.signal = key.signal;
+        if (key.polarity != 2) {
+          probe.polarity = key.polarity == 0 ? Polarity::Rise : Polarity::Fall;
+        }
+        probe.occurrence = occ;
+        sink.report(kSyntaxRule, Severity::Error,
+                    token_sites.contains(canonical_token(probe))
+                        ? token_sites[canonical_token(probe)]
+                        : SourceSpan{},
+                    "occurrences of transition '" + key.signal +
+                        "' are not contiguous: missing /" + std::to_string(expected),
+                    "renumber the /k suffixes to run 1, 2, 3, ...");
+        gap_reported = true;
       }
       ++expected;
-      const SignalId sig = signal_ids.at(key.signal);
+      const SignalId sig = *stg.find_signal(key.signal);
       const pn::TransitionId t =
           key.polarity == 2
               ? stg.add_dummy_transition(sig)
@@ -293,17 +481,23 @@ Stg parse_g(std::string_view text, const ParseOptions& options) {
       tok.signal = key.signal;
       if (key.polarity != 2) tok.polarity = key.polarity == 0 ? Polarity::Rise : Polarity::Fall;
       tok.occurrence = occ;
-      transition_by_name.emplace(canonical_token(tok), t);
+      const std::string written = canonical_token(tok);
+      transition_by_name.emplace(written, t);
+      const auto site = token_sites.find(written);
+      parsed.transition_spans.emplace(stg.transition_name(t),
+                                      site != token_sites.end() ? site->second
+                                                                : SourceSpan{});
     }
   }
 
   // Pass 2: create places and arcs.
   std::unordered_map<std::string, pn::PlaceId> place_by_name;
-  auto get_place = [&](const std::string& name) {
-    const auto it = place_by_name.find(name);
+  auto get_place = [&](const Token& token) {
+    const auto it = place_by_name.find(token.text);
     if (it != place_by_name.end()) return it->second;
-    const pn::PlaceId p = stg.net().add_place(name);
-    place_by_name.emplace(name, p);
+    const pn::PlaceId p = stg.net().add_place(token.text);
+    place_by_name.emplace(token.text, p);
+    parsed.place_spans.emplace(token.text, token.span);
     return p;
   };
   auto lookup_transition = [&](const std::string& token) -> std::optional<pn::TransitionId> {
@@ -311,63 +505,120 @@ Stg parse_g(std::string_view text, const ParseOptions& options) {
     if (it == transition_by_name.end()) return std::nullopt;
     return it->second;
   };
+  auto arc_t_to_p = [&](pn::TransitionId t, pn::PlaceId p, const SourceSpan& span) {
+    const auto& post = stg.net().post(t);
+    if (std::find(post.begin(), post.end(), p) != post.end()) {
+      sink.report(kDuplicateRule, Severity::Error, span,
+                  "duplicate arc " + stg.net().transition_name(t) + " -> " +
+                      stg.net().place_name(p),
+                  "remove the repeated adjacency");
+      return;
+    }
+    stg.net().add_arc(t, p);
+  };
+  auto arc_p_to_t = [&](pn::PlaceId p, pn::TransitionId t, const SourceSpan& span) {
+    const auto& pre = stg.net().pre(t);
+    if (std::find(pre.begin(), pre.end(), p) != pre.end()) {
+      sink.report(kDuplicateRule, Severity::Error, span,
+                  "duplicate arc " + stg.net().place_name(p) + " -> " +
+                      stg.net().transition_name(t),
+                  "remove the repeated adjacency");
+      return;
+    }
+    stg.net().add_arc(p, t);
+  };
   for (const auto& words : graph_lines) {
     if (words.size() < 2) {
-      throw ParseError("a .graph line needs a source and at least one target");
+      sink.report(kSyntaxRule, Severity::Error, words.front().span,
+                  "a .graph line needs a source and at least one target");
+      continue;
     }
-    const std::optional<pn::TransitionId> src_t = lookup_transition(words.front());
+    const std::optional<pn::TransitionId> src_t = lookup_transition(words.front().text);
     for (std::size_t i = 1; i < words.size(); ++i) {
-      const std::optional<pn::TransitionId> dst_t = lookup_transition(words[i]);
+      const std::optional<pn::TransitionId> dst_t = lookup_transition(words[i].text);
       if (src_t && dst_t) {
-        const pn::PlaceId p = get_place("<" + words.front() + "," + words[i] + ">");
-        stg.net().add_arc(*src_t, p);
-        stg.net().add_arc(p, *dst_t);
+        Token implicit = words[i];
+        implicit.text = "<" + words.front().text + "," + words[i].text + ">";
+        const pn::PlaceId p = get_place(implicit);
+        arc_t_to_p(*src_t, p, words[i].span);
+        arc_p_to_t(p, *dst_t, words[i].span);
       } else if (src_t && !dst_t) {
-        stg.net().add_arc(*src_t, get_place(words[i]));
+        arc_t_to_p(*src_t, get_place(words[i]), words[i].span);
       } else if (!src_t && dst_t) {
-        stg.net().add_arc(get_place(words.front()), *dst_t);
+        arc_p_to_t(get_place(words.front()), *dst_t, words[i].span);
       } else {
-        throw ParseError("arc between two places: '" + words.front() + "' -> '" +
-                         words[i] + "'");
+        sink.report(kSyntaxRule, Severity::Error, words[i].span,
+                    "arc between two places: '" + words.front().text + "' -> '" +
+                        words[i].text + "'",
+                    "at least one endpoint of every arc must be a transition");
       }
     }
   }
 
   // Initial marking.  Tokens: "p", "p=2", "<a+,b->", "<a+,b->=2".
-  for (const std::string& token : marking_tokens) {
-    std::string name = token;
+  for (const Token& token : marking_tokens) {
+    std::string name = token.text;
     std::uint32_t count = 1;
-    if (const std::size_t eq = token.rfind('='); eq != std::string::npos &&
-                                                 token.find('>') < eq) {
-      name = token.substr(0, eq);
-      count = static_cast<std::uint32_t>(std::stoul(token.substr(eq + 1)));
-    } else if (const std::size_t eq2 = token.rfind('=');
-               eq2 != std::string::npos && token.find('<') == std::string::npos) {
-      name = token.substr(0, eq2);
-      count = static_cast<std::uint32_t>(std::stoul(token.substr(eq2 + 1)));
+    std::size_t eq = std::string::npos;
+    if (const std::size_t last_eq = token.text.rfind('='); last_eq != std::string::npos) {
+      if (token.text.find('>') < last_eq ||
+          token.text.find('<') == std::string::npos) {
+        eq = last_eq;
+      }
+    }
+    if (eq != std::string::npos) {
+      name = token.text.substr(0, eq);
+      const auto parsed_count = parse_count(token.text.substr(eq + 1));
+      if (!parsed_count) {
+        // The pre-provenance parser crashed through std::stoul here.
+        sink.report(kSyntaxRule, Severity::Error, token.span,
+                    "invalid token count in marking token '" + token.text + "'",
+                    "write '" + name + "' or '" + name + "=<count>'");
+        continue;
+      }
+      count = *parsed_count;
     }
     const auto it = place_by_name.find(name);
     if (it == place_by_name.end()) {
-      throw ParseError("marked place '" + name + "' does not appear in .graph");
+      sink.report(kSyntaxRule, Severity::Error, token.span,
+                  "marked place '" + name + "' does not appear in .graph",
+                  "every marked place must occur on a .graph adjacency line");
+      continue;
     }
+    parsed.marking_entries.emplace_back(name, token.span);
     stg.net().set_initial_tokens(it->second, count);
   }
 
-  stg.validate();
-
-  if (has_init_values) {
-    for (const auto& [name, value] : init_values) {
-      const auto sig = stg.find_signal(name);
-      if (!sig) throw ParseError(".init_values mentions unknown signal '" + name + "'");
-      stg.set_initial_value(*sig, value);
+  // Explicit initial values apply here (last entry wins, matching the
+  // pre-provenance parser); inference for the implicit case is parse_g()'s
+  // job — the lint path deliberately never explores the state space.
+  for (const ParsedG::InitValueEntry& entry : parsed.init_value_entries) {
+    const auto sig = stg.find_signal(entry.name);
+    if (!sig) {
+      sink.report(kSyntaxRule, Severity::Error, entry.span,
+                  ".init_values mentions unknown signal '" + entry.name + "'",
+                  "declare the signal or drop the entry");
+      continue;
     }
-  } else {
-    const Code inferred = infer_initial_code(stg, options.inference_state_budget);
+    stg.set_initial_value(*sig, entry.value);
+  }
+  return parsed;
+}
+
+Stg parse_g(std::string_view text, const ParseOptions& options) {
+  util::DiagnosticSink sink;
+  ParsedG parsed = parse_g_collect(text, sink, options);
+  // First-error-throw semantics: the first Error-severity diagnostic in
+  // discovery order is exactly what the fail-fast parser used to throw.
+  sink.throw_first_error();
+  parsed.stg.validate();
+  if (!parsed.has_init_values) {
+    const Code inferred = infer_initial_code(parsed.stg, options.inference_state_budget);
     for (std::size_t s = 0; s < inferred.size(); ++s) {
-      stg.set_initial_value(SignalId(static_cast<std::uint32_t>(s)), inferred[s]);
+      parsed.stg.set_initial_value(SignalId(static_cast<std::uint32_t>(s)), inferred[s]);
     }
   }
-  return stg;
+  return std::move(parsed.stg);
 }
 
 std::string write_g(const Stg& stg) {

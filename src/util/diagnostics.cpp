@@ -1,0 +1,99 @@
+#include "src/util/diagnostics.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace punt::util {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "error";
+}
+
+void DiagnosticSink::report(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::Error) ++errors_;
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::report(std::string rule, Severity severity, SourceSpan span,
+                            std::string message, std::string hint) {
+  report(Diagnostic{std::move(rule), severity, span, std::move(message),
+                    std::move(hint)});
+}
+
+std::size_t DiagnosticSink::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+void DiagnosticSink::throw_first_error() const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::Error) throw ParseError(d.message);
+  }
+}
+
+namespace {
+
+/// The 1-based `line` of `source`, without its trailing newline; empty when
+/// the text has fewer lines.
+std::string_view source_line(std::string_view source, std::uint32_t line) {
+  std::size_t pos = 0;
+  for (std::uint32_t i = 1; i < line; ++i) {
+    const std::size_t nl = source.find('\n', pos);
+    if (nl == std::string_view::npos) return std::string_view();
+    pos = nl + 1;
+  }
+  const std::size_t nl = source.find('\n', pos);
+  std::string_view text =
+      nl == std::string_view::npos ? source.substr(pos) : source.substr(pos, nl - pos);
+  while (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+  return text;
+}
+
+}  // namespace
+
+std::string render_diagnostics(const std::vector<Diagnostic>& diagnostics,
+                               std::string_view source, std::string_view filename) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += filename;
+    if (d.span.known()) {
+      out += printf_string(":%u:%u", d.span.line, d.span.column);
+    }
+    out += printf_string(": %s: %s [%s]\n", severity_name(d.severity),
+                         d.message.c_str(), d.rule.c_str());
+    if (d.span.known()) {
+      const std::string_view excerpt = source_line(source, d.span.line);
+      if (!excerpt.empty()) {
+        const std::string number = printf_string("%5u", d.span.line);
+        out += number + " | " + std::string(excerpt) + "\n";
+        // The caret column counts characters of the excerpt; tabs in the
+        // excerpt are mirrored into the margin so the caret stays aligned.
+        std::string margin;
+        const std::size_t caret_at =
+            std::min<std::size_t>(d.span.column > 0 ? d.span.column - 1 : 0,
+                                  excerpt.size());
+        for (std::size_t i = 0; i < caret_at; ++i) {
+          margin += excerpt[i] == '\t' ? '\t' : ' ';
+        }
+        const std::uint32_t run = std::max<std::uint32_t>(d.span.length, 1);
+        out += std::string(number.size(), ' ') + " | " + margin + "^";
+        for (std::uint32_t i = 1; i < run; ++i) out += "~";
+        out += "\n";
+      }
+    }
+    if (!d.hint.empty()) out += "      hint: " + d.hint + "\n";
+  }
+  return out;
+}
+
+}  // namespace punt::util

@@ -1,0 +1,85 @@
+// Source-anchored diagnostics: the data model shared by the `.g` parser and
+// the `punt lint` rule engine.
+//
+// A Diagnostic is one finding — a stable rule id ("STG004"), a severity, a
+// 1-based line/column span into the source text, a one-sentence message and
+// an optional fix hint.  A DiagnosticSink collects findings in discovery
+// order instead of throwing at the first one, which is what lets `punt lint`
+// report every defect of a spec in a single pass while the strict parser
+// (`stg::parse_g`) keeps its first-error-throw contract by draining the sink.
+//
+// This header is a leaf: it depends only on util/error.hpp, so both the stg
+// layer (which emits parse diagnostics) and the lint layer (which emits rule
+// diagnostics and renders reports) can share it without a cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace punt::util {
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+/// "note" / "warning" / "error" — the spelling used by renderers and the
+/// punt-lint-report JSON schema.
+const char* severity_name(Severity severity);
+
+/// A half-open span into the source text; line and column are 1-based and 0
+/// means "unknown" (the finding is about the file as a whole, e.g. a missing
+/// .end).  `length` is the caret run under the offending token (min 1 when
+/// the position is known).
+struct SourceSpan {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+  std::uint32_t length = 0;
+
+  bool known() const { return line != 0; }
+};
+
+struct Diagnostic {
+  std::string rule;   // stable id, e.g. "STG004"
+  Severity severity = Severity::Error;
+  SourceSpan span;
+  std::string message;  // one sentence, no trailing period convention kept
+  std::string hint;     // optional "fix it like this" line; may be empty
+};
+
+/// Collects diagnostics in discovery order.  Never throws on report(); the
+/// strict-parse compatibility path throws the *first* error afterwards via
+/// throw_first_error(), so collecting and fail-fast callers share one parse.
+class DiagnosticSink {
+ public:
+  void report(Diagnostic diagnostic);
+  void report(std::string rule, Severity severity, SourceSpan span,
+              std::string message, std::string hint = std::string());
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool has_errors() const { return errors_ > 0; }
+  std::size_t count(Severity severity) const;
+
+  /// Throws ParseError carrying the first Error-severity message (exactly the
+  /// exception the pre-provenance parser used to throw at that point); no-op
+  /// when the sink holds no errors.
+  void throw_first_error() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t errors_ = 0;
+};
+
+/// Renders diagnostics human-readably, one block per finding:
+///
+///   file.g:12:4: warning: transition 'b+' is unreachable ... [STG004]
+///      12 | p1 b+ p2
+///         |    ^~
+///      hint: mark a place on some path to 'b+'
+///
+/// `source` is the original text (for the line excerpt; findings with an
+/// unknown span render without one), `filename` prefixes each finding.
+std::string render_diagnostics(const std::vector<Diagnostic>& diagnostics,
+                               std::string_view source, std::string_view filename);
+
+}  // namespace punt::util

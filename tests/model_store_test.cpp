@@ -93,7 +93,9 @@ void expect_models_equal(const SemanticModel& a, const SemanticModel& b) {
       EXPECT_EQ(ua.code(id), ub.code(id));
       EXPECT_EQ(ua.final_marking(id), ub.final_marking(id));
       EXPECT_EQ(ua.is_cutoff(id), ub.is_cutoff(id));
-      if (ua.is_cutoff(id)) EXPECT_EQ(ua.cutoff_image(id), ub.cutoff_image(id));
+      if (ua.is_cutoff(id)) {
+        EXPECT_EQ(ua.cutoff_image(id), ub.cutoff_image(id));
+      }
     }
     for (std::size_t c = 0; c < ua.condition_count(); ++c) {
       const unf::ConditionId id(static_cast<std::uint32_t>(c));

@@ -580,6 +580,42 @@ TEST(Server, SynthesisFailuresAnswerLikeTheCliAndKeepServing) {
   EXPECT_EQ(pong.output, "pong\n");
 }
 
+TEST(Server, LintRefusesBrokenSpecsBeforeAdmission) {
+  TempDir dir("lint");
+  const std::string socket = dir.str() + "/punt.sock";
+  ServerOptions options;
+  options.endpoint = unix_endpoint(socket);
+  RunningServer running(options);
+
+  // A structurally broken spec (duplicate declaration = error-severity lint
+  // finding) is refused by the admission gate with the full lint rendering —
+  // rule id, line:column, caret — and never reaches the batcher, while a
+  // concurrent valid request is served normally.
+  Request broken;
+  broken.op = Op::Synth;
+  broken.g_text =
+      ".model x\n.inputs a a\n.graph\na+ p\np a-\na- q\nq a+\n"
+      ".marking { p }\n.init_values a=0\n.end\n";
+  Response valid;
+  std::thread concurrent(
+      [&] { valid = request_once(socket, synth_request(stg::make_paper_fig1())); });
+  const Response refused = request_once(socket, broken);
+  concurrent.join();
+
+  EXPECT_TRUE(refused.ok);  // protocol-level refusal, not a transport error
+  EXPECT_EQ(refused.exit_code, 2);
+  EXPECT_NE(refused.log.find("[STG001]"), std::string::npos) << refused.log;
+  EXPECT_NE(refused.log.find(":2:11"), std::string::npos) << refused.log;
+  EXPECT_NE(refused.log.find("refused by lint"), std::string::npos) << refused.log;
+  EXPECT_NE(refused.log.find("error: "), std::string::npos) << refused.log;
+
+  EXPECT_EQ(valid.exit_code, 0);
+  EXPECT_NE(valid.output.find("literals"), std::string::npos);
+  // Only the valid request was admitted into the batcher; the refused one
+  // was answered pre-admission.
+  EXPECT_EQ(running.server.batcher_stats().admitted, 1u);
+}
+
 TEST(Server, MalformedAndOversizedFramesDoNotKillTheServer) {
   TempDir dir("frames");
   const std::string socket = dir.str() + "/punt.sock";

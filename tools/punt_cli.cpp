@@ -5,6 +5,14 @@
 //              [--jobs=N] [--trace-schedule=<file>] [--model-cache-dir=<dir>]
 //   punt check <file.g> [--model-cache-dir=<dir>]
 //                                  verify the general correctness criteria
+//   punt lint <file.g ...> [--json] [--Werror[=STG006,...]] [--rules]
+//                                  static analysis: every finding carries a
+//                                  stable rule id, severity, line:column span
+//                                  and fix hint; all findings of a file in
+//                                  one pass (no first-error bail).  --json
+//                                  emits punt-lint-report v1; --Werror
+//                                  promotes warnings to errors.  Exit 0 when
+//                                  no error-severity finding, else 1
 //   punt resolve <file.g>          repair CSC conflicts by signal insertion
 //   punt bench list                list the Table-1 registry
 //   punt bench dump <name>         print a registry entry as .g text
@@ -24,6 +32,9 @@
 //                                  combine per-shard JSON reports into the
 //                                  full Table-1 table, verifying that the
 //                                  shards cover the registry exactly once
+//   punt bench lint [--json=<file>]
+//                                  lint throughput over the registry (the
+//                                  serve-admission budget check)
 //   punt trace <trace.json>        analyse a --trace-schedule dump offline:
 //                                  per-worker occupancy, an ASCII Gantt lane
 //                                  per worker, queue-wait statistics, the
@@ -92,6 +103,7 @@
 //
 // Exit status: 0 on success, 1 on usage errors, 2 when the specification is
 // not implementable (with a diagnostic on stderr).
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -119,6 +131,8 @@
 #include "src/core/model_store.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/synthesis.hpp"
+#include "src/lint/lint.hpp"
+#include "src/lint/rules.hpp"
 #include "src/server/client.hpp"
 #include "src/server/endpoint.hpp"
 #include "src/server/protocol.hpp"
@@ -147,8 +161,10 @@ int usage() {
                "             [--no-minimize] [--jobs=N] [--trace-schedule=<file>]\n"
                "             [--model-cache-dir=<dir>]\n"
                "  punt check <file.g> [--model-cache-dir=<dir>]\n"
+               "  punt lint <file.g ...> [--json] [--Werror[=STG006,...]] [--rules]\n"
                "  punt resolve <file.g>\n"
                "  punt bench list | punt bench dump <name>\n"
+               "  punt bench lint [--json=<file>]\n"
                "  punt bench run [--jobs=N] [--method=...] [--arch=...]\n"
                "                 [--shard=i/n] [--weights=<report.json|ledger>]\n"
                "                 [--report=json] [--trace-schedule=<file>]\n"
@@ -512,7 +528,7 @@ int delegate_synth(const ConnectTarget& target, const std::string& path,
 }
 
 int delegate_check(const ConnectTarget& target, const std::string& path,
-                   const std::vector<std::string>& args) {
+                   const std::vector<std::string>& /*args*/) {
   punt::server::Request request;
   request.op = punt::server::Op::Check;
   request.g_text = read_file(path);
@@ -583,6 +599,123 @@ int cmd_check(const std::string& path, const std::vector<std::string>& args) {
   std::fputs(response.output.c_str(), stdout);
   std::fputs(response.log.c_str(), stderr);
   return response.exit_code;
+}
+
+// --- punt lint ----------------------------------------------------------------
+
+/// The rule catalog as `punt lint --help` prints it.
+void print_lint_rules() {
+  std::printf("punt lint <file.g ...> [--json] [--Werror[=STG006,...]]\n"
+              "  static analysis of STG specs: every finding carries a rule id,\n"
+              "  a severity, a line:column source span and a fix hint.  Exit 0\n"
+              "  when no file has error-severity findings, 1 otherwise.\n"
+              "  --json     machine output (punt-lint-report v1)\n"
+              "  --Werror   promote all warnings to errors (notes stay notes);\n"
+              "             --Werror=STG006,STG008 promotes only those rules\n"
+              "  --rules    print this rule catalog\n\nrules:\n");
+  for (const auto& rule : punt::lint::rule_catalog()) {
+    std::printf("  %s  %-7s  %s\n", rule.id, punt::util::severity_name(rule.severity),
+                rule.summary);
+  }
+}
+
+int cmd_lint(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  punt::lint::LintOptions options;
+  bool json = false;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--Werror") {
+      options.promote_all_warnings = true;
+    } else if (arg.rfind("--Werror=", 0) == 0) {
+      for (const std::string& id : punt::split(arg.substr(9), ",")) {
+        options.promote_rules.push_back(id);
+      }
+      if (options.promote_rules.empty()) {
+        throw punt::Error("--Werror= needs rule ids (e.g. --Werror=STG006,STG008)");
+      }
+    } else if (arg == "--rules" || arg == "--help") {
+      print_lint_rules();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw punt::Error("unknown punt lint flag '" + arg + "'");
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    throw punt::Error("punt lint needs at least one <file.g> "
+                      "(--rules prints the rule catalog)");
+  }
+  std::vector<punt::lint::FileLint> lints;
+  lints.reserve(files.size());
+  bool any_errors = false;
+  for (const std::string& path : files) {
+    const std::string text = read_file(path);
+    punt::lint::FileLint lint = punt::lint::lint_text(text, path, options);
+    any_errors = any_errors || !lint.ok();
+    if (!json) std::printf("%s", punt::lint::render_human(lint, text).c_str());
+    lints.push_back(std::move(lint));
+  }
+  if (json) std::printf("%s", punt::lint::render_json(lints).c_str());
+  return any_errors ? 1 : 0;
+}
+
+/// `punt bench lint [--json=<file>]`: lint throughput over the Table-1
+/// registry — the admission-control budget check (specs/sec must stay far
+/// above any realistic request rate).
+int cmd_bench_lint(const std::vector<std::string>& args) {
+  std::string json_path;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      if (json_path.empty()) {
+        throw punt::Error("--json needs a file path (e.g. --json=BENCH_lint.json)");
+      }
+    } else {
+      throw punt::Error("unknown punt bench lint flag '" + arg + "'");
+    }
+  }
+  std::vector<std::string> texts;
+  for (const auto& bench : punt::benchmarks::table1()) {
+    texts.push_back(punt::stg::write_g(bench.make()));
+  }
+  // Warm-up pass, then timed passes until ~200ms accumulate so the rate is
+  // stable on a loaded CI runner.
+  std::size_t findings = 0;
+  for (const std::string& text : texts) {
+    findings += punt::lint::lint_text(text, "bench").diagnostics.size();
+  }
+  std::size_t specs = 0;
+  std::size_t passes = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double wall = 0;
+  while (wall < 0.2) {
+    for (const std::string& text : texts) {
+      findings += punt::lint::lint_text(text, "bench").diagnostics.size();
+    }
+    specs += texts.size();
+    ++passes;
+    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+  const double rate = specs / wall;
+  std::printf("# lint micro-bench: %zu registry specs x %zu passes\n", texts.size(),
+              passes);
+  std::printf("wall %.3fs, %.0f specs/sec, %.1f us/spec, %zu findings\n", wall, rate,
+              1e6 * wall / specs, findings);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) throw punt::Error("cannot write '" + json_path + "'");
+    out << punt::printf_string(
+        "{\"schema\": \"punt-bench-lint\", \"version\": 1, \"specs\": %zu, "
+        "\"passes\": %zu, \"wall_seconds\": %.6f, \"specs_per_second\": %.1f, "
+        "\"us_per_spec\": %.3f, \"findings\": %zu}\n",
+        texts.size(), passes, wall, rate, 1e6 * wall / specs, findings);
+    if (!out.flush()) throw punt::Error("short write to '" + json_path + "'");
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  return 0;
 }
 
 int cmd_resolve(const std::string& path) {
@@ -1108,6 +1241,9 @@ int cmd_bench(const std::vector<std::string>& args) {
   if (!args.empty() && args[0] == "run") {
     return cmd_bench_run({args.begin() + 1, args.end()});
   }
+  if (!args.empty() && args[0] == "lint") {
+    return cmd_bench_lint({args.begin() + 1, args.end()});
+  }
   if (!args.empty() && args[0] == "merge") {
     return cmd_bench_merge({args.begin() + 1, args.end()});
   }
@@ -1137,6 +1273,9 @@ int main(int argc, char** argv) {
     }
     if (command == "check" && args.size() >= 2) {
       return cmd_check(args[1], {args.begin() + 2, args.end()});
+    }
+    if (command == "lint" && args.size() >= 2) {
+      return cmd_lint({args.begin() + 1, args.end()});
     }
     if (command == "resolve" && args.size() >= 2) return cmd_resolve(args[1]);
     if (command == "trace" && args.size() >= 2) return cmd_trace(args[1]);
