@@ -58,6 +58,10 @@ std::uint64_t CostLedger::model_digest_from_key(std::string_view model_key) {
   return util::fnv1a64(model_key);
 }
 
+std::uint64_t CostLedger::text_digest(std::string_view text) {
+  return util::fnv1a64(text);
+}
+
 std::uint64_t CostLedger::entry_digest_from_key(std::string_view model_key,
                                                 const SynthesisOptions& options) {
   std::string text(model_key);

@@ -17,6 +17,8 @@
 //                                                      like the ModelCache key)
 //   derive   nodes: "derive:<entry digest>:<signal>"
 //   minimize nodes: "minimize:<entry digest>:<signal>"
+//   lint     nodes: "lint:<text digest>"              (per-file deep-lint cost,
+//                                                      keyed by the raw `.g` text)
 //
 // where <model digest> is fnv1a64 of the ModelCache key (canonical `.g` text
 // + model-options fingerprint) and <entry digest> additionally folds in the
@@ -95,6 +97,10 @@ class CostLedger {
   static std::uint64_t model_digest_from_key(std::string_view model_key);
   static std::uint64_t entry_digest_from_key(std::string_view model_key,
                                              const SynthesisOptions& options);
+
+  /// Digest of arbitrary text — what "lint:<digest>" nodes key on (the raw
+  /// `.g` text, cheaper than a canonicalising parse and stable across runs).
+  static std::uint64_t text_digest(std::string_view text);
 
   /// Key text for one node ("kind:digest" or "kind:digest:signal").
   static std::string key_of(std::string_view kind, std::uint64_t digest,

@@ -239,7 +239,7 @@ void rule_unreachable(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
 /// STG005: dangling structure.  A transition with an empty preset or postset
 /// is an error (Stg::validate rejects it, so synthesis would too); a place
 /// nobody feeds or nobody consumes is a warning.
-void rule_dangling(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+void rule_dangling_transitions(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
   const pn::PetriNet& net = parsed.stg.net();
   for (std::size_t i = 0; i < net.transition_count(); ++i) {
     const pn::TransitionId t(static_cast<std::uint32_t>(i));
@@ -255,6 +255,11 @@ void rule_dangling(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
                   "add an arc from '" + name + "' to some place");
     }
   }
+}
+
+void rule_dangling(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const pn::PetriNet& net = parsed.stg.net();
+  rule_dangling_transitions(parsed, sink);
   for (std::size_t i = 0; i < net.place_count(); ++i) {
     const pn::PlaceId p(static_cast<std::uint32_t>(i));
     const std::string& name = net.place_name(p);
@@ -406,7 +411,8 @@ void rule_self_race(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
                     "auto-concurrency: '" + net.transition_name(ta) + "' and '" +
                         net.transition_name(tb) + "' of signal '" + s.signal_name(sig) +
                         "' can be enabled at the same time",
-                    "order the two instances or merge them");
+                    "order the two instances or merge them; run `punt lint --deep` "
+                    "for an exact verdict");
       }
     }
   }
@@ -466,7 +472,8 @@ void rule_csc_prescreen(const stg::ParsedG& parsed, util::DiagnosticSink& sink) 
                     parsed.transition_span(net.transition_name(tb)),
                     "transitions '" + net.transition_name(ta) + "' and '" +
                         net.transition_name(tb) + "' have identical presets; they fire from indistinguishable contexts",
-                    "merge the instances or distinguish their presets");
+                    "merge the instances or distinguish their presets; run "
+                    "`punt lint --deep` for an exact verdict");
       }
     }
   }
@@ -502,6 +509,15 @@ void run_rules(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
   rule_self_race(parsed, sink);
   rule_choice_shape(parsed, sink);
   rule_csc_prescreen(parsed, sink);
+}
+
+void run_error_rules(const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  // The only rule-level Error emissions are rule_dangling's transition
+  // halves (the severity policy above ties Error to strict-pipeline
+  // rejection), so the admission fast path runs exactly that loop and skips
+  // the place-concurrency and potential-firability fixed points the
+  // warning-tier rules pay for.
+  rule_dangling_transitions(parsed, sink);
 }
 
 }  // namespace punt::lint

@@ -41,4 +41,10 @@ const std::vector<RuleInfo>& rule_catalog();
 /// parse reported errors, as long as the graph section was usable.
 void run_rules(const stg::ParsedG& parsed, util::DiagnosticSink& sink);
 
+/// Runs only the rules that can emit Error-severity findings (today: the
+/// dangling-transition halves of STG005) — the serve-admission fast path.
+/// Emits byte-identical Error diagnostics to run_rules(), in the same order,
+/// without paying for the warning-tier fixed points.
+void run_error_rules(const stg::ParsedG& parsed, util::DiagnosticSink& sink);
+
 }  // namespace punt::lint

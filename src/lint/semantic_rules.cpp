@@ -1,0 +1,311 @@
+#include "src/lint/semantic_rules.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/core/model_cache.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/synthesis.hpp"
+#include "src/sg/analysis.hpp"
+#include "src/sg/state_graph.hpp"
+#include "src/stg/stg.hpp"
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace punt::lint {
+
+const std::vector<RuleInfo>& semantic_rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"STG100", util::Severity::Error,
+       "CSC conflict: two reachable states share a code but imply different outputs (exact)"},
+      {"STG101", util::Severity::Error,
+       "output persistency violation: a firing disables an excited output (exact)"},
+      {"STG102", util::Severity::Error,
+       "1-safety violation: a reachable firing overfills a place (exact)"},
+      {"STG103", util::Severity::Warning,
+       "dead transition: no reachable marking enables it (exact)"},
+      {"STG104", util::Severity::Warning,
+       "deadlock: a reachable state enables no transition (exact)"},
+      {"STG105", util::Severity::Error,
+       "inconsistent state assignment: a marking is reachable with two codes (exact)"},
+      {"STG106", util::Severity::Error,
+       "semantic model unavailable: validation failed or a budget was exceeded"},
+  };
+  return catalog;
+}
+
+bool is_semantic_rule(std::string_view rule_id) {
+  return rule_id.size() == 6 && rule_id.starts_with("STG1");
+}
+
+namespace {
+
+/// Findings per rule before the remainder collapses into one summarizing
+/// note — a spec with thousands of CSC state pairs still lints in bounded
+/// output, and the cap is never silent.
+constexpr std::size_t kMaxFindingsPerRule = 16;
+
+core::SynthesisOptions deep_options(std::size_t state_budget) {
+  core::SynthesisOptions options;
+  options.method = core::Method::StateGraph;
+  // Persistency violations are findings (STG101), not a build failure.
+  options.check_persistency = false;
+  options.state_budget = state_budget;
+  return options;
+}
+
+/// BFS shortest-path forest over the state graph: reconstructs, for any
+/// reachable state, the firing sequence from the initial state.
+class TraceIndex {
+ public:
+  explicit TraceIndex(const sg::StateGraph& sg)
+      : parent_(sg.state_count(), kNone), via_(sg.state_count()) {
+    std::deque<std::size_t> queue;
+    std::vector<char> seen(sg.state_count(), 0);
+    seen[sg.initial_state()] = 1;
+    queue.push_back(sg.initial_state());
+    while (!queue.empty()) {
+      const std::size_t s = queue.front();
+      queue.pop_front();
+      for (const sg::Arc& arc : sg.arcs(s)) {
+        if (seen[arc.target] != 0) continue;
+        seen[arc.target] = 1;
+        parent_[arc.target] = s;
+        via_[arc.target] = arc.transition;
+        queue.push_back(arc.target);
+      }
+    }
+  }
+
+  std::vector<pn::TransitionId> path_to(std::size_t state) const {
+    std::vector<pn::TransitionId> steps;
+    for (std::size_t s = state; parent_[s] != kNone; s = parent_[s]) {
+      steps.push_back(via_[s]);
+    }
+    std::reverse(steps.begin(), steps.end());
+    return steps;
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent_;
+  std::vector<pn::TransitionId> via_;
+};
+
+util::Witness make_witness(std::string label, const std::vector<pn::TransitionId>& steps,
+                           const stg::Stg& stg, const stg::ParsedG& parsed) {
+  util::Witness witness;
+  witness.label = std::move(label);
+  witness.steps.reserve(steps.size());
+  for (const pn::TransitionId t : steps) {
+    const std::string& name = stg.transition_name(t);
+    witness.steps.push_back(util::WitnessStep{name, parsed.transition_span(name)});
+  }
+  return witness;
+}
+
+/// The last source-anchored step of `witness` — where the finding points.
+util::SourceSpan anchor_of(const util::Witness& witness) {
+  for (auto it = witness.steps.rbegin(); it != witness.steps.rend(); ++it) {
+    if (it->span.known()) return it->span;
+  }
+  return util::SourceSpan{};
+}
+
+void report_overflow(util::DiagnosticSink& sink, const char* rule, std::size_t hidden,
+                     const char* what) {
+  sink.report(rule, util::Severity::Note, util::SourceSpan{},
+              printf_string("%zu more %s not shown", hidden, what),
+              "resolve the reported findings first; the rest often share a cause");
+}
+
+/// The name inside the first '...' of an exception message, for mapping
+/// pipeline errors back to a source span ("" when the message has none).
+std::string first_quoted(const std::string& text) {
+  const std::size_t open = text.find('\'');
+  if (open == std::string::npos) return std::string();
+  const std::size_t close = text.find('\'', open + 1);
+  if (close == std::string::npos) return std::string();
+  return text.substr(open + 1, close - open - 1);
+}
+
+void rule_csc(const stg::Stg& stg, const sg::StateGraph& sg, const TraceIndex& trace,
+              const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  const std::vector<sg::CscViolation> violations = sg::csc_violations(stg, sg);
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i == kMaxFindingsPerRule) {
+      report_overflow(sink, "STG100", violations.size() - i, "CSC conflict(s)");
+      break;
+    }
+    const sg::CscViolation& v = violations[i];
+    util::Diagnostic d;
+    d.rule = "STG100";
+    d.severity = util::Severity::Error;
+    d.message = "CSC conflict: " + v.describe(stg, sg);
+    const std::vector<pn::TransitionId> path_a = trace.path_to(v.state_a);
+    const std::vector<pn::TransitionId> path_b = trace.path_to(v.state_b);
+    if (!path_a.empty() && !path_b.empty()) {
+      d.message += "; the states are entered by '" + stg.transition_name(path_a.back()) +
+                   "' and '" + stg.transition_name(path_b.back()) + "'";
+    }
+    d.hint = "insert a state signal (or reorder the handshake) so the two states "
+             "get distinct codes";
+    d.witnesses.push_back(make_witness("trace to state " + std::to_string(v.state_a),
+                                       path_a, stg, parsed));
+    d.witnesses.push_back(make_witness("trace to state " + std::to_string(v.state_b),
+                                       path_b, stg, parsed));
+    d.span = anchor_of(d.witnesses[0]);
+    if (!d.span.known()) d.span = anchor_of(d.witnesses[1]);
+    sink.report(std::move(d));
+  }
+}
+
+void rule_persistency(const stg::Stg& stg, const sg::StateGraph& sg,
+                      const TraceIndex& trace, const stg::ParsedG& parsed,
+                      util::DiagnosticSink& sink) {
+  const std::vector<sg::PersistencyViolation> violations =
+      sg::persistency_violations(stg, sg);
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i == kMaxFindingsPerRule) {
+      report_overflow(sink, "STG101", violations.size() - i,
+                      "persistency violation(s)");
+      break;
+    }
+    const sg::PersistencyViolation& v = violations[i];
+    const std::string& disabler = stg.transition_name(v.disabler);
+    util::Diagnostic d;
+    d.rule = "STG101";
+    d.severity = util::Severity::Error;
+    d.message = "output persistency violation: " + v.describe(stg);
+    d.hint = "make '" + disabler + "' wait for the excited output to fire "
+             "(semi-modularity, the paper's speed-independence condition)";
+    d.witnesses.push_back(make_witness("trace to state " + std::to_string(v.state),
+                                       trace.path_to(v.state), stg, parsed));
+    d.witnesses.push_back(
+        make_witness("disabling firing", {v.disabler}, stg, parsed));
+    d.span = parsed.transition_span(disabler);
+    if (!d.span.known()) d.span = anchor_of(d.witnesses[0]);
+    sink.report(std::move(d));
+  }
+}
+
+void rule_dead_transitions(const stg::Stg& stg, const sg::StateGraph& sg,
+                           const stg::ParsedG& parsed, util::DiagnosticSink& sink) {
+  std::vector<char> fires(stg.net().transition_count(), 0);
+  for (std::size_t s = 0; s < sg.state_count(); ++s) {
+    for (const sg::Arc& arc : sg.arcs(s)) fires[arc.transition.index()] = 1;
+  }
+  std::size_t shown = 0;
+  std::size_t dead = 0;
+  for (std::size_t t = 0; t < fires.size(); ++t) {
+    if (fires[t] != 0) continue;
+    ++dead;
+    if (shown == kMaxFindingsPerRule) continue;
+    ++shown;
+    const std::string& name = stg.transition_name(pn::TransitionId(
+        static_cast<std::uint32_t>(t)));
+    sink.report("STG103", util::Severity::Warning, parsed.transition_span(name),
+                "transition '" + name + "' can never fire: no reachable marking "
+                "enables it",
+                "mark a place on some path to '" + name + "' or remove the "
+                "transition");
+  }
+  if (dead > shown) report_overflow(sink, "STG103", dead - shown, "dead transition(s)");
+}
+
+void rule_deadlock(const stg::Stg& stg, const sg::StateGraph& sg,
+                   const TraceIndex& trace, const stg::ParsedG& parsed,
+                   util::DiagnosticSink& sink) {
+  std::size_t shown = 0;
+  std::size_t deadlocks = 0;
+  for (std::size_t s = 0; s < sg.state_count(); ++s) {
+    if (!sg.arcs(s).empty()) continue;
+    ++deadlocks;
+    if (shown == kMaxFindingsPerRule) continue;
+    ++shown;
+    util::Diagnostic d;
+    d.rule = "STG104";
+    d.severity = util::Severity::Warning;
+    d.message = "deadlock: state " + std::to_string(s) + " (code " +
+                stg::code_to_string(sg.code(s)) + ") enables no transition";
+    d.hint = "a speed-independent circuit must cycle forever; close the handshake "
+             "that stops here";
+    d.witnesses.push_back(make_witness("trace to state " + std::to_string(s),
+                                       trace.path_to(s), stg, parsed));
+    d.span = anchor_of(d.witnesses[0]);
+    sink.report(std::move(d));
+  }
+  if (deadlocks > shown) {
+    report_overflow(sink, "STG104", deadlocks - shown, "deadlock(s)");
+  }
+}
+
+}  // namespace
+
+SemanticOutcome run_semantic_rules(std::string_view text, const stg::ParsedG& parsed,
+                                   const SemanticOptions& options) {
+  SemanticOutcome outcome;
+  util::DiagnosticSink sink;
+  std::shared_ptr<const core::SemanticModel> model;
+  try {
+    const stg::Stg stg = stg::parse_g(text);
+    const core::SynthesisOptions synth = deep_options(options.state_budget);
+    if (options.cache != nullptr) {
+      model = options.cache->lookup_or_build(stg, synth, &outcome.built);
+    } else {
+      model = core::SemanticModel::build(stg, synth);
+      outcome.built = true;
+    }
+  } catch (const CapacityError& error) {
+    const std::string what = error.what();
+    if (what.find("state budget") != std::string::npos) {
+      // No verdict: explicit reachability gave up, but the unfolding-based
+      // synthesis flow may still handle the spec — a warning, not an error.
+      sink.report("STG106", util::Severity::Warning, util::SourceSpan{},
+                  "semantic analysis skipped: " + what,
+                  "raise the state budget, or rely on the unfolding-segment flow");
+    } else {
+      outcome.safety_verdict = true;
+      sink.report("STG102", util::Severity::Error,
+                  parsed.place_span(first_quoted(what)),
+                  "the net is not 1-safe: " + what,
+                  "restructure the net so every place holds at most one token");
+    }
+  } catch (const ImplementabilityError& error) {
+    const std::string what = error.what();
+    if (what.find("inconsistent state assignment") != std::string::npos) {
+      sink.report("STG105", util::Severity::Error,
+                  parsed.transition_span(first_quoted(what)), what,
+                  "make rising and falling edges of every signal alternate along "
+                  "each firing path");
+    } else {
+      sink.report("STG106", util::Severity::Error, util::SourceSpan{},
+                  "semantic analysis unavailable: " + what, std::string());
+    }
+  } catch (const Error& error) {
+    sink.report("STG106", util::Severity::Error, util::SourceSpan{},
+                std::string("semantic analysis unavailable: ") + error.what(),
+                std::string());
+  }
+
+  if (model == nullptr) outcome.built = false;  // a failed build is not a build
+  if (model != nullptr && model->sgraph != nullptr) {
+    outcome.model_ready = true;
+    outcome.safety_verdict = true;  // built under the capacity-1 bound
+    const stg::Stg& stg = model->stg;
+    const sg::StateGraph& sg = *model->sgraph;
+    const TraceIndex trace(sg);
+    rule_csc(stg, sg, trace, parsed, sink);
+    rule_persistency(stg, sg, trace, parsed, sink);
+    rule_dead_transitions(stg, sg, parsed, sink);
+    rule_deadlock(stg, sg, trace, parsed, sink);
+  }
+  outcome.diagnostics = sink.diagnostics();
+  return outcome;
+}
+
+}  // namespace punt::lint

@@ -104,6 +104,7 @@ std::string to_json(const Request& request) {
   switch (request.op) {
     case Op::Synth: op = "synth"; break;
     case Op::Check: op = "check"; break;
+    case Op::Lint: op = "lint"; break;
     case Op::CacheStats: op = "cache-stats"; break;
     case Op::Ping: op = "ping"; break;
     case Op::Shutdown: op = "shutdown"; break;
@@ -118,6 +119,24 @@ std::string to_json(const Request& request) {
     out += std::string(", \"minimize\": ") + (request.minimize ? "true" : "false");
     out += std::string(", \"eqn\": ") + (request.eqn ? "true" : "false");
     out += std::string(", \"verilog\": ") + (request.verilog ? "true" : "false");
+  }
+  if (request.op == Op::Lint) {
+    out += ", \"files\": [";
+    for (std::size_t i = 0; i < request.lint_files.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"name\": \"" + util::json_escape(request.lint_files[i].name) +
+             "\", \"g\": \"" + util::json_escape(request.lint_files[i].text) + "\"}";
+    }
+    out += "]";
+    out += std::string(", \"deep\": ") + (request.lint_deep ? "true" : "false");
+    out += std::string(", \"json\": ") + (request.lint_json ? "true" : "false");
+    out += std::string(", \"werror\": ") + (request.lint_werror ? "true" : "false");
+    out += ", \"werror_rules\": [";
+    for (std::size_t i = 0; i < request.lint_werror_rules.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + util::json_escape(request.lint_werror_rules[i]) + "\"";
+    }
+    out += "]";
   }
   out += "}";
   return out;
@@ -147,6 +166,8 @@ Request request_from_json(std::string_view text) {
     request.op = Op::Synth;
   } else if (op == "check") {
     request.op = Op::Check;
+  } else if (op == "lint") {
+    request.op = Op::Lint;
   } else if (op == "cache-stats") {
     request.op = Op::CacheStats;
   } else if (op == "ping") {
@@ -155,7 +176,8 @@ Request request_from_json(std::string_view text) {
     request.op = Op::Shutdown;
   } else {
     throw ParseError("serve request has unknown op '" + op +
-                     "'; this build handles synth, check, cache-stats, ping, shutdown");
+                     "'; this build handles synth, check, lint, cache-stats, "
+                     "ping, shutdown");
   }
   if (request.op == Op::Synth || request.op == Op::Check) {
     request.g_text = util::json_string(root, "g", kDocument);
@@ -175,6 +197,37 @@ Request request_from_json(std::string_view text) {
     request.minimize = optional_bool(root, "minimize", request.minimize);
     request.eqn = optional_bool(root, "eqn", request.eqn);
     request.verilog = optional_bool(root, "verilog", request.verilog);
+  }
+  if (request.op == Op::Lint) {
+    const util::JsonValue& files =
+        util::json_require(root, "files", util::JsonValue::Type::Array, kDocument);
+    request.lint_files.reserve(files.array.size());
+    for (const util::JsonValue& entry : files.array) {
+      if (entry.type != util::JsonValue::Type::Object) {
+        throw ParseError(std::string(kDocument) +
+                         " field 'files' must hold objects with 'name' and 'g'");
+      }
+      Request::LintFile file;
+      file.name = util::json_string(entry, "name", kDocument);
+      file.text = util::json_string(entry, "g", kDocument);
+      request.lint_files.push_back(std::move(file));
+    }
+    request.lint_deep = optional_bool(root, "deep", request.lint_deep);
+    request.lint_json = optional_bool(root, "json", request.lint_json);
+    request.lint_werror = optional_bool(root, "werror", request.lint_werror);
+    if (const util::JsonValue* rules = root.find("werror_rules")) {
+      if (rules->type != util::JsonValue::Type::Array) {
+        throw ParseError(std::string(kDocument) +
+                         " field 'werror_rules' must be an array of rule ids");
+      }
+      for (const util::JsonValue& rule : rules->array) {
+        if (rule.type != util::JsonValue::Type::String) {
+          throw ParseError(std::string(kDocument) +
+                           " field 'werror_rules' must be an array of rule ids");
+        }
+        request.lint_werror_rules.push_back(rule.string);
+      }
+    }
   }
   return request;
 }

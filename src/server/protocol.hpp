@@ -18,6 +18,9 @@
 //    "method":"approx"|"exact"|"sg", "arch":"acg"|"c"|"rs",
 //    "minimize":bool, "eqn":bool, "verilog":bool}   (all but "g" optional)
 //   {"op":"check","g":<.g text>}
+//   {"op":"lint","files":[{"name":<label>,"g":<.g text>},...],
+//    "deep":bool, "json":bool, "werror":bool,
+//    "werror_rules":["STG006",...]}      (all but "files" optional)
 //   {"op":"cache-stats"}     resident two-tier cache counters, as JSON
 //   {"op":"ping"}            liveness probe
 //   {"op":"shutdown"}        acknowledge, then drain and exit
@@ -57,6 +60,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace punt::server {
 
@@ -71,13 +75,20 @@ sockaddr_un unix_address(const std::string& path);
 /// or hostile client can make the server allocate.
 constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
 
-enum class Op : std::uint8_t { Synth, Check, CacheStats, Ping, Shutdown };
+enum class Op : std::uint8_t { Synth, Check, Lint, CacheStats, Ping, Shutdown };
 
 /// One decoded request.  The synthesis fields mirror the CLI flags a
 /// `--connect` client forwards; they are carried as validated enums-as-text
 /// (parse_request rejects unknown values, so the service layer never sees
 /// an invalid method/arch).
 struct Request {
+  /// One spec of a lint batch: the client's filename (a display label on
+  /// the server — never opened there) plus the `.g` text it read locally.
+  struct LintFile {
+    std::string name;
+    std::string text;
+  };
+
   Op op = Op::Ping;
   std::string g_text;             // synth/check: the STG source (.g text)
   std::string method = "approx";  // synth: approx | exact | sg
@@ -85,6 +96,11 @@ struct Request {
   bool minimize = true;           // synth: run espresso
   bool eqn = false;               // synth: explicit .eqn writer
   bool verilog = false;           // synth: Verilog writer
+  std::vector<LintFile> lint_files;            // lint: the batch, in order
+  bool lint_deep = false;                      // lint: semantic tier too
+  bool lint_json = false;                      // lint: one v2 JSON document
+  bool lint_werror = false;                    // lint: promote all warnings
+  std::vector<std::string> lint_werror_rules;  // lint: promote these rules
 };
 
 struct Response {
@@ -99,7 +115,8 @@ std::string to_json(const Request& request);
 std::string to_json(const Response& response);
 
 /// Throws ParseError on malformed JSON, a missing/unknown "op", a missing
-/// "g" on synth/check, or an unknown method/arch value.
+/// "g" on synth/check, a missing/malformed "files" array on lint, or an
+/// unknown method/arch value.
 Request request_from_json(std::string_view text);
 
 /// Throws ParseError when the frame body is not a response object.

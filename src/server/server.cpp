@@ -288,6 +288,12 @@ void Server::handle_connection(int fd, bool authenticate) {
           response = run_check(request, *cache_, &executor_, /*summarize_cache=*/true,
                                &ledger_);
           break;
+        case Op::Lint:
+          // Inline like check (the request carries a whole client batch
+          // already — its files fan out on the resident executor inside the
+          // handler, and the appended cache delta is request-scoped).
+          response = run_lint(request, *cache_, &executor_, &ledger_);
+          break;
         case Op::CacheStats: {
           response.ok = true;
           const BatcherStats fused = batcher_stats();

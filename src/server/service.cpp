@@ -233,6 +233,46 @@ Response run_check(const Request& request, core::ModelCache& cache,
   return response;
 }
 
+Response run_lint(const Request& request, core::ModelCache& cache,
+                  core::Executor* executor, core::CostLedger* ledger) {
+  Response response;
+  response.ok = true;
+  const core::ModelCacheStats before = cache.stats();
+  lint::LintOptions options;
+  options.promote_all_warnings = request.lint_werror;
+  options.promote_rules = request.lint_werror_rules;
+  options.deep = request.lint_deep;
+  options.cache = &cache;
+  options.executor = executor;
+  options.ledger = ledger;
+  std::vector<lint::FileInput> inputs;
+  inputs.reserve(request.lint_files.size());
+  for (const Request::LintFile& file : request.lint_files) {
+    inputs.push_back({file.name, file.text});
+  }
+  try {
+    const std::vector<lint::FileLint> lints = lint::lint_files(inputs, options);
+    bool any_errors = false;
+    for (std::size_t i = 0; i < lints.size(); ++i) {
+      any_errors = any_errors || !lints[i].ok();
+      // Render against the request's own text so excerpts and caret lines
+      // match a direct invocation over the same file byte for byte.
+      if (!request.lint_json) {
+        response.output += lint::render_human(lints[i], inputs[i].text);
+      }
+    }
+    if (request.lint_json) response.output += lint::render_json(lints);
+    response.exit_code = any_errors ? 1 : 0;
+  } catch (const Error& e) {
+    // lint never throws on spec content; this is a real defect (resource
+    // exhaustion, logic error) surfacing with the CLI's error shape.
+    response.log += printf_string("error: %s\n", e.what());
+    response.exit_code = 2;
+  }
+  append_cache_summary(response, &cache, before);
+  return response;
+}
+
 std::string cache_stats_json(const core::ModelCacheStats& stats,
                              const ServeInfo& info, const BatcherStats* batcher) {
   // The fusion counters report zeros when the daemon runs unfused

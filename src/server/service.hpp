@@ -84,6 +84,21 @@ Response run_check(const Request& request, core::ModelCache& cache,
                    core::Executor* executor, bool summarize_cache = true,
                    core::CostLedger* ledger = nullptr);
 
+/// Handles {"op":"lint"} — the whole client batch in one request, linted
+/// as one TaskGraph on the daemon's resident executor so multi-file deep
+/// lints parallelise under the daemon's --jobs exactly like a direct
+/// `punt lint --deep --jobs=N`.  The response output is byte-identical to
+/// the direct CLI's stdout for the same files (per-file human renderings in
+/// request order, or one punt-lint-report v2 document), and the exit code
+/// follows the same rule (1 when any file has an error-severity finding).
+/// The cache is required: deep lint resolves its exact state-graph models
+/// through it, so a warm daemon deep-lints a known spec with zero rebuilds —
+/// the per-request delta summary appended to the log is the proof.  The
+/// structural tier never touches the cache, so structural-only lints report
+/// an all-zero delta.
+Response run_lint(const Request& request, core::ModelCache& cache,
+                  core::Executor* executor, core::CostLedger* ledger = nullptr);
+
 /// The daemon-identity slice of the {"op":"cache-stats"} payload: who is
 /// serving (transport, listen address, worker count) and the connection
 /// ledger (accepted / refused-at-handshake / idle-timed-out) the TCP

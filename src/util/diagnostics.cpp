@@ -24,7 +24,7 @@ void DiagnosticSink::report(Diagnostic diagnostic) {
 void DiagnosticSink::report(std::string rule, Severity severity, SourceSpan span,
                             std::string message, std::string hint) {
   report(Diagnostic{std::move(rule), severity, span, std::move(message),
-                    std::move(hint)});
+                    std::move(hint), {}});
 }
 
 std::size_t DiagnosticSink::count(Severity severity) const {
@@ -92,6 +92,22 @@ std::string render_diagnostics(const std::vector<Diagnostic>& diagnostics,
       }
     }
     if (!d.hint.empty()) out += "      hint: " + d.hint + "\n";
+    for (const Witness& w : d.witnesses) {
+      out += "      witness (" + w.label + "): ";
+      if (w.steps.empty()) {
+        out += "<initial state>";
+      } else {
+        for (std::size_t i = 0; i < w.steps.size(); ++i) {
+          if (i != 0) out += " -> ";
+          out += w.steps[i].transition;
+          if (w.steps[i].span.known()) {
+            out += printf_string(" @%u:%u", w.steps[i].span.line,
+                                 w.steps[i].span.column);
+          }
+        }
+      }
+      out += "\n";
+    }
   }
   return out;
 }

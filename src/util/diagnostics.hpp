@@ -39,12 +39,33 @@ struct SourceSpan {
   bool known() const { return line != 0; }
 };
 
+/// One step of a witness trace: a transition instance name ("a+", "b-/2")
+/// and the span of its first-use site in the source text (zeroed when the
+/// name has no source anchor, e.g. a synthesized spec).
+struct WitnessStep {
+  std::string transition;
+  SourceSpan span;
+};
+
+/// A firing sequence that demonstrates a finding — e.g. the path from the
+/// initial state to one of the two states of a CSC conflict.  `label` names
+/// what the trace reaches ("trace to state 12"); an empty `steps` vector
+/// means the witness is the initial state itself.
+struct Witness {
+  std::string label;
+  std::vector<WitnessStep> steps;
+};
+
 struct Diagnostic {
   std::string rule;   // stable id, e.g. "STG004"
   Severity severity = Severity::Error;
   SourceSpan span;
   std::string message;  // one sentence, no trailing period convention kept
   std::string hint;     // optional "fix it like this" line; may be empty
+  /// Witness firing sequences (deep-tier findings only; structural findings
+  /// leave this empty).  Rendered after the hint and carried in the
+  /// punt-lint-report v2 "witnesses" array.
+  std::vector<Witness> witnesses;
 };
 
 /// Collects diagnostics in discovery order.  Never throws on report(); the
@@ -76,6 +97,7 @@ class DiagnosticSink {
 ///      12 | p1 b+ p2
 ///         |    ^~
 ///      hint: mark a place on some path to 'b+'
+///      witness (trace to state 5): a+ @3:1 -> b+ @12:4
 ///
 /// `source` is the original text (for the line excerpt; findings with an
 /// unknown span render without one), `filename` prefixes each finding.

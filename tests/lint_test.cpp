@@ -532,7 +532,7 @@ TEST(LintJson, ReportParsesAndCarriesTheFindings) {
   const std::string json = render_json({lint});
   const util::JsonValue root = util::parse_json(json);
   EXPECT_EQ(util::json_string(root, "schema", "lint report"), "punt-lint-report");
-  EXPECT_EQ(util::json_count(root, "version", "lint report"), 1u);
+  EXPECT_EQ(util::json_count(root, "version", "lint report"), 2u);
   const util::JsonValue& files =
       util::json_require(root, "files", util::JsonValue::Type::Array, "lint report");
   ASSERT_EQ(files.array.size(), 1u);
@@ -549,6 +549,12 @@ TEST(LintJson, ReportParsesAndCarriesTheFindings) {
   EXPECT_EQ(util::json_count(first, "line", "diagnostic"), 2u);
   EXPECT_EQ(util::json_count(first, "column", "diagnostic"), 11u);
   EXPECT_FALSE(util::json_string(first, "message", "diagnostic").empty());
+  // v2 additions: every diagnostic carries its tier and a witnesses array
+  // (empty on structural findings — v1 consumers simply ignore both).
+  EXPECT_EQ(util::json_string(first, "tier", "diagnostic"), "structural");
+  EXPECT_TRUE(
+      util::json_require(first, "witnesses", util::JsonValue::Type::Array, "diagnostic")
+          .array.empty());
 }
 
 TEST(LintJson, CleanFileHasEmptyDiagnosticsArray) {

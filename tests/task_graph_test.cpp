@@ -23,7 +23,7 @@ TEST(TaskGraph, InlineRunsInPriorityThenIdOrder) {
   TaskGraph graph;
   std::vector<std::string> order;
   const auto record = [&order](std::string name) {
-    return [&order, name] { order.push_back(name); };
+    return [&order, name = std::move(name)] { order.push_back(name); };
   };
   // Three roots with priorities 2, 0, 1 plus one dependent each: the roots
   // must run in priority order, each unlocking its child, and children
@@ -46,7 +46,7 @@ TEST(TaskGraph, CostOrdersWithinAPriorityBandLongestFirst) {
   TaskGraph graph;
   std::vector<std::string> order;
   const auto record = [&order](std::string name) {
-    return [&order, name] { order.push_back(name); };
+    return [&order, name = std::move(name)] { order.push_back(name); };
   };
   // Same band: highest estimated cost dispatches first (LPT), zero-cost
   // ties fall back to id order.  A lower band still beats any cost.

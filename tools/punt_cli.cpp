@@ -5,14 +5,28 @@
 //              [--jobs=N] [--trace-schedule=<file>] [--model-cache-dir=<dir>]
 //   punt check <file.g> [--model-cache-dir=<dir>]
 //                                  verify the general correctness criteria
-//   punt lint <file.g ...> [--json] [--Werror[=STG006,...]] [--rules]
+//   punt lint <file.g ...> [--json] [--Werror[=STG006,...]] [--deep]
+//             [--jobs=N] [--model-cache-dir=<dir>]
+//             [--connect=<endpoint> [--token-file=<file>]] [--rules]
 //                                  static analysis: every finding carries a
 //                                  stable rule id, severity, line:column span
 //                                  and fix hint; all findings of a file in
 //                                  one pass (no first-error bail).  --json
-//                                  emits punt-lint-report v1; --Werror
-//                                  promotes warnings to errors.  Exit 0 when
-//                                  no error-severity finding, else 1
+//                                  emits punt-lint-report v2; --Werror
+//                                  promotes warnings to errors.  --deep adds
+//                                  the semantic tier (STG1xx): exact CSC,
+//                                  persistency, 1-safety, consistency and
+//                                  liveness verdicts over the reachable state
+//                                  space, each carrying a witness firing
+//                                  sequence mapped to source spans; exact
+//                                  verdicts retract the structural
+//                                  pre-screens they decide.  Files lint as
+//                                  task-graph nodes (--jobs parallelises the
+//                                  batch); deep models resolve through the
+//                                  ModelCache (--model-cache-dir persists
+//                                  them; --connect reuses a daemon's warm
+//                                  ones).  Exit 0 when no error-severity
+//                                  finding, else 1
 //   punt resolve <file.g>          repair CSC conflicts by signal insertion
 //   punt bench list                list the Table-1 registry
 //   punt bench dump <name>         print a registry entry as .g text
@@ -32,9 +46,12 @@
 //                                  combine per-shard JSON reports into the
 //                                  full Table-1 table, verifying that the
 //                                  shards cover the registry exactly once
-//   punt bench lint [--json=<file>]
+//   punt bench lint [--deep] [--json=<file>]
 //                                  lint throughput over the registry (the
-//                                  serve-admission budget check)
+//                                  serve-admission budget check); asserts the
+//                                  error-only admission fast path beats the
+//                                  full pass.  --deep measures the semantic
+//                                  tier over a warm shared ModelCache
 //   punt trace <trace.json>        analyse a --trace-schedule dump offline:
 //                                  per-worker occupancy, an ASCII Gantt lane
 //                                  per worker, queue-wait statistics, the
@@ -78,6 +95,7 @@
 //                                  request (Unix sockets skip the handshake)
 //   punt synth <file.g> --connect=<endpoint> [synth flags]
 //   punt check <file.g> --connect=<endpoint>
+//   punt lint <file.g ...> --connect=<endpoint> [lint flags]
 //                                  delegate to the daemon; the result (and
 //                                  the per-request hit/rebuild summary, on
 //                                  stderr) comes back over the socket.
@@ -133,6 +151,7 @@
 #include "src/core/synthesis.hpp"
 #include "src/lint/lint.hpp"
 #include "src/lint/rules.hpp"
+#include "src/lint/semantic_rules.hpp"
 #include "src/server/client.hpp"
 #include "src/server/endpoint.hpp"
 #include "src/server/protocol.hpp"
@@ -161,10 +180,12 @@ int usage() {
                "             [--no-minimize] [--jobs=N] [--trace-schedule=<file>]\n"
                "             [--model-cache-dir=<dir>]\n"
                "  punt check <file.g> [--model-cache-dir=<dir>]\n"
-               "  punt lint <file.g ...> [--json] [--Werror[=STG006,...]] [--rules]\n"
+               "  punt lint <file.g ...> [--json] [--Werror[=STG006,...]] [--deep]\n"
+               "            [--jobs=N] [--model-cache-dir=<dir>]\n"
+               "            [--connect=<endpoint> [--token-file=<file>]] [--rules]\n"
                "  punt resolve <file.g>\n"
                "  punt bench list | punt bench dump <name>\n"
-               "  punt bench lint [--json=<file>]\n"
+               "  punt bench lint [--deep] [--json=<file>]\n"
                "  punt bench run [--jobs=N] [--method=...] [--arch=...]\n"
                "                 [--shard=i/n] [--weights=<report.json|ledger>]\n"
                "                 [--report=json] [--trace-schedule=<file>]\n"
@@ -198,7 +219,7 @@ int usage() {
                " later invocations sharing the directory skip rebuilding them;\n"
                " the directory also carries the cost ledger that orders ready\n"
                " nodes longest-first on later runs)\n"
-               "(--connect: delegate synth/check to a running `punt serve`\n"
+               "(--connect: delegate synth/check/lint to a running `punt serve`\n"
                " daemon, whose models stay warm in memory across requests;\n"
                " a Unix socket path or tcp://host:port — TCP endpoints need\n"
                " --token-file=<file> holding the daemon's shared auth token)\n");
@@ -603,26 +624,60 @@ int cmd_check(const std::string& path, const std::vector<std::string>& args) {
 
 // --- punt lint ----------------------------------------------------------------
 
-/// The rule catalog as `punt lint --help` prints it.
+/// The rule catalog as `punt lint --help` prints it: both tiers, so a user
+/// deciding whether --deep is worth a state-space build sees what it buys.
 void print_lint_rules() {
-  std::printf("punt lint <file.g ...> [--json] [--Werror[=STG006,...]]\n"
+  std::printf("punt lint <file.g ...> [--json] [--Werror[=STG006,...]] [--deep]\n"
+              "          [--jobs=N] [--model-cache-dir=<dir>]\n"
+              "          [--connect=<endpoint> [--token-file=<file>]] [--rules]\n"
               "  static analysis of STG specs: every finding carries a rule id,\n"
               "  a severity, a line:column source span and a fix hint.  Exit 0\n"
               "  when no file has error-severity findings, 1 otherwise.\n"
-              "  --json     machine output (punt-lint-report v1)\n"
+              "  --json     machine output (punt-lint-report v2)\n"
               "  --Werror   promote all warnings to errors (notes stay notes);\n"
               "             --Werror=STG006,STG008 promotes only those rules\n"
-              "  --rules    print this rule catalog\n\nrules:\n");
+              "  --deep     add the semantic tier: exact CSC, persistency,\n"
+              "             1-safety, consistency, liveness verdicts over the\n"
+              "             reachable state space, each with a witness firing\n"
+              "             sequence; an exact verdict retracts the structural\n"
+              "             pre-screens it decides (STG004/007/008/010)\n"
+              "  --jobs=N   lint files concurrently (0 = hardware threads)\n"
+              "  --model-cache-dir=<dir>  reuse/persist the semantic models\n"
+              "  --connect  lint on a running daemon (its models stay warm)\n"
+              "  --rules    print this rule catalog\n\nstructural rules:\n");
   for (const auto& rule : punt::lint::rule_catalog()) {
     std::printf("  %s  %-7s  %s\n", rule.id, punt::util::severity_name(rule.severity),
                 rule.summary);
   }
+  std::printf("\nsemantic rules (--deep):\n");
+  for (const auto& rule : punt::lint::semantic_rule_catalog()) {
+    std::printf("  %s  %-7s  %s\n", rule.id, punt::util::severity_name(rule.severity),
+                rule.summary);
+  }
+}
+
+int delegate_lint(const ConnectTarget& target, const std::vector<std::string>& files,
+                  bool deep, bool json, const punt::lint::LintOptions& options) {
+  punt::server::Request request;
+  request.op = punt::server::Op::Lint;
+  request.lint_deep = deep;
+  request.lint_json = json;
+  request.lint_werror = options.promote_all_warnings;
+  request.lint_werror_rules = options.promote_rules;
+  request.lint_files.reserve(files.size());
+  for (const std::string& path : files) {
+    // Files are read *here*: the daemon sees only text and display labels,
+    // never client paths to open.
+    request.lint_files.push_back({path, read_file(path)});
+  }
+  return run_client(target, request);
 }
 
 int cmd_lint(const std::vector<std::string>& args) {
   std::vector<std::string> files;
   punt::lint::LintOptions options;
   bool json = false;
+  std::size_t jobs = 1;
   for (const std::string& arg : args) {
     if (arg == "--json") {
       json = true;
@@ -635,6 +690,14 @@ int cmd_lint(const std::vector<std::string>& args) {
       if (options.promote_rules.empty()) {
         throw punt::Error("--Werror= needs rule ids (e.g. --Werror=STG006,STG008)");
       }
+    } else if (arg == "--deep") {
+      options.deep = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = parse_jobs(arg.substr(7));
+    } else if (arg.rfind("--model-cache-dir=", 0) == 0 ||
+               arg.rfind("--connect=", 0) == 0 || arg.rfind("--token-file=", 0) == 0) {
+      // Parsed by the shared helpers below (model_cache_dir, connect_target,
+      // resolve_connect), which also validate the payloads.
     } else if (arg == "--rules" || arg == "--help") {
       print_lint_rules();
       return 0;
@@ -648,31 +711,101 @@ int cmd_lint(const std::vector<std::string>& args) {
     throw punt::Error("punt lint needs at least one <file.g> "
                       "(--rules prints the rule catalog)");
   }
-  std::vector<punt::lint::FileLint> lints;
-  lints.reserve(files.size());
-  bool any_errors = false;
+  const std::string target = connect_target(args);
+  if (!target.empty()) {
+    reject_direct_only_flags(args);
+    return delegate_lint(resolve_connect(target, args), files, options.deep, json,
+                         options);
+  }
+  // Direct mode.  The deep tier needs a ModelCache to resolve its exact
+  // state-graph models through — memory-only without --model-cache-dir, so
+  // a batch repeating one spec under different names still builds it once.
+  const std::string cache_dir = model_cache_dir(args);
+  std::unique_ptr<punt::core::ModelCache> cache;
+  std::unique_ptr<punt::core::CostLedger> ledger;
+  if (options.deep) {
+    cache = make_cache(cache_dir);
+    if (cache == nullptr) cache = std::make_unique<punt::core::ModelCache>();
+    ledger = make_ledger(cache_dir);
+    options.cache = cache.get();
+    options.ledger = ledger.get();
+  }
+  const CacheSummaryGuard summary{cache_dir.empty() ? nullptr : cache.get()};
+  const LedgerSaveGuard persist{ledger.get(), cache_dir};
+  std::unique_ptr<punt::core::Executor> executor;
+  if (jobs != 1) {
+    executor = std::make_unique<punt::core::Executor>(jobs);
+    options.executor = executor.get();
+  }
+  std::vector<punt::lint::FileInput> inputs;
+  inputs.reserve(files.size());
   for (const std::string& path : files) {
-    const std::string text = read_file(path);
-    punt::lint::FileLint lint = punt::lint::lint_text(text, path, options);
-    any_errors = any_errors || !lint.ok();
-    if (!json) std::printf("%s", punt::lint::render_human(lint, text).c_str());
-    lints.push_back(std::move(lint));
+    inputs.push_back({path, read_file(path)});
+  }
+  const std::vector<punt::lint::FileLint> lints = punt::lint::lint_files(inputs, options);
+  bool any_errors = false;
+  for (std::size_t i = 0; i < lints.size(); ++i) {
+    any_errors = any_errors || !lints[i].ok();
+    if (!json) {
+      std::printf("%s", punt::lint::render_human(lints[i], inputs[i].text).c_str());
+    }
   }
   if (json) std::printf("%s", punt::lint::render_json(lints).c_str());
   return any_errors ? 1 : 0;
 }
 
-/// `punt bench lint [--json=<file>]`: lint throughput over the Table-1
-/// registry — the admission-control budget check (specs/sec must stay far
-/// above any realistic request rate).
+/// A deliberately concurrency-heavy spec for the admission fast-path
+/// speedup assert: a `branches`-wide fork/join ring (its co-marked place
+/// set is O(branches^2)) plus an input choice merging through duplicate
+/// instances of one signal — the two triggers that make the warning tier
+/// compute its place-concurrency fixed points.  Registry specs are too
+/// small for those fixed points to dominate (parsing does), so a fast-path
+/// regression could hide there; it cannot hide here.  The spec lints clean,
+/// so the comparison times rules, not diagnostic construction.
+std::string lint_stress_spec(std::size_t branches) {
+  std::string g = ".model lintstress\n.inputs i1 i2 x\n.outputs a c";
+  for (std::size_t i = 0; i < branches; ++i) g += " b" + std::to_string(i);
+  g += "\n.graph\na+";
+  for (std::size_t i = 0; i < branches; ++i) g += " b" + std::to_string(i) + "+";
+  g += " s\n";
+  for (std::size_t i = 0; i < branches; ++i) {
+    g += "b" + std::to_string(i) + "+ c+\n";
+  }
+  g += "c+ a- r\na-";
+  for (std::size_t i = 0; i < branches; ++i) g += " b" + std::to_string(i) + "-";
+  g += "\n";
+  for (std::size_t i = 0; i < branches; ++i) {
+    g += "b" + std::to_string(i) + "- c-\n";
+  }
+  g += "c- a+\n";
+  // The gadget: choice p0 resolved by inputs, duplicate x+ instances with
+  // distinct presets (so STG010 stays silent) merging into m, and second
+  // pre-places s/r so no edge reads as self-triggering.
+  g += "p0 i1+ i2+\ns i1+ i2+\ni1+ x+\ni2+ x+/2\nx+ m\nx+/2 m\nm x-\nr x-\n"
+       "x- q\nq i1- i2-\ni1- p0\ni2- p0\n";
+  g += ".marking { <c-,a+> p0 }\n.end\n";
+  return g;
+}
+
+/// `punt bench lint [--deep] [--json=<file>]`: lint throughput over the
+/// Table-1 registry.  The default mode is the admission-control budget check
+/// (specs/sec must stay far above any realistic request rate) and now also
+/// *asserts* that the error-only admission fast path beats the full pass —
+/// the fast path exists to skip the fixed-point warning rules, and this is
+/// where a regression that re-grows it would surface.  --deep measures the
+/// semantic tier over a warm shared ModelCache: the steady-state cost of
+/// deep-linting a spec whose model is resident.
 int cmd_bench_lint(const std::vector<std::string>& args) {
   std::string json_path;
+  bool deep = false;
   for (const std::string& arg : args) {
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
       if (json_path.empty()) {
         throw punt::Error("--json needs a file path (e.g. --json=BENCH_lint.json)");
       }
+    } else if (arg == "--deep") {
+      deep = true;
     } else {
       throw punt::Error("unknown punt bench lint flag '" + arg + "'");
     }
@@ -681,37 +814,129 @@ int cmd_bench_lint(const std::vector<std::string>& args) {
   for (const auto& bench : punt::benchmarks::table1()) {
     texts.push_back(punt::stg::write_g(bench.make()));
   }
-  // Warm-up pass, then timed passes until ~200ms accumulate so the rate is
-  // stable on a loaded CI runner.
-  std::size_t findings = 0;
-  for (const std::string& text : texts) {
-    findings += punt::lint::lint_text(text, "bench").diagnostics.size();
+  // Timed passes accumulate ~200ms per measurement so the rates are stable
+  // on a loaded CI runner; each measurement gets a warm-up pass first.
+  const auto measure = [](const auto& pass_fn, std::size_t per_pass,
+                          std::size_t& specs, std::size_t& passes) {
+    pass_fn();  // warm-up
+    specs = 0;
+    passes = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double wall = 0;
+    while (wall < 0.2) {
+      pass_fn();
+      specs += per_pass;
+      ++passes;
+      wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                 .count();
+    }
+    return wall;
+  };
+
+  if (deep) {
+    // One shared memory cache across passes: the first (warm-up) pass builds
+    // every model, the timed passes measure the resident steady state — the
+    // number a warm daemon's per-request deep lint tracks.
+    punt::core::ModelCache cache;
+    punt::lint::LintOptions options;
+    options.deep = true;
+    options.cache = &cache;
+    std::size_t findings = 0;
+    const auto pass = [&] {
+      for (const std::string& text : texts) {
+        findings += punt::lint::lint_text(text, "bench", options).diagnostics.size();
+      }
+    };
+    std::size_t specs = 0;
+    std::size_t passes = 0;
+    const double wall = measure(pass, texts.size(), specs, passes);
+    const double rate = specs / wall;
+    const punt::core::ModelCacheStats stats = cache.stats();
+    std::printf("# deep lint micro-bench: %zu registry specs x %zu passes (warm cache)\n",
+                texts.size(), passes);
+    std::printf("wall %.3fs, %.0f specs/sec, %.1f us/spec, %zu findings, "
+                "%zu build(s), %zu hit(s)\n",
+                wall, rate, 1e6 * wall / specs, findings, stats.builds, stats.hits);
+    if (stats.builds > texts.size()) {
+      std::fprintf(stderr,
+                   "error: warm deep-lint passes rebuilt models (%zu builds for "
+                   "%zu specs); the ModelCache should absorb every repeat\n",
+                   stats.builds, texts.size());
+      return 1;
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw punt::Error("cannot write '" + json_path + "'");
+      out << punt::printf_string(
+          "{\"schema\": \"punt-bench-lint-deep\", \"version\": 1, \"specs\": %zu, "
+          "\"passes\": %zu, \"wall_seconds\": %.6f, \"specs_per_second\": %.1f, "
+          "\"us_per_spec\": %.3f, \"findings\": %zu, \"builds\": %zu, "
+          "\"hits\": %zu}\n",
+          texts.size(), passes, wall, rate, 1e6 * wall / specs, findings,
+          stats.builds, stats.hits);
+      if (!out.flush()) throw punt::Error("short write to '" + json_path + "'");
+      std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+    return 0;
   }
-  std::size_t specs = 0;
-  std::size_t passes = 0;
-  const auto start = std::chrono::steady_clock::now();
-  double wall = 0;
-  while (wall < 0.2) {
+
+  std::size_t findings = 0;
+  const auto full_pass = [&] {
     for (const std::string& text : texts) {
       findings += punt::lint::lint_text(text, "bench").diagnostics.size();
     }
-    specs += texts.size();
-    ++passes;
-    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  }
+  };
+  std::size_t specs = 0;
+  std::size_t passes = 0;
+  const double wall = measure(full_pass, texts.size(), specs, passes);
   const double rate = specs / wall;
   std::printf("# lint micro-bench: %zu registry specs x %zu passes\n", texts.size(),
               passes);
   std::printf("wall %.3fs, %.0f specs/sec, %.1f us/spec, %zu findings\n", wall, rate,
               1e6 * wall / specs, findings);
+
+  const std::string stress = lint_stress_spec(128);
+  std::size_t defects = 0;
+  std::size_t stress_findings = 0;
+  std::size_t full_specs = 0;
+  std::size_t full_passes = 0;
+  const double stress_full_wall = measure(
+      [&] { stress_findings += punt::lint::lint_text(stress, "stress").diagnostics.size(); },
+      1, full_specs, full_passes);
+  std::size_t fast_specs = 0;
+  std::size_t fast_passes = 0;
+  const double stress_fast_wall = measure(
+      [&] { defects += punt::lint::lint_errors(stress).size(); }, 1, fast_specs,
+      fast_passes);
+  const double full_us = 1e6 * stress_full_wall / full_specs;
+  const double fast_us = 1e6 * stress_fast_wall / fast_specs;
+  const double speedup = full_us / fast_us;
+  std::printf("# admission fast path, concurrency-stress spec: full %.0f us, "
+              "fast %.0f us, %.2fx (%zu findings, %zu defects)\n",
+              full_us, fast_us, speedup, stress_findings, defects);
+  // The real ratio is order-of-magnitude (the fast path skips both fixed
+  // points; this spec makes them the dominant cost); 2x keeps the assert
+  // far from scheduler noise while still catching "the fast path quietly
+  // runs the fixed points again".
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "error: the admission fast path is only %.2fx a full lint on "
+                 "the concurrency-stress spec; it must skip the fixed-point "
+                 "warning rules\n",
+                 speedup);
+    return 1;
+  }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) throw punt::Error("cannot write '" + json_path + "'");
     out << punt::printf_string(
-        "{\"schema\": \"punt-bench-lint\", \"version\": 1, \"specs\": %zu, "
+        "{\"schema\": \"punt-bench-lint\", \"version\": 2, \"specs\": %zu, "
         "\"passes\": %zu, \"wall_seconds\": %.6f, \"specs_per_second\": %.1f, "
-        "\"us_per_spec\": %.3f, \"findings\": %zu}\n",
-        texts.size(), passes, wall, rate, 1e6 * wall / specs, findings);
+        "\"us_per_spec\": %.3f, \"findings\": %zu, "
+        "\"stress_full_us\": %.3f, \"stress_fast_us\": %.3f, "
+        "\"fast_speedup\": %.3f}\n",
+        texts.size(), passes, wall, rate, 1e6 * wall / specs, findings, full_us,
+        fast_us, speedup);
     if (!out.flush()) throw punt::Error("short write to '" + json_path + "'");
     std::fprintf(stderr, "wrote %s\n", json_path.c_str());
   }
